@@ -1,0 +1,104 @@
+//! Comparison baselines from the paper's evaluation.
+//!
+//! Besides the built-in uniform/LinReg/IPF reweighters, §6.4 compares Themis
+//! against the reuse-based AQP technique of Galakatos et al. (VLDB 2017,
+//! reference \[33\] in the paper): rewrite the joint probability of a two-
+//! attribute `GROUP BY` as a *known* one-dimensional distribution times a
+//! conditional probability estimated from the sample. The paper adapts the
+//! rewrite to consume a population aggregate instead of prior query answers.
+
+use std::collections::HashMap;
+use themis_aggregates::AggregateResult;
+use themis_data::{AttrId, GroupKey, Relation};
+
+/// Answer `GROUP BY (a, b), COUNT(*)` in the style of \[33\]:
+/// `n̂(a, b) = Γ(a) · Pr_S(b | a)` where `Γ(a)` is the known population count
+/// of `a` and the conditional comes from the (unweighted) sample.
+///
+/// When the known aggregate does not cover `a`, the technique cannot use it
+/// (§6.4: "\[33\] must choose which information to use per query") — use
+/// [`reuse_group_by_uniform`] instead, which is equivalent to plain AQP.
+///
+/// # Panics
+/// Panics if `known.attrs() != [a]`.
+pub fn reuse_group_by(
+    sample: &Relation,
+    known: &AggregateResult,
+    a: AttrId,
+    b: AttrId,
+) -> HashMap<GroupKey, f64> {
+    assert_eq!(known.attrs(), [a], "known aggregate must be 1-D over `a`");
+    let joint = sample.group_row_counts(&[a, b]);
+    let marginal = sample.group_row_counts(&[a]);
+    let mut out = HashMap::with_capacity(joint.len());
+    for (key, c_ab) in joint {
+        let c_a = marginal[&vec![key[0]]] as f64;
+        let Some(pop_a) = known.count_for(&[key[0]]) else {
+            continue;
+        };
+        out.insert(key, pop_a * (c_ab as f64) / c_a);
+    }
+    out
+}
+
+/// The fallback when no covering aggregate exists: uniform scaling of the
+/// sample's joint counts — identical to default AQP.
+pub fn reuse_group_by_uniform(
+    sample: &Relation,
+    population_size: f64,
+    a: AttrId,
+    b: AttrId,
+) -> HashMap<GroupKey, f64> {
+    let scale = population_size / sample.len() as f64;
+    sample
+        .group_row_counts(&[a, b])
+        .into_iter()
+        .map(|(k, c)| (k, c as f64 * scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_data::paper_example::{example_population, example_sample};
+
+    #[test]
+    fn reuse_rescales_by_known_marginal() {
+        let p = example_population();
+        let s = example_sample();
+        let known = AggregateResult::compute(&p, &[AttrId(1)]); // o_st: 3/4/3
+        let est = reuse_group_by(&s, &known, AttrId(1), AttrId(2));
+        // Sample: o=FL rows are both FL→FL; Γ(FL) = 3 → est(FL,FL) = 3.
+        assert!((est[&vec![0, 0]] - 3.0).abs() < 1e-12);
+        // o=NC single row NC→NY; Γ(NC) = 4 → 4.
+        assert!((est[&vec![1, 2]] - 4.0).abs() < 1e-12);
+        // Missing sample pairs are missing from the estimate (closed world).
+        assert!(!est.contains_key(&vec![0, 2]));
+    }
+
+    #[test]
+    fn uniform_fallback_is_aqp() {
+        let s = example_sample();
+        let est = reuse_group_by_uniform(&s, 10.0, AttrId(1), AttrId(2));
+        // Each sample row scales by 10/4.
+        assert!((est[&vec![0, 0]] - 5.0).abs() < 1e-12); // 2 rows × 2.5
+        assert!((est[&vec![1, 2]] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_probabilities_sum_per_group() {
+        // Σ_b est(a, b) = Γ(a) for every a present in the sample.
+        let p = example_population();
+        let s = example_sample();
+        let known = AggregateResult::compute(&p, &[AttrId(1)]);
+        let est = reuse_group_by(&s, &known, AttrId(1), AttrId(2));
+        let mut by_a: HashMap<u32, f64> = HashMap::new();
+        for (k, v) in &est {
+            *by_a.entry(k[0]).or_insert(0.0) += v;
+        }
+        for (a, total) in by_a {
+            let expected = known.count_for(&[a]).unwrap();
+            assert!((total - expected).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # themis-core
+//!
+//! Themis: the first open-world database system (OW-DBMS) that automatically
+//! rebalances arbitrarily biased samples to approximately answer queries as
+//! if they were issued over the entire population (Orr, Balazinska, Suciu —
+//! SIGMOD 2020).
+//!
+//! The data scientist inserts a biased sample `S` and a set of population
+//! aggregates `Γ`, then asks queries; Themis builds a model `M(Γ, S)`
+//! combining two debiasing techniques and routes each query to the right
+//! one (§4.3):
+//!
+//! * a **reweighted sample** (uniform / constrained linear regression / IPF,
+//!   see `themis-reweight`) — accurate for heavy hitters present in `S`,
+//! * a **Bayesian network** over the population distribution (see
+//!   `themis-bn`) — able to answer queries about tuples that are *not* in
+//!   `S`, including when the sample's support differs from the population's.
+//!
+//! ```
+//! use themis_core::{Themis, ThemisConfig};
+//! use themis_aggregates::{AggregateResult, AggregateSet};
+//! use themis_data::paper_example::{example_population, example_sample};
+//! use themis_data::AttrId;
+//!
+//! let population = example_population(); // normally unavailable!
+//! let aggregates = AggregateSet::from_results(vec![
+//!     AggregateResult::compute(&population, &[AttrId(0)]),
+//!     AggregateResult::compute(&population, &[AttrId(1), AttrId(2)]),
+//! ]);
+//! let themis = Themis::build(example_sample(), aggregates, 10.0, ThemisConfig::default());
+//! // A point query over tuples missing from the sample still gets a
+//! // non-trivial open-world answer.
+//! let est = themis.point_query(&[AttrId(1), AttrId(2)], &[0, 2]);
+//! assert!(est > 0.0);
+//! ```
+
+pub mod baselines;
+pub mod metrics;
+pub mod model;
+
+pub use metrics::{group_by_error, percent_difference};
+pub use model::{ReweightMethod, Themis, ThemisConfig};

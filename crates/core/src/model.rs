@@ -1,0 +1,605 @@
+//! The Themis model `M(Γ, S)` and hybrid query evaluator (§3, §4.3).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use themis_aggregates::AggregateSet;
+use themis_bn::{
+    learn, point_probability, BayesianNetwork, LearnMode, LearnOptions,
+};
+use themis_data::{AttrId, GroupKey, Relation};
+use themis_query::{Catalog, QueryResult, Value};
+use themis_reweight::{
+    ipf_weights, linreg_weights, uniform_weights, IpfOptions, IpfReport, LinRegOptions,
+};
+use themis_sql::Query;
+
+/// Which sample-reweighting technique the model uses (§4.1).
+#[derive(Debug, Clone)]
+pub enum ReweightMethod {
+    /// Uniform `|P|/|S|` weights — the default-AQP baseline.
+    Uniform,
+    /// Constrained linear regression (§4.1.1).
+    LinReg(LinRegOptions),
+    /// Iterative Proportional Fitting (§4.1.2) — the Themis default.
+    Ipf(IpfOptions),
+}
+
+/// Configuration for building a Themis model.
+#[derive(Debug, Clone)]
+pub struct ThemisConfig {
+    /// Reweighting technique.
+    pub reweighting: ReweightMethod,
+    /// BN learning mode; `None` disables the probabilistic component
+    /// (turning the hybrid into a pure reweighter).
+    pub bn_mode: Option<LearnMode>,
+    /// BN learning options.
+    pub bn_options: LearnOptions,
+    /// Number of replicate BN samples for `GROUP BY` answering (§4.2.4;
+    /// the paper uses K = 10).
+    pub k_samples: usize,
+    /// Size of each replicate sample; `None` uses the input sample's size.
+    pub bn_sample_size: Option<usize>,
+    /// RNG seed for BN sampling.
+    pub seed: u64,
+}
+
+impl Default for ThemisConfig {
+    fn default() -> Self {
+        Self {
+            reweighting: ReweightMethod::Ipf(IpfOptions::default()),
+            bn_mode: Some(LearnMode::BB),
+            bn_options: LearnOptions::default(),
+            k_samples: 10,
+            bn_sample_size: None,
+            seed: 0x7E15,
+        }
+    }
+}
+
+/// A built Themis model: the reweighted sample plus (optionally) the learned
+/// Bayesian network of the population.
+#[derive(Debug, Clone)]
+pub struct Themis {
+    sample: Relation,
+    aggregates: AggregateSet,
+    population_size: f64,
+    bn: Option<BayesianNetwork>,
+    config: ThemisConfig,
+    ipf_report: Option<IpfReport>,
+}
+
+impl Themis {
+    /// Build the model: learn tuple weights from `Γ` and (optionally) the
+    /// population Bayesian network.
+    pub fn build(
+        mut sample: Relation,
+        aggregates: AggregateSet,
+        population_size: f64,
+        config: ThemisConfig,
+    ) -> Self {
+        let mut ipf_report = None;
+        let weights = match &config.reweighting {
+            ReweightMethod::Uniform => uniform_weights(&sample, population_size),
+            ReweightMethod::LinReg(opts) => {
+                linreg_weights(&sample, &aggregates, population_size, opts).0
+            }
+            ReweightMethod::Ipf(opts) => {
+                let (w, rep) = ipf_weights(&sample, &aggregates, opts);
+                ipf_report = Some(rep);
+                w
+            }
+        };
+        sample.set_weights(weights);
+
+        let bn = config
+            .bn_mode
+            .map(|mode| learn(&sample, &aggregates, population_size, mode, &config.bn_options));
+
+        Self {
+            sample,
+            aggregates,
+            population_size,
+            bn,
+            config,
+            ipf_report,
+        }
+    }
+
+    /// Build a model from *multiple* samples of the same population — the
+    /// paper's §8 future-work item "integrate multiple samples into the
+    /// debiasing process". The samples are unioned into one relation (each
+    /// tuple keeps its own learned weight — IPF and LinReg both treat
+    /// tuples individually, so differently-biased sources coexist) and the
+    /// model is built as usual.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or the schemas differ.
+    pub fn build_multi(
+        samples: Vec<Relation>,
+        aggregates: AggregateSet,
+        population_size: f64,
+        config: ThemisConfig,
+    ) -> Self {
+        let mut iter = samples.into_iter();
+        let mut union = iter.next().expect("at least one sample");
+        for s in iter {
+            assert_eq!(
+                union.schema(),
+                s.schema(),
+                "all samples must share a schema"
+            );
+            for (row, _) in s.iter_rows() {
+                union.push_row(&row);
+            }
+        }
+        Self::build(union, aggregates, population_size, config)
+    }
+
+    /// The reweighted sample.
+    pub fn reweighted_sample(&self) -> &Relation {
+        &self.sample
+    }
+
+    /// The learned Bayesian network, if any.
+    pub fn bayesian_network(&self) -> Option<&BayesianNetwork> {
+        self.bn.as_ref()
+    }
+
+    /// The aggregates the model was built from.
+    pub fn aggregates(&self) -> &AggregateSet {
+        &self.aggregates
+    }
+
+    /// The (approximate) population size `n`.
+    pub fn population_size(&self) -> f64 {
+        self.population_size
+    }
+
+    /// IPF convergence report, when IPF was the reweighting method.
+    pub fn ipf_report(&self) -> Option<&IpfReport> {
+        self.ipf_report.as_ref()
+    }
+
+    /// Human-readable model summary: weight statistics, aggregate
+    /// knowledge, and the learned network structure.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let w = self.sample.weights();
+        let total: f64 = w.iter().sum();
+        let max = w.iter().fold(0.0f64, |m, &x| m.max(x));
+        let min = w.iter().fold(f64::INFINITY, |m, &x| m.min(x));
+        out.push_str(&format!(
+            "sample: {} tuples, total weight {:.1} (n = {}), w(t) in [{:.3}, {:.3}]\n",
+            self.sample.len(),
+            total,
+            self.population_size,
+            min,
+            max
+        ));
+        out.push_str(&format!(
+            "aggregates: {} ({} constraint groups)\n",
+            self.aggregates.len(),
+            self.aggregates.total_groups()
+        ));
+        if let Some(rep) = &self.ipf_report {
+            out.push_str(&format!(
+                "IPF: {} sweeps, violation {:.2e}, converged = {}\n",
+                rep.iterations, rep.final_violation, rep.converged
+            ));
+        }
+        match &self.bn {
+            Some(bn) => {
+                out.push_str(&format!(
+                    "Bayesian network: {} parameters, edges:",
+                    bn.parameter_count()
+                ));
+                let edges = bn.edges();
+                if edges.is_empty() {
+                    out.push_str(" (none — all attributes independent)");
+                }
+                for (p, c) in edges {
+                    out.push_str(&format!(
+                        " {} -> {},",
+                        bn.schema().attr(p).name(),
+                        bn.schema().attr(c).name()
+                    ));
+                }
+                if out.ends_with(',') {
+                    out.pop();
+                }
+            }
+            None => out.push_str("Bayesian network: disabled"),
+        }
+        out
+    }
+
+    /// Hybrid point query (§4.3): if the queried tuple exists in the
+    /// sample, answer from the reweighted sample (`SUM(weight)`); otherwise
+    /// fall back to direct BN inference, `n · Pr(X = v)`.
+    pub fn point_query(&self, attrs: &[AttrId], values: &[u32]) -> f64 {
+        if self.sample.contains_point(attrs, values) {
+            self.sample.point_count(attrs, values)
+        } else if let Some(bn) = &self.bn {
+            self.population_size * point_probability(bn, attrs, values)
+        } else {
+            0.0
+        }
+    }
+
+    /// Point query answered by the reweighted sample only.
+    pub fn point_query_sample(&self, attrs: &[AttrId], values: &[u32]) -> f64 {
+        self.sample.point_count(attrs, values)
+    }
+
+    /// Point query answered by BN inference only.
+    ///
+    /// # Panics
+    /// Panics if the model was built without a BN.
+    pub fn point_query_bn(&self, attrs: &[AttrId], values: &[u32]) -> f64 {
+        let bn = self.bn.as_ref().expect("model has no Bayesian network");
+        self.population_size * point_probability(bn, attrs, values)
+    }
+
+    /// Hybrid `GROUP BY attrs, COUNT(*)` (§4.3): all groups from the
+    /// reweighted sample, unioned with groups that appear in every one of
+    /// the K BN sample answers but not in the sample answer.
+    pub fn group_by(&self, attrs: &[AttrId]) -> HashMap<GroupKey, f64> {
+        let mut answer = self.sample.group_counts(attrs);
+        if let Some(bn) = &self.bn {
+            let mut rng = SmallRng::seed_from_u64(self.config.seed);
+            let size = self.config.bn_sample_size.unwrap_or(self.sample.len());
+            let bn_answer = themis_bn::answer_group_by(
+                bn,
+                attrs,
+                self.config.k_samples,
+                size,
+                self.population_size,
+                &mut rng,
+            );
+            for (group, count) in bn_answer {
+                answer.entry(group).or_insert(count);
+            }
+        }
+        answer
+    }
+
+    /// `GROUP BY` answered by the BN alone (§4.2.4).
+    ///
+    /// # Panics
+    /// Panics if the model was built without a BN.
+    pub fn group_by_bn(&self, attrs: &[AttrId]) -> HashMap<GroupKey, f64> {
+        let bn = self.bn.as_ref().expect("model has no Bayesian network");
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let size = self.config.bn_sample_size.unwrap_or(self.sample.len());
+        themis_bn::answer_group_by(
+            bn,
+            attrs,
+            self.config.k_samples,
+            size,
+            self.population_size,
+            &mut rng,
+        )
+    }
+
+    /// Run a SQL query hybridly: evaluate over the reweighted sample, and
+    /// for `GROUP BY` results union in groups that every BN replicate
+    /// produces but the sample misses (values averaged over replicates).
+    ///
+    /// The table name(s) in the query's FROM clause are bound to the
+    /// reweighted sample (self-joins bind both sides to it).
+    pub fn sql(&self, sql: &str) -> Result<QueryResult, themis_query::ExecError> {
+        let query = themis_sql::parse(sql)
+            .map_err(|e| themis_query::ExecError::Parse(e.to_string()))?;
+        let sample_result = self.run_on(&self.sample, &query)?;
+        let Some(bn) = &self.bn else {
+            return Ok(sample_result);
+        };
+        if sample_result.group_arity == 0 {
+            return Ok(sample_result);
+        }
+
+        // K replicate answers; a group must appear in all of them.
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let size = self.config.bn_sample_size.unwrap_or(self.sample.len());
+        let replicates = themis_bn::sampling::forward_samples(
+            bn,
+            self.config.k_samples,
+            size,
+            self.population_size,
+            &mut rng,
+        );
+        let mut agreed: Option<HashMap<Vec<String>, Vec<f64>>> = None;
+        for replicate in &replicates {
+            let result = self.run_on(replicate, &query)?;
+            let m = result.to_map();
+            agreed = Some(match agreed {
+                None => m,
+                Some(prev) => prev
+                    .into_iter()
+                    .filter_map(|(k, mut acc)| {
+                        m.get(&k).map(|vals| {
+                            for (a, v) in acc.iter_mut().zip(vals) {
+                                *a += v;
+                            }
+                            (k, acc)
+                        })
+                    })
+                    .collect(),
+            });
+        }
+        let mut merged = sample_result;
+        let existing = merged.to_map();
+        if let Some(agreed) = agreed {
+            let k = self.config.k_samples as f64;
+            for (group, sums) in agreed {
+                if existing.contains_key(&group) {
+                    continue;
+                }
+                let mut row: Vec<Value> = group.into_iter().map(Value::Str).collect();
+                row.extend(sums.into_iter().map(|s| Value::Num(s / k)));
+                merged.rows.push(row);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// SQL over the reweighted sample only (no BN union) — the behaviour of
+    /// the pure reweighting baselines.
+    pub fn sql_sample_only(&self, sql: &str) -> Result<QueryResult, themis_query::ExecError> {
+        let query = themis_sql::parse(sql)
+            .map_err(|e| themis_query::ExecError::Parse(e.to_string()))?;
+        self.run_on(&self.sample, &query)
+    }
+
+    /// SQL answered by the BN alone (§4.2.4 generalized to arbitrary
+    /// queries): the query runs on each of the K scaled replicates; groups
+    /// present in *all* replicates are returned with averaged values.
+    ///
+    /// # Panics
+    /// Panics if the model was built without a BN.
+    pub fn sql_bn_only(&self, sql: &str) -> Result<QueryResult, themis_query::ExecError> {
+        let bn = self.bn.as_ref().expect("model has no Bayesian network");
+        let query = themis_sql::parse(sql)
+            .map_err(|e| themis_query::ExecError::Parse(e.to_string()))?;
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let size = self.config.bn_sample_size.unwrap_or(self.sample.len());
+        let replicates = themis_bn::sampling::forward_samples(
+            bn,
+            self.config.k_samples,
+            size,
+            self.population_size,
+            &mut rng,
+        );
+        let mut template: Option<QueryResult> = None;
+        let mut agreed: Option<HashMap<Vec<String>, Vec<f64>>> = None;
+        for replicate in &replicates {
+            let result = self.run_on(replicate, &query)?;
+            let m = result.to_map();
+            if template.is_none() {
+                template = Some(result);
+            }
+            agreed = Some(match agreed {
+                None => m,
+                Some(prev) => prev
+                    .into_iter()
+                    .filter_map(|(k, mut acc)| {
+                        m.get(&k).map(|vals| {
+                            for (a, v) in acc.iter_mut().zip(vals) {
+                                *a += v;
+                            }
+                            (k, acc)
+                        })
+                    })
+                    .collect(),
+            });
+        }
+        let mut out = template.expect("k > 0 replicates");
+        let k = self.config.k_samples as f64;
+        out.rows = agreed
+            .expect("k > 0 replicates")
+            .into_iter()
+            .map(|(group, sums)| {
+                let mut row: Vec<Value> = group.into_iter().map(Value::Str).collect();
+                row.extend(sums.into_iter().map(|s| Value::Num(s / k)));
+                row
+            })
+            .collect();
+        out.rows.sort_by(|a, b| {
+            let key = |r: &Vec<Value>| {
+                r.iter()
+                    .filter_map(|v| match v {
+                        Value::Str(s) => Some(s.clone()),
+                        Value::Num(_) => None,
+                    })
+                    .collect::<Vec<_>>()
+            };
+            key(a).cmp(&key(b))
+        });
+        Ok(out)
+    }
+
+    /// Bind every FROM table of `query` to `relation` and execute.
+    fn run_on(
+        &self,
+        relation: &Relation,
+        query: &Query,
+    ) -> Result<QueryResult, themis_query::ExecError> {
+        let mut catalog = Catalog::new();
+        for table in &query.from {
+            catalog.register(table.name.clone(), relation.clone());
+        }
+        themis_query::execute(&catalog, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_aggregates::AggregateResult;
+    use themis_data::paper_example::{example_population, example_sample};
+
+    fn build(config: ThemisConfig) -> (Relation, Themis) {
+        let p = example_population();
+        let aggregates = AggregateSet::from_results(vec![
+            AggregateResult::compute(&p, &[AttrId(0)]),
+            AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]),
+        ]);
+        let t = Themis::build(example_sample(), aggregates, 10.0, config);
+        (p, t)
+    }
+
+    #[test]
+    fn in_sample_point_query_uses_reweighted_sample() {
+        let (p, t) = build(ThemisConfig::default());
+        let attrs = [AttrId(1), AttrId(2)];
+        // NC→NY is in the sample: hybrid answer == sample answer.
+        assert_eq!(
+            t.point_query(&attrs, &[1, 2]),
+            t.point_query_sample(&attrs, &[1, 2])
+        );
+        let truth = p.point_count(&attrs, &[1, 2]);
+        assert!((t.point_query(&attrs, &[1, 2]) - truth).abs() < 1.0);
+    }
+
+    #[test]
+    fn missing_tuple_falls_back_to_bn() {
+        let (p, t) = build(ThemisConfig::default());
+        let attrs = [AttrId(1), AttrId(2)];
+        // FL→NY exists in the population (count 1) but not in the sample.
+        let est = t.point_query(&attrs, &[0, 2]);
+        assert!(est > 0.0, "open-world estimate must be positive");
+        let truth = p.point_count(&attrs, &[0, 2]);
+        assert!((est - truth).abs() < 1.5, "est {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn without_bn_missing_tuples_are_zero() {
+        let config = ThemisConfig {
+            bn_mode: None,
+            ..ThemisConfig::default()
+        };
+        let (_, t) = build(config);
+        assert_eq!(t.point_query(&[AttrId(1), AttrId(2)], &[0, 2]), 0.0);
+    }
+
+    #[test]
+    fn group_by_unions_bn_groups() {
+        let (_, t) = build(ThemisConfig {
+            bn_sample_size: Some(4_000),
+            ..ThemisConfig::default()
+        });
+        let sample_groups = t.reweighted_sample().group_counts(&[AttrId(1), AttrId(2)]);
+        let hybrid = t.group_by(&[AttrId(1), AttrId(2)]);
+        assert!(hybrid.len() >= sample_groups.len());
+        // Sample groups keep their reweighted counts.
+        for (g, c) in &sample_groups {
+            assert_eq!(hybrid[g], *c);
+        }
+    }
+
+    #[test]
+    fn sql_hybrid_adds_open_world_groups() {
+        let (_, t) = build(ThemisConfig {
+            bn_sample_size: Some(4_000),
+            ..ThemisConfig::default()
+        });
+        let sample_only = t
+            .sql_sample_only("SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st")
+            .unwrap();
+        let hybrid = t
+            .sql("SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st")
+            .unwrap();
+        assert!(hybrid.rows.len() >= sample_only.rows.len());
+    }
+
+    #[test]
+    fn scalar_sql_matches_reweighted_sample() {
+        let (_, t) = build(ThemisConfig::default());
+        let r = t.sql("SELECT COUNT(*) FROM flights WHERE date = '01'").unwrap();
+        let direct = t.reweighted_sample().point_count(&[AttrId(0)], &[0]);
+        assert!((r.scalar().unwrap() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_config_reproduces_aqp() {
+        let config = ThemisConfig {
+            reweighting: ReweightMethod::Uniform,
+            bn_mode: None,
+            ..ThemisConfig::default()
+        };
+        let (_, t) = build(config);
+        // Every weight is 10/4.
+        assert!(t
+            .reweighted_sample()
+            .weights()
+            .iter()
+            .all(|&w| (w - 2.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn ipf_report_is_exposed() {
+        let (_, t) = build(ThemisConfig::default());
+        let rep = t.ipf_report().expect("IPF is the default");
+        assert!(!rep.converged, "Example 4.2's sample cannot converge");
+    }
+
+    #[test]
+    fn describe_summarizes_the_model() {
+        let (_, t) = build(ThemisConfig::default());
+        let d = t.describe();
+        assert!(d.contains("4 tuples"), "{d}");
+        assert!(d.contains("aggregates: 2 (9 constraint groups)"), "{d}");
+        assert!(d.contains("IPF:"), "{d}");
+        assert!(d.contains("Bayesian network:"), "{d}");
+        let (_, t) = build(ThemisConfig {
+            bn_mode: None,
+            ..ThemisConfig::default()
+        });
+        assert!(t.describe().contains("disabled"));
+    }
+
+    #[test]
+    fn multi_sample_build_unions_tuples() {
+        let p = example_population();
+        let aggregates = AggregateSet::from_results(vec![
+            AggregateResult::compute(&p, &[AttrId(0)]),
+            AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]),
+        ]);
+        // Two complementary biased samples: together they cover both dates.
+        let mut s1 = Relation::new(p.schema().clone());
+        s1.push_row_labels(&["01", "FL", "FL"]);
+        s1.push_row_labels(&["01", "NY", "NC"]);
+        let mut s2 = Relation::new(p.schema().clone());
+        s2.push_row_labels(&["02", "NC", "NY"]);
+        s2.push_row_labels(&["02", "NY", "NY"]);
+        let t = Themis::build_multi(vec![s1, s2], aggregates, 10.0, ThemisConfig::default());
+        assert_eq!(t.reweighted_sample().len(), 4);
+        // Both dates answerable from the union (each single-source sample
+        // covers only one date); IPF can recover at most the mass of the
+        // group-by cells its tuples occupy (2 + 1 = 3 of the 5 date=01
+        // flights), so allow that slack.
+        for (date, truth) in [(0u32, 5.0), (1u32, 5.0)] {
+            let est = t.point_query(&[AttrId(0)], &[date]);
+            assert!(est > 2.0, "date {date}: estimate {est} too small");
+            assert!((est - truth).abs() <= 2.1, "date {date}: {est} vs {truth}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a schema")]
+    fn multi_sample_rejects_mixed_schemas() {
+        let other = themis_data::Schema::new(vec![themis_data::Attribute::new(
+            "x",
+            themis_data::Domain::indexed("x", 2),
+        )]);
+        let mut s2 = Relation::new(other);
+        s2.push_row(&[0]);
+        Themis::build_multi(
+            vec![example_sample(), s2],
+            AggregateSet::new(),
+            10.0,
+            ThemisConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Aggregate queries and their results.
+//!
+//! Following §3: `Γ = {G_{γ_i, COUNT(*)}(P) : i = 1..B}` where each `γ_i ⊆ A`
+//! is a set of attributes and each result `Γ_i` is a set of
+//! `(value-vector, count)` pairs. Aggregates need not cover all attributes
+//! and counts need not be exact (they may be noised for differential
+//! privacy); Themis treats them as marginal constraints to be satisfied.
+
+use std::collections::HashMap;
+use themis_data::{AttrId, GroupKey, Relation};
+
+/// The result `Γ_i` of one aggregate query: the attribute set `γ_i` plus all
+/// `(a_{i,k}, c_{i,k})` group/count pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateResult {
+    attrs: Vec<AttrId>,
+    groups: Vec<(GroupKey, f64)>,
+}
+
+impl AggregateResult {
+    /// Compute the aggregate `GROUP BY attrs, COUNT(*)` over a relation
+    /// (weighted — computing over a population with unit weights gives the
+    /// true counts).
+    ///
+    /// # Panics
+    /// Panics if `attrs` is empty or contains duplicates.
+    pub fn compute(relation: &Relation, attrs: &[AttrId]) -> Self {
+        Self::validate_attrs(attrs);
+        let mut groups: Vec<(GroupKey, f64)> =
+            relation.group_counts(attrs).into_iter().collect();
+        // Deterministic order for reproducible incidence matrices.
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        Self {
+            attrs: attrs.to_vec(),
+            groups,
+        }
+    }
+
+    /// Build an aggregate result from explicit groups (e.g. parsed from a
+    /// published census table).
+    ///
+    /// # Panics
+    /// Panics if `attrs` is empty/duplicated, a group key has the wrong
+    /// arity, or a count is negative.
+    pub fn from_groups(attrs: Vec<AttrId>, mut groups: Vec<(GroupKey, f64)>) -> Self {
+        Self::validate_attrs(&attrs);
+        for (key, count) in &groups {
+            assert_eq!(key.len(), attrs.len(), "group key arity mismatch");
+            assert!(*count >= 0.0, "negative aggregate count");
+        }
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        Self { attrs, groups }
+    }
+
+    fn validate_attrs(attrs: &[AttrId]) {
+        assert!(!attrs.is_empty(), "aggregate must cover at least one attribute");
+        for i in 0..attrs.len() {
+            for j in (i + 1)..attrs.len() {
+                assert_ne!(attrs[i], attrs[j], "duplicate attribute in aggregate");
+            }
+        }
+    }
+
+    /// The attribute set `γ_i`.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Aggregate dimension `d_i`.
+    pub fn dim(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of groups `M_i`.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// All `(a_{i,k}, c_{i,k})` pairs, sorted by key.
+    pub fn groups(&self) -> &[(GroupKey, f64)] {
+        &self.groups
+    }
+
+    /// Count for a specific group key, if present.
+    pub fn count_for(&self, key: &[u32]) -> Option<f64> {
+        self.groups
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| self.groups[i].1)
+    }
+
+    /// Total count over all groups (≈ population size when the aggregate is
+    /// exact and complete).
+    pub fn total(&self) -> f64 {
+        self.groups.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Marginalize onto a subset of this aggregate's attributes.
+    ///
+    /// # Panics
+    /// Panics if `subset` is not a subset of `self.attrs()`.
+    pub fn marginalize(&self, subset: &[AttrId]) -> AggregateResult {
+        let positions: Vec<usize> = subset
+            .iter()
+            .map(|a| {
+                self.attrs
+                    .iter()
+                    .position(|x| x == a)
+                    .unwrap_or_else(|| panic!("attribute {a} not covered by this aggregate"))
+            })
+            .collect();
+        let mut acc: HashMap<GroupKey, f64> = HashMap::new();
+        for (key, count) in &self.groups {
+            let sub: GroupKey = positions.iter().map(|&p| key[p]).collect();
+            *acc.entry(sub).or_insert(0.0) += count;
+        }
+        AggregateResult::from_groups(subset.to_vec(), acc.into_iter().collect())
+    }
+
+    /// Whether this aggregate covers all of `attrs`.
+    pub fn covers(&self, attrs: &[AttrId]) -> bool {
+        attrs.iter().all(|a| self.attrs.contains(a))
+    }
+}
+
+/// The collection `Γ` of aggregate results available to Themis.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateSet {
+    aggregates: Vec<AggregateResult>,
+}
+
+impl AggregateSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from results.
+    pub fn from_results(aggregates: Vec<AggregateResult>) -> Self {
+        Self { aggregates }
+    }
+
+    /// Add one aggregate result.
+    pub fn push(&mut self, agg: AggregateResult) {
+        self.aggregates.push(agg);
+    }
+
+    /// Number of aggregates `B`.
+    pub fn len(&self) -> usize {
+        self.aggregates.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.aggregates.is_empty()
+    }
+
+    /// The aggregates in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &AggregateResult> {
+        self.aggregates.iter()
+    }
+
+    /// Aggregate by index.
+    pub fn get(&self, i: usize) -> &AggregateResult {
+        &self.aggregates[i]
+    }
+
+    /// The union of attributes covered by any aggregate, sorted.
+    pub fn covered_attrs(&self) -> Vec<AttrId> {
+        let mut out: Vec<AttrId> = Vec::new();
+        for agg in &self.aggregates {
+            for &a in agg.attrs() {
+                if !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Find an aggregate that covers all of `attrs` (used by structure
+    /// learning's support check and by query answering), preferring the
+    /// lowest-dimensional match.
+    pub fn find_covering(&self, attrs: &[AttrId]) -> Option<&AggregateResult> {
+        self.aggregates
+            .iter()
+            .filter(|agg| agg.covers(attrs))
+            .min_by_key(|agg| agg.dim())
+    }
+
+    /// Total constraint count `Σ_i M_i`.
+    pub fn total_groups(&self) -> usize {
+        self.aggregates.iter().map(|a| a.group_count()).sum()
+    }
+}
+
+/// Compute every d-dimensional aggregate over a relation's schema, optionally
+/// restricted to a set of candidate attributes. This is the "all possible
+/// aggregates" input to the pruning step (§6.3 computes 2D/3D aggregates over
+/// all attribute subsets).
+pub fn all_aggregates_of_dim(
+    relation: &Relation,
+    candidate_attrs: &[AttrId],
+    d: usize,
+) -> Vec<AggregateResult> {
+    let mut out = Vec::new();
+    let mut subset = Vec::with_capacity(d);
+    fn rec(
+        relation: &Relation,
+        attrs: &[AttrId],
+        d: usize,
+        start: usize,
+        subset: &mut Vec<AttrId>,
+        out: &mut Vec<AggregateResult>,
+    ) {
+        if subset.len() == d {
+            out.push(AggregateResult::compute(relation, subset));
+            return;
+        }
+        for i in start..attrs.len() {
+            subset.push(attrs[i]);
+            rec(relation, attrs, d, i + 1, subset, out);
+            subset.pop();
+        }
+    }
+    rec(relation, candidate_attrs, d, 0, &mut subset, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_data::paper_example::example_population;
+
+    #[test]
+    fn example_3_1_aggregates() {
+        let p = example_population();
+        // Γ1 = GROUP BY date: {([01], 5), ([02], 5)}.
+        let g1 = AggregateResult::compute(&p, &[AttrId(0)]);
+        assert_eq!(g1.group_count(), 2);
+        assert_eq!(g1.count_for(&[0]), Some(5.0));
+        assert_eq!(g1.count_for(&[1]), Some(5.0));
+        // Γ2 = GROUP BY o_st, d_st: 7 groups.
+        let g2 = AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]);
+        assert_eq!(g2.group_count(), 7);
+        assert_eq!(g2.count_for(&[0, 0]), Some(2.0)); // FL,FL
+        assert_eq!(g2.count_for(&[1, 2]), Some(3.0)); // NC,NY
+        assert_eq!(g2.count_for(&[0, 1]), None); // FL,NC absent
+        assert_eq!(g2.total(), 10.0);
+    }
+
+    #[test]
+    fn marginalization_is_consistent() {
+        let p = example_population();
+        let g2 = AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]);
+        let m = g2.marginalize(&[AttrId(1)]);
+        let direct = AggregateResult::compute(&p, &[AttrId(1)]);
+        assert_eq!(m, direct);
+    }
+
+    #[test]
+    fn set_reports_coverage() {
+        let p = example_population();
+        let mut set = AggregateSet::new();
+        set.push(AggregateResult::compute(&p, &[AttrId(0)]));
+        set.push(AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.covered_attrs(), vec![AttrId(0), AttrId(1), AttrId(2)]);
+        assert!(set.find_covering(&[AttrId(2)]).is_some());
+        assert!(set.find_covering(&[AttrId(0), AttrId(1)]).is_none());
+        assert_eq!(set.total_groups(), 9);
+    }
+
+    #[test]
+    fn find_covering_prefers_lowest_dimension() {
+        let p = example_population();
+        let mut set = AggregateSet::new();
+        set.push(AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]));
+        set.push(AggregateResult::compute(&p, &[AttrId(1)]));
+        let found = set.find_covering(&[AttrId(1)]).unwrap();
+        assert_eq!(found.dim(), 1);
+    }
+
+    #[test]
+    fn all_aggregates_enumerates_subsets() {
+        let p = example_population();
+        let attrs: Vec<AttrId> = p.schema().attr_ids().collect();
+        let all2 = all_aggregates_of_dim(&p, &attrs, 2);
+        assert_eq!(all2.len(), 3); // C(3,2)
+        let all1 = all_aggregates_of_dim(&p, &attrs, 1);
+        assert_eq!(all1.len(), 3);
+    }
+
+    #[test]
+    fn from_groups_accepts_noisy_counts() {
+        // Counts need not be integers or sum to n (differential privacy).
+        let agg = AggregateResult::from_groups(
+            vec![AttrId(0)],
+            vec![(vec![0], 4.7), (vec![1], 5.2)],
+        );
+        assert!((agg.total() - 9.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn rejects_duplicate_attrs() {
+        AggregateResult::from_groups(vec![AttrId(0), AttrId(0)], vec![]);
+    }
+}

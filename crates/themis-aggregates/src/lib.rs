@@ -1,0 +1,27 @@
+//! # themis-aggregates
+//!
+//! Population aggregate machinery for Themis.
+//!
+//! Themis never sees the population `P`; it sees `Γ`, a set of
+//! `GROUP BY, COUNT(*)` results of various dimensions computed over `P`
+//! (§3 of the paper). This crate provides:
+//!
+//! * [`gamma`] — aggregate specifications `γ_i`, results `Γ_i`
+//!   (value-vector/count pairs), and the collection `Γ`,
+//! * [`incidence`] — the 0/1 incidence matrix `G^{0/1}` mapping aggregate
+//!   groups to the sample rows participating in them (§4.1), stored
+//!   sparsely,
+//! * [`info`] — entropy, information content, and mutual information
+//!   computed *from aggregates alone* (the population is unavailable),
+//! * [`prune`] — aggregate selection: the modified k-order t-cherry
+//!   junction-tree greedy algorithm of §5.1 (Alg. 4) plus the random
+//!   baseline used in Fig. 15.
+
+pub mod gamma;
+pub mod incidence;
+pub mod info;
+pub mod prune;
+
+pub use gamma::{AggregateResult, AggregateSet};
+pub use incidence::{IncidenceMatrix, IncidenceRow};
+pub use prune::{random_selection, select_tcherry};

@@ -1,0 +1,228 @@
+//! Aggregate selection (§5.1, Alg. 4): the modified k-order t-cherry
+//! junction-tree greedy algorithm.
+//!
+//! Given a budget `B`, Themis keeps the `B` most informative aggregates —
+//! those whose clusters would appear in a k-order t-cherry junction tree,
+//! which minimizes the KL divergence to the true distribution among product
+//! approximations of that order. Unlike the classic algorithm we cannot
+//! score arbitrary clusters (the population is unavailable): only
+//! cluster/separator pairs with support in `Γ` are initialized, and because
+//! the budget may exceed the number of attributes the greedy loop may build
+//! multiple trees, disallowing duplicate clusters.
+
+use crate::gamma::AggregateResult;
+use crate::info::{entropy, information_content};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use themis_data::AttrId;
+
+/// One candidate cluster/separator pair with its `I(X_C) − I(X_S)` score.
+#[derive(Debug, Clone)]
+struct Pair {
+    candidate: usize,
+    separator: Vec<AttrId>,
+    score: f64,
+}
+
+/// Select up to `budget` aggregates from `candidates` (all of the same
+/// dimension `d = k`) with the modified t-cherry greedy algorithm. Returns
+/// indices into `candidates` in selection order.
+///
+/// For `d == 1` the t-cherry structure is degenerate (separators would be
+/// empty); we fall back to ranking marginals by entropy, which keeps the
+/// most informative 1-D aggregates.
+pub fn select_tcherry(candidates: &[AggregateResult], budget: usize) -> Vec<usize> {
+    if candidates.is_empty() || budget == 0 {
+        return Vec::new();
+    }
+    let d = candidates[0].dim();
+    assert!(
+        candidates.iter().all(|c| c.dim() == d),
+        "all candidates must share one dimension"
+    );
+    if d == 1 {
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by(|&a, &b| {
+            entropy(&candidates[b])
+                .partial_cmp(&entropy(&candidates[a]))
+                .expect("finite entropies")
+        });
+        order.truncate(budget);
+        return order;
+    }
+
+    // All attributes any candidate covers.
+    let mut all_attrs: Vec<AttrId> = Vec::new();
+    for c in candidates {
+        for &a in c.attrs() {
+            if !all_attrs.contains(&a) {
+                all_attrs.push(a);
+            }
+        }
+    }
+
+    // GenClusterSeparatorPairs: every candidate cluster with every (d−1)
+    // separator, scored by I(X_C) − I(X_S). All candidates have support in Γ
+    // by construction (they *are* Γ).
+    let mut pairs: Vec<Pair> = Vec::new();
+    for (i, cand) in candidates.iter().enumerate() {
+        let ic = information_content(cand);
+        for skip in 0..cand.attrs().len() {
+            let separator: Vec<AttrId> = cand
+                .attrs()
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != skip)
+                .map(|(_, &a)| a)
+                .collect();
+            let is = information_content(&cand.marginalize(&separator));
+            pairs.push(Pair {
+                candidate: i,
+                separator,
+                score: ic - is,
+            });
+        }
+    }
+    pairs.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+
+    let mut selected: Vec<usize> = Vec::new();
+    let mut used = vec![false; candidates.len()];
+
+    while selected.len() < budget {
+        // Start a new tree from the best unused pair.
+        let Some(root) = pairs.iter().find(|p| !used[p.candidate]) else {
+            break;
+        };
+        used[root.candidate] = true;
+        selected.push(root.candidate);
+        let mut tree_covered: Vec<AttrId> = candidates[root.candidate].attrs().to_vec();
+
+        // Grow the tree: each addition must hang off an already-selected
+        // cluster (separator containment) and cover a new attribute.
+        loop {
+            if selected.len() >= budget || tree_covered.len() == all_attrs.len() {
+                break;
+            }
+            let next = pairs.iter().find(|p| {
+                !used[p.candidate]
+                    && selected
+                        .iter()
+                        .any(|&s| candidates[s].covers(&p.separator))
+                    && candidates[p.candidate]
+                        .attrs()
+                        .iter()
+                        .any(|a| !tree_covered.contains(a))
+            });
+            let Some(next) = next else { break };
+            used[next.candidate] = true;
+            selected.push(next.candidate);
+            for &a in candidates[next.candidate].attrs() {
+                if !tree_covered.contains(&a) {
+                    tree_covered.push(a);
+                }
+            }
+        }
+    }
+    selected
+}
+
+/// The random baseline of Fig. 15: pick `budget` candidates uniformly.
+pub fn random_selection<R: Rng>(
+    n_candidates: usize,
+    budget: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n_candidates).collect();
+    idx.shuffle(rng);
+    idx.truncate(budget.min(n_candidates));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::{all_aggregates_of_dim, AggregateResult};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use themis_data::paper_example::example_population;
+    use themis_data::{Domain, Relation, Schema};
+
+    /// Population with a strong X↔Y dependence and an independent Z.
+    fn correlated_population() -> Relation {
+        let schema = Schema::new(vec![
+            themis_data::Attribute::new("x", Domain::indexed("x", 2)),
+            themis_data::Attribute::new("y", Domain::indexed("y", 2)),
+            themis_data::Attribute::new("z", Domain::indexed("z", 2)),
+        ]);
+        let mut p = Relation::new(schema);
+        // X = Y always; Z alternates independently.
+        for i in 0..40 {
+            let x = (i / 2) % 2;
+            p.push_row(&[x, x, i % 2]);
+        }
+        p
+    }
+
+    #[test]
+    fn picks_the_dependent_pair_first() {
+        let p = correlated_population();
+        let attrs: Vec<AttrId> = p.schema().attr_ids().collect();
+        let candidates = all_aggregates_of_dim(&p, &attrs, 2);
+        let selected = select_tcherry(&candidates, 1);
+        assert_eq!(selected.len(), 1);
+        // The X-Y aggregate (index 0 in lexicographic subset order) has the
+        // highest information content.
+        assert_eq!(candidates[selected[0]].attrs(), &[AttrId(0), AttrId(1)]);
+    }
+
+    #[test]
+    fn respects_budget_and_avoids_duplicates() {
+        let p = example_population();
+        let attrs: Vec<AttrId> = p.schema().attr_ids().collect();
+        let candidates = all_aggregates_of_dim(&p, &attrs, 2);
+        for budget in 1..=3 {
+            let selected = select_tcherry(&candidates, budget);
+            assert_eq!(selected.len(), budget.min(candidates.len()));
+            let mut dedup = selected.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), selected.len(), "duplicate selection");
+        }
+    }
+
+    #[test]
+    fn one_dimensional_falls_back_to_entropy_ranking() {
+        let p = correlated_population();
+        let attrs: Vec<AttrId> = p.schema().attr_ids().collect();
+        let mut candidates = all_aggregates_of_dim(&p, &attrs, 1);
+        // Make X degenerate (all mass on one value) so its entropy is low.
+        candidates[0] = AggregateResult::from_groups(vec![AttrId(0)], vec![(vec![0], 40.0)]);
+        let selected = select_tcherry(&candidates, 2);
+        assert_eq!(selected.len(), 2);
+        assert!(!selected.contains(&0), "degenerate marginal should rank last");
+    }
+
+    #[test]
+    fn budget_beyond_coverage_starts_new_tree() {
+        let p = example_population();
+        let attrs: Vec<AttrId> = p.schema().attr_ids().collect();
+        let candidates = all_aggregates_of_dim(&p, &attrs, 2);
+        // 3 candidates cover all attributes quickly; budget 3 must still
+        // select all three (second tree).
+        let selected = select_tcherry(&candidates, 3);
+        assert_eq!(selected.len(), 3);
+    }
+
+    #[test]
+    fn random_selection_is_within_budget() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sel = random_selection(10, 4, &mut rng);
+        assert_eq!(sel.len(), 4);
+        let mut d = sel.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 4);
+        assert!(sel.iter().all(|&i| i < 10));
+        assert_eq!(random_selection(3, 10, &mut rng).len(), 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for aggregates, incidence matrices, and
+//! information measures.
+
+use proptest::prelude::*;
+use themis_aggregates::gamma::all_aggregates_of_dim;
+use themis_aggregates::info::{entropy, information_content};
+use themis_aggregates::{AggregateResult, AggregateSet, IncidenceMatrix};
+use themis_data::{AttrId, Attribute, Domain, Relation, Schema};
+
+fn random_relation(cards: &[usize], rows: &[Vec<u32>]) -> Relation {
+    let schema = Schema::new(
+        cards
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Attribute::new(format!("a{i}"), Domain::indexed(format!("a{i}"), c)))
+            .collect(),
+    );
+    let mut rel = Relation::new(schema);
+    for row in rows {
+        rel.push_row(row);
+    }
+    rel
+}
+
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    (prop::collection::vec(2usize..4, 2..4)).prop_flat_map(|cards| {
+        let row = cards.iter().map(|&c| 0u32..c as u32).collect::<Vec<_>>();
+        prop::collection::vec(row, 2..50).prop_map(move |rows| random_relation(&cards, &rows))
+    })
+}
+
+proptest! {
+    #[test]
+    fn aggregate_total_equals_relation_size(rel in relation_strategy()) {
+        let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+        for d in 1..=attrs.len().min(2) {
+            for agg in all_aggregates_of_dim(&rel, &attrs, d) {
+                prop_assert!((agg.total() - rel.len() as f64).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn marginalization_commutes(rel in relation_strategy()) {
+        // Marginalizing a joint aggregate equals computing the marginal
+        // directly, for every covered attribute.
+        let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+        let joint = AggregateResult::compute(&rel, &attrs[..2]);
+        for &a in &attrs[..2] {
+            let via_joint = joint.marginalize(&[a]);
+            let direct = AggregateResult::compute(&rel, &[a]);
+            prop_assert_eq!(via_joint, direct);
+        }
+    }
+
+    #[test]
+    fn incidence_rows_partition_the_sample(rel in relation_strategy()) {
+        // Within one aggregate, each sample row appears in exactly one
+        // group row (the groups partition the sample).
+        let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+        let set = AggregateSet::from_results(vec![AggregateResult::compute(&rel, &attrs[..1])]);
+        let inc = IncidenceMatrix::build(&rel, &set);
+        let mut seen = vec![0usize; rel.len()];
+        for row in inc.rows() {
+            for &c in &row.sample_rows {
+                seen[c as usize] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn incidence_targets_match_aggregate_counts(rel in relation_strategy()) {
+        let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+        let agg = AggregateResult::compute(&rel, &attrs[..2]);
+        let set = AggregateSet::from_results(vec![agg.clone()]);
+        let inc = IncidenceMatrix::build(&rel, &set);
+        // The relation IS the population here, so w = 1 satisfies all
+        // constraints exactly.
+        let w = vec![1.0; rel.len()];
+        prop_assert!(inc.max_relative_violation(&w) < 1e-12);
+    }
+
+    #[test]
+    fn entropy_is_bounded_by_log_support(rel in relation_strategy()) {
+        let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+        let agg = AggregateResult::compute(&rel, &attrs[..1]);
+        let h = entropy(&agg);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (agg.group_count() as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn information_content_is_nonnegative(rel in relation_strategy()) {
+        let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+        let agg = AggregateResult::compute(&rel, &attrs[..2]);
+        prop_assert!(information_content(&agg) >= -1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! BN learning ablations (DESIGN.md §5):
+//!
+//! 1. per-factor simplified constraint solving (§5.2) vs the naive joint
+//!    Eq. 2 solver — the reason the optimization exists,
+//! 2. trees (max_parents = 1) vs wider structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_bn::joint::learn_parameters_joint;
+use themis_bn::parameters::{learn_parameters, ParamOptions, ParamSource};
+use themis_bn::{learn_structure, StructureOptions, StructureSource};
+use themis_data::datasets::child::ChildNetwork;
+use themis_data::paper_example::{example_population, example_sample};
+use themis_data::sampling::SampleSpec;
+use themis_data::AttrId;
+
+/// §5.2 ablation on the paper's 3-attribute example (the only size where
+/// the naive joint solver is even runnable).
+fn bench_simplified_vs_joint(c: &mut Criterion) {
+    let p = example_population();
+    let s = example_sample();
+    let aggs = AggregateSet::from_results(vec![
+        AggregateResult::compute(&p, &[AttrId(0)]),
+        AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]),
+    ]);
+    let parents = vec![vec![], vec![AttrId(0)], vec![AttrId(1)]];
+
+    let mut group = c.benchmark_group("eq2_simplification");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("per_factor_simplified", |b| {
+        b.iter(|| {
+            black_box(learn_parameters(
+                &s,
+                &aggs,
+                10.0,
+                parents.clone(),
+                ParamSource::Both,
+                &ParamOptions::default(),
+            ))
+        })
+    });
+    group.bench_function("naive_joint_100_sweeps", |b| {
+        b.iter(|| black_box(learn_parameters_joint(&s, &aggs, 10.0, parents.clone(), 100)))
+    });
+    group.finish();
+}
+
+/// Tree vs 2-parent structure learning cost on CHILD data.
+fn bench_max_parents(c: &mut Criterion) {
+    let child = ChildNetwork::new();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+    use rand::SeedableRng;
+    let pop = child.sample(10_000, &mut rng);
+    let sample = SampleSpec::uniform(0.1).draw(&pop, &mut rng);
+    let attrs: Vec<AttrId> = pop.schema().attr_ids().collect();
+    let aggs = AggregateSet::from_results(
+        attrs
+            .iter()
+            .take(8)
+            .map(|&a| AggregateResult::compute(&pop, &[a]))
+            .collect(),
+    );
+
+    let mut group = c.benchmark_group("structure_max_parents");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for max_parents in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_parents),
+            &max_parents,
+            |b, &mp| {
+                b.iter(|| {
+                    black_box(learn_structure(
+                        &sample,
+                        &aggs,
+                        10_000.0,
+                        StructureSource::Both,
+                        &StructureOptions { max_parents: mp, ..StructureOptions::default() },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplified_vs_joint, bench_max_parents);
+criterion_main!(benches);

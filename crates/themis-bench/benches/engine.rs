@@ -1,0 +1,60 @@
+//! Query-engine micro-benchmarks: weighted scans, group-by aggregation,
+//! and the hash self-join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use themis_data::datasets::flights::{FlightsConfig, FlightsDataset};
+use themis_query::Catalog;
+
+fn bench_engine(c: &mut Criterion) {
+    let dataset = FlightsDataset::generate(FlightsConfig {
+        n: 100_000,
+        ..Default::default()
+    });
+    let mut catalog = Catalog::new();
+    catalog.register("F", dataset.population.clone());
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    let cases = [
+        ("scalar_filter", "SELECT COUNT(*) FROM F WHERE origin_state = 'CA'"),
+        (
+            "group_by",
+            "SELECT origin_state, COUNT(*) FROM F GROUP BY origin_state",
+        ),
+        (
+            "group_by_avg_filtered",
+            "SELECT origin_state, AVG(elapsed_time) FROM F WHERE distance <= 5 GROUP BY origin_state",
+        ),
+    ];
+    for (name, sql) in cases {
+        group.bench_with_input(BenchmarkId::new("scan", name), &sql, |b, sql| {
+            b.iter(|| black_box(themis_query::run_sql(&catalog, sql).unwrap()))
+        });
+    }
+
+    // Self-join on a 10k subset (quadratic-ish output).
+    let rows: Vec<usize> = (0..10_000).collect();
+    let small = dataset.population.select_rows(&rows);
+    let mut join_catalog = Catalog::new();
+    join_catalog.register("F", small);
+    group.bench_function("self_join_10k", |b| {
+        b.iter(|| {
+            black_box(
+                themis_query::run_sql(
+                    &join_catalog,
+                    "SELECT t.origin_state, COUNT(*) FROM F t, F s \
+                     WHERE t.dest_state = s.origin_state AND t.dest_state IN ('CO', 'MN') \
+                     GROUP BY t.origin_state",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

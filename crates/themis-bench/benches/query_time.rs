@@ -1,0 +1,52 @@
+//! Criterion version of Table 7: point-query execution time for the
+//! reweighted sample (weighted scan) vs BN exact inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use themis_bench::methods::{answer_point, build_model, Method};
+use themis_bench::setup::{imdb_setup, Scale};
+use themis_bench::workload::{pick_point_queries, random_attr_sets, Hitter};
+use themis_bn::LearnMode;
+use themis_data::AttrId;
+
+fn bench_query_time(c: &mut Criterion) {
+    let scale = Scale {
+        imdb_n: 20_000,
+        imdb_names: 2_000,
+        ..Scale::from_env()
+    };
+    let setup = imdb_setup(&scale);
+    let n = setup.population.len() as f64;
+    let aggregates = setup.aggregates_2d_set(4);
+    let sample = &setup.samples[2].1; // SR159
+    let mut rng = SmallRng::seed_from_u64(7);
+    let all_attrs: Vec<AttrId> = setup.population.schema().attr_ids().collect();
+    let sets = random_attr_sets(&all_attrs, 3, 10, &mut rng);
+    let queries = pick_point_queries(&setup.population, &sets, Hitter::Random, 20, &mut rng);
+
+    let mut group = c.benchmark_group("table7_query_time");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (name, method) in [
+        ("RW", Method::Ipf),
+        ("BB", Method::Bn(LearnMode::BB)),
+        ("SS", Method::Bn(LearnMode::SS)),
+    ] {
+        let model = build_model(sample, &aggregates, n, method);
+        group.bench_with_input(BenchmarkId::new("point_queries", name), &model, |b, m| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for q in &queries {
+                    acc += answer_point(m, method, q);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_time);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Reweighter scaling: LinReg vs IPF as the sample grows. LinReg solves for
+//! m^{0/1} parameters, IPF for n_S — their scaling differs accordingly
+//! (§4.1: "linear regression is over constrained while IPF is under
+//! constrained").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_data::datasets::flights::{FlightsConfig, FlightsDataset};
+use themis_data::sampling::SampleSpec;
+use themis_reweight::{ipf_weights, linreg_weights, IpfOptions, LinRegOptions};
+
+fn bench_reweight_scaling(c: &mut Criterion) {
+    let dataset = FlightsDataset::generate(FlightsConfig {
+        n: 60_000,
+        ..Default::default()
+    });
+    let attrs = FlightsDataset::attrs();
+    let pop = &dataset.population;
+    let n = pop.len() as f64;
+    let aggregates = AggregateSet::from_results(vec![
+        AggregateResult::compute(pop, &[attrs.o]),
+        AggregateResult::compute(pop, &[attrs.o, attrs.de]),
+        AggregateResult::compute(pop, &[attrs.e, attrs.dt]),
+    ]);
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    let mut group = c.benchmark_group("reweight_scaling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for ns in [1_000usize, 4_000, 16_000] {
+        let sample = SampleSpec::uniform(ns as f64 / n).draw(pop, &mut rng);
+        group.bench_with_input(BenchmarkId::new("linreg", ns), &sample, |b, s| {
+            b.iter(|| black_box(linreg_weights(s, &aggregates, n, &LinRegOptions::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("ipf", ns), &sample, |b, s| {
+            b.iter(|| black_box(ipf_weights(s, &aggregates, &IpfOptions::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reweight_scaling);
+criterion_main!(benches);

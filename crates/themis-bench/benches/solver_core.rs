@@ -1,0 +1,69 @@
+//! Numeric-kernel micro-benchmarks: least squares, NNLS, simplex
+//! projection, and the constrained MLE.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+use themis_solver::constrained::{ConstrainedMle, LinearConstraint};
+use themis_solver::matrix::DenseMatrix;
+use themis_solver::{lstsq, nnls, project_simplex};
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut SmallRng) -> DenseMatrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    DenseMatrix::from_vec(rows, cols, data)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut group = c.benchmark_group("solver_core");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    for n in [16usize, 64] {
+        let a = random_matrix(4 * n, n, &mut rng);
+        let b: Vec<f64> = (0..4 * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        group.bench_with_input(BenchmarkId::new("lstsq", n), &(a.clone(), b.clone()), |be, (a, b)| {
+            be.iter(|| black_box(lstsq(a, b)))
+        });
+        group.bench_with_input(BenchmarkId::new("nnls", n), &(a, b), |be, (a, b)| {
+            be.iter(|| black_box(nnls(a, b)))
+        });
+    }
+
+    for n in [64usize, 1024] {
+        let v: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        group.bench_with_input(BenchmarkId::new("project_simplex", n), &v, |be, v| {
+            be.iter(|| {
+                let mut x = v.clone();
+                project_simplex(&mut x);
+                black_box(x)
+            })
+        });
+    }
+
+    // Constrained MLE shaped like a CPT factor: 12 parent configs × 20
+    // child values with 20 marginal constraints.
+    let configs = 12usize;
+    let card = 20usize;
+    let counts: Vec<f64> = (0..configs * card).map(|_| rng.gen_range(0.0..50.0)).collect();
+    let probs: Vec<f64> = {
+        let raw: Vec<f64> = (0..configs).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let s: f64 = raw.iter().sum();
+        raw.into_iter().map(|x| x / s).collect()
+    };
+    let constraints: Vec<LinearConstraint> = (0..card)
+        .map(|v| LinearConstraint {
+            terms: (0..configs).map(|k| (k * card + v, probs[k])).collect(),
+            rhs: 1.0 / card as f64,
+        })
+        .collect();
+    let problem = ConstrainedMle::new(vec![card; configs], counts, constraints);
+    group.bench_function("constrained_mle_12x20", |b| {
+        b.iter(|| black_box(problem.solve()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion version of Table 8: learning times (LinReg, IPF, BB structure
+//! and parameters) as aggregate knowledge grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use themis_bench::setup::{imdb_setup, Scale};
+use themis_bn::parameters::{learn_parameters, ParamOptions, ParamSource};
+use themis_bn::{learn_structure, StructureOptions, StructureSource};
+use themis_reweight::{ipf_weights, linreg_weights, IpfOptions, LinRegOptions};
+
+fn bench_solvers(c: &mut Criterion) {
+    let scale = Scale {
+        imdb_n: 20_000,
+        imdb_names: 2_000,
+        ..Scale::from_env()
+    };
+    let setup = imdb_setup(&scale);
+    let n = setup.population.len() as f64;
+    let sample = &setup.samples[2].1; // SR159
+
+    let mut group = c.benchmark_group("table8_solver_time");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for b in [1usize, 4] {
+        let aggs = setup.aggregates_1d_plus(2, b);
+        group.bench_with_input(BenchmarkId::new("linreg", b), &aggs, |bench, aggs| {
+            bench.iter(|| black_box(linreg_weights(sample, aggs, n, &LinRegOptions::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("ipf", b), &aggs, |bench, aggs| {
+            bench.iter(|| black_box(ipf_weights(sample, aggs, &IpfOptions::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("bb_structure", b), &aggs, |bench, aggs| {
+            bench.iter(|| {
+                black_box(learn_structure(
+                    sample,
+                    aggs,
+                    n,
+                    StructureSource::Both,
+                    &StructureOptions::default(),
+                ))
+            })
+        });
+        let parents = learn_structure(
+            sample,
+            &aggs,
+            n,
+            StructureSource::Both,
+            &StructureOptions::default(),
+        );
+        group.bench_with_input(BenchmarkId::new("bb_parameters", b), &aggs, |bench, aggs| {
+            bench.iter(|| {
+                black_box(learn_parameters(
+                    sample,
+                    aggs,
+                    n,
+                    parents.clone(),
+                    ParamSource::Both,
+                    &ParamOptions::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

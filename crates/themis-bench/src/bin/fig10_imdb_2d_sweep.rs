@@ -1,0 +1,47 @@
+//! Fig. 10: average percent difference on IMDB SR159 and GB as 2-D
+//! aggregates are added after the five 1-D marginals.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_bench::methods::{average_error, Method};
+use themis_bench::report::{banner, f, table};
+use themis_bench::setup::{imdb_setup, Scale};
+use themis_bench::workload::{pick_point_queries, random_attr_sets, Hitter};
+use themis_data::AttrId;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig. 10",
+        "IMDB: adding 2D aggregates after the 5 1D marginals",
+    );
+    let setup = imdb_setup(&scale);
+    let n = setup.population.len() as f64;
+    let all_attrs: Vec<AttrId> = setup.population.schema().attr_ids().collect();
+    let mut rng = SmallRng::seed_from_u64(10);
+    let sets = random_attr_sets(&all_attrs, 3, 20, &mut rng);
+    let queries = pick_point_queries(
+        &setup.population,
+        &sets,
+        Hitter::Random,
+        scale.queries,
+        &mut rng,
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (sample_name, sample) in setup
+        .samples
+        .iter()
+        .filter(|(name, _)| *name == "SR159" || *name == "GB")
+    {
+        for b in 0..=4usize {
+            let aggs = setup.aggregates_1d_plus(2, b);
+            let mut row = vec![(*sample_name).to_string(), b.to_string()];
+            for method in Method::HEADLINE {
+                row.push(f(average_error(sample, &aggs, n, method, &queries)));
+            }
+            rows.push(row);
+        }
+    }
+    table(&["sample", "2D B", "AQP", "IPF", "BB", "Hybrid"], &rows);
+}

@@ -1,0 +1,53 @@
+//! Fig. 11: average percent difference on Flights SCorners and June as 3-D
+//! aggregates are added after the five 1-D marginals, with the 4-2D hybrid
+//! error as a reference line (3-D knowledge converges faster).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_bench::methods::{average_error, Method};
+use themis_bench::report::{banner, f, table};
+use themis_bench::setup::{flights_setup, Scale};
+use themis_bench::workload::{attr_subsets, pick_point_queries, Hitter};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig. 11",
+        "Flights: adding 3D aggregates after the 5 1D marginals",
+    );
+    let setup = flights_setup(&scale);
+    let n = setup.population.len() as f64;
+    let sets = attr_subsets(&setup.aggregate_attrs, 2..=4);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let queries = pick_point_queries(
+        &setup.population,
+        &sets,
+        Hitter::Random,
+        scale.queries,
+        &mut rng,
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (sample_name, sample) in setup
+        .samples
+        .iter()
+        .filter(|(name, _)| *name == "SCorners" || *name == "June")
+    {
+        // Reference: hybrid with 5 1D + 4 2D aggregates.
+        let ref_aggs = setup.aggregates_1d_plus(2, 4);
+        let ref_err = average_error(sample, &ref_aggs, n, Method::Hybrid, &queries);
+        for b in 0..=4usize {
+            let aggs = setup.aggregates_1d_plus(3, b);
+            let mut row = vec![(*sample_name).to_string(), b.to_string()];
+            for method in Method::HEADLINE {
+                row.push(f(average_error(sample, &aggs, n, method, &queries)));
+            }
+            row.push(f(ref_err));
+            rows.push(row);
+        }
+    }
+    table(
+        &["sample", "3D B", "AQP", "IPF", "BB", "Hybrid", "4-2D ref"],
+        &rows,
+    );
+}

@@ -1,0 +1,59 @@
+//! Fig. 13: the five Bayesian-network learning modes (SS, SB, BS, AB, BB)
+//! on Flights SCorners, heavy- and light-hitter queries, as 2-D aggregates
+//! are added after the five 1-D marginals. Using both sources matters more
+//! for parameter learning than structure learning; BB wins overall.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_bench::methods::{average_error, Method};
+use themis_bench::report::{banner, f, table};
+use themis_bench::setup::{flights_setup, Scale};
+use themis_bench::workload::{attr_subsets, pick_point_queries, Hitter};
+use themis_bn::LearnMode;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig. 13",
+        "BN modes SS/SB/BS/AB/BB on SCorners, heavy & light hitters",
+    );
+    let setup = flights_setup(&scale);
+    let n = setup.population.len() as f64;
+    let sets = attr_subsets(&setup.aggregate_attrs, 2..=4);
+    let sample = &setup
+        .samples
+        .iter()
+        .find(|(name, _)| *name == "SCorners")
+        .expect("SCorners sample")
+        .1;
+    let mut rng = SmallRng::seed_from_u64(13);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for hitter in [Hitter::Heavy, Hitter::Light] {
+        let queries = pick_point_queries(
+            &setup.population,
+            &sets,
+            hitter,
+            scale.queries,
+            &mut rng,
+        );
+        for b in 0..=4usize {
+            let aggs = setup.aggregates_1d_plus(2, b);
+            let mut row = vec![hitter.name().to_string(), b.to_string()];
+            for mode in LearnMode::ALL {
+                row.push(f(average_error(
+                    sample,
+                    &aggs,
+                    n,
+                    Method::Bn(mode),
+                    &queries,
+                )));
+            }
+            rows.push(row);
+        }
+    }
+    table(
+        &["hitters", "2D B", "SS", "SB", "BS", "AB", "BB"],
+        &rows,
+    );
+}

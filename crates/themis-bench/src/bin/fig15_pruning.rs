@@ -1,0 +1,103 @@
+//! Fig. 15: pruning effectiveness on the CHILD dataset. With full 1-D
+//! aggregates plus 5–65 2-D aggregates chosen either by the t-cherry
+//! pruning technique (Prune) or uniformly at random (Rand), compare the AB
+//! and BB modes against the error of the *true* network (OPT).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_aggregates::gamma::all_aggregates_of_dim;
+use themis_aggregates::{random_selection, select_tcherry, AggregateResult, AggregateSet};
+use themis_bench::methods::{average_error, Method};
+use themis_bench::report::{banner, f, table};
+use themis_bench::setup::Scale;
+use themis_bench::workload::{pick_point_queries, random_attr_sets, Hitter, PointQuery};
+use themis_bn::{point_probability, BayesianNetwork, Cpt, LearnMode};
+use themis_core::metrics::percent_difference;
+use themis_data::datasets::child::ChildNetwork;
+use themis_data::sampling::SampleSpec;
+use themis_data::AttrId;
+
+/// Convert the ground-truth CHILD network into a `themis-bn` network for
+/// exact OPT inference.
+fn child_as_bn(child: &ChildNetwork) -> BayesianNetwork {
+    let schema = child.schema();
+    let parents: Vec<Vec<AttrId>> = child
+        .nodes
+        .iter()
+        .map(|n| n.parents.iter().map(|&p| AttrId(p)).collect())
+        .collect();
+    let cpts: Vec<Cpt> = child
+        .nodes
+        .iter()
+        .map(|n| Cpt {
+            card: n.card,
+            parent_cards: n.parents.iter().map(|&p| child.nodes[p].card).collect(),
+            table: n.cpt.clone(),
+        })
+        .collect();
+    BayesianNetwork::new(schema, parents, cpts)
+}
+
+fn opt_error(truth_net: &BayesianNetwork, n: f64, queries: &[PointQuery]) -> f64 {
+    let errors: Vec<f64> = queries
+        .iter()
+        .map(|q| {
+            let est = n * point_probability(truth_net, &q.attrs, &q.values);
+            percent_difference(q.truth, est)
+        })
+        .collect();
+    errors.iter().sum::<f64>() / errors.len().max(1) as f64
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig. 15",
+        "pruning (Prune vs Rand × AB vs BB) on CHILD with full 1D aggregates",
+    );
+    let child = ChildNetwork::new();
+    let mut rng = SmallRng::seed_from_u64(15);
+    let population = child.sample(scale.child_n, &mut rng);
+    let n = population.len() as f64;
+    let sample = SampleSpec::uniform(0.1).draw(&population, &mut rng);
+    let attrs: Vec<AttrId> = population.schema().attr_ids().collect();
+
+    // Query workload: random point queries over random attribute sets of
+    // sizes 2 and 4 (a compact stand-in for the paper's 2/4/6/8/10 sweep).
+    let mut sets = random_attr_sets(&attrs, 2, 6, &mut rng);
+    sets.extend(random_attr_sets(&attrs, 4, 4, &mut rng));
+    let queries = pick_point_queries(&population, &sets, Hitter::Random, scale.queries, &mut rng);
+
+    // Aggregate menus.
+    let ones: Vec<AggregateResult> = attrs
+        .iter()
+        .map(|&a| AggregateResult::compute(&population, &[a]))
+        .collect();
+    let candidates = all_aggregates_of_dim(&population, &attrs, 2);
+    let prune_order = select_tcherry(&candidates, candidates.len());
+    let rand_order = random_selection(candidates.len(), candidates.len(), &mut rng);
+
+    let truth_net = child_as_bn(&child);
+    let opt = opt_error(&truth_net, n, &queries);
+    println!("OPT (true-network) average percent difference: {}", f(opt));
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for b in [5usize, 15, 25, 35, 45, 55, 65] {
+        let mut row = vec![b.to_string()];
+        for (strategy, order) in [("Prune", &prune_order), ("Rand", &rand_order)] {
+            let mut results = ones.clone();
+            results.extend(order.iter().take(b).map(|&i| candidates[i].clone()));
+            let aggs = AggregateSet::from_results(results);
+            for mode in [LearnMode::AB, LearnMode::BB] {
+                let err = average_error(&sample, &aggs, n, Method::Bn(mode), &queries);
+                row.push(f(err));
+            }
+            let _ = strategy;
+        }
+        rows.push(row);
+    }
+    table(
+        &["2D B", "PruneAB", "PruneBB", "RandAB", "RandBB"],
+        &rows,
+    );
+}

@@ -1,0 +1,67 @@
+//! Fig. 16: average percent difference versus total solver time for IPF and
+//! BB on IMDB SR159 across aggregate configurations (1–5 1D marginals, then
+//! all 1D plus 1–4 2D aggregates). IPF is almost always faster to solve;
+//! BB reaches lower error.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use themis_bench::methods::{build_model, eval_point_queries, Method};
+use themis_bench::report::{banner, f, table};
+use themis_bench::setup::{imdb_setup, Scale};
+use themis_bench::workload::{pick_point_queries, random_attr_sets, Hitter};
+use themis_bn::LearnMode;
+use themis_data::AttrId;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig. 16",
+        "error vs total solver time (IPF and BB on SR159)",
+    );
+    let setup = imdb_setup(&scale);
+    let n = setup.population.len() as f64;
+    let all_attrs: Vec<AttrId> = setup.population.schema().attr_ids().collect();
+    let sample = &setup
+        .samples
+        .iter()
+        .find(|(name, _)| *name == "SR159")
+        .expect("SR159 sample")
+        .1;
+    let mut rng = SmallRng::seed_from_u64(16);
+    let sets = random_attr_sets(&all_attrs, 3, 20, &mut rng);
+    let queries = pick_point_queries(
+        &setup.population,
+        &sets,
+        Hitter::Random,
+        scale.queries,
+        &mut rng,
+    );
+
+    // Aggregate configurations: growing 1D, then full 1D plus growing 2D.
+    let mut configs: Vec<(String, themis_aggregates::AggregateSet)> = Vec::new();
+    for b in 1..=5usize {
+        configs.push((format!("{b} 1D"), setup.aggregates_1d_set(b, false)));
+    }
+    for b in 1..=4usize {
+        configs.push((format!("5 1D + {b} 2D"), setup.aggregates_1d_plus(2, b)));
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (label, aggs) in &configs {
+        for method in [Method::Ipf, Method::Bn(LearnMode::BB)] {
+            let start = Instant::now();
+            let model = build_model(sample, aggs, n, method);
+            let solve_secs = start.elapsed().as_secs_f64();
+            let errors = eval_point_queries(&model, method, &queries);
+            let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+            rows.push(vec![
+                method.name().into(),
+                label.clone(),
+                format!("{solve_secs:.3}"),
+                f(avg),
+            ]);
+        }
+    }
+    table(&["method", "aggregates", "solver time (s)", "avg perc diff"], &rows);
+}

@@ -1,0 +1,91 @@
+//! Fig. 3 + Table 4: heavy- and light-hitter point-query percent difference
+//! for the four Flights samples (Unif, June, SCorners, Corners) with B = 4
+//! 2-D aggregates, comparing AQP, IPF, BB, and Hybrid; Table 4 reports the
+//! percentile improvement of Hybrid over AQP.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_bench::methods::{build_model, eval_point_queries, Method};
+use themis_bench::report::{banner, f, summarize, table, Summary};
+use themis_bench::setup::{flights_setup, Scale};
+use themis_bench::workload::{attr_subsets, pick_point_queries, Hitter};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig. 3 / Table 4",
+        "Flights heavy & light hitter percent difference (B = 4 2D aggregates)",
+    );
+    let setup = flights_setup(&scale);
+    let aggregates = setup.aggregates_2d_set(4);
+    let sets = attr_subsets(&setup.aggregate_attrs, 2..=4);
+    let mut rng = SmallRng::seed_from_u64(3);
+
+    let mut fig_rows: Vec<Vec<String>> = Vec::new();
+    let mut table4: Vec<Vec<String>> = Vec::new();
+    for hitter in [Hitter::Heavy, Hitter::Light] {
+        for (sample_name, sample) in &setup.samples {
+            let queries = pick_point_queries(
+                &setup.population,
+                &sets,
+                hitter,
+                scale.queries,
+                &mut rng,
+            );
+            let mut summaries: Vec<(Method, Summary)> = Vec::new();
+            for method in Method::HEADLINE {
+                let model = build_model(
+                    sample,
+                    &aggregates,
+                    setup.population.len() as f64,
+                    method,
+                );
+                let errors = eval_point_queries(&model, method, &queries);
+                let s = summarize(&errors);
+                fig_rows.push(vec![
+                    hitter.name().into(),
+                    (*sample_name).into(),
+                    method.name().into(),
+                    f(s.p25),
+                    f(s.p50),
+                    f(s.p75),
+                    f(s.mean),
+                ]);
+                summaries.push((method, s));
+            }
+            // Table 4: improvement of hybrid over AQP per percentile.
+            let aqp = summaries
+                .iter()
+                .find(|(m, _)| *m == Method::Aqp)
+                .expect("AQP in headline")
+                .1;
+            let hyb = summaries
+                .iter()
+                .find(|(m, _)| *m == Method::Hybrid)
+                .expect("Hybrid in headline")
+                .1;
+            let improvement = |a: f64, h: f64| {
+                if h == 0.0 {
+                    f64::INFINITY
+                } else {
+                    (a - h) / h
+                }
+            };
+            table4.push(vec![
+                hitter.name().into(),
+                (*sample_name).into(),
+                f(improvement(aqp.p25, hyb.p25)),
+                f(improvement(aqp.p50, hyb.p50)),
+                f(improvement(aqp.p75, hyb.p75)),
+            ]);
+        }
+    }
+
+    println!("\nFig. 3 — percent-difference distribution per sample and method:");
+    table(
+        &["hitters", "sample", "method", "p25", "p50", "p75", "mean"],
+        &fig_rows,
+    );
+    println!("\nTable 4 — improvement of Hybrid over AQP ((AQP − Hybrid)/Hybrid) per percentile:");
+    table(&["hitters", "sample", "p25", "p50", "p75"], &table4);
+}

@@ -1,0 +1,61 @@
+//! Fig. 4: heavy- and light-hitter point-query percent difference for the
+//! four IMDB samples (Unif, GB, SR159, R159) with B = 4 2-D aggregates.
+//! IMDB queries use 20 random 3-D attribute sets over *all* attributes
+//! (including the dense `name`), per §6.3.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_bench::methods::{build_model, eval_point_queries, Method};
+use themis_bench::report::{banner, f, summarize, table};
+use themis_bench::setup::{imdb_setup, Scale};
+use themis_bench::workload::{pick_point_queries, random_attr_sets, Hitter};
+use themis_data::AttrId;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig. 4",
+        "IMDB heavy & light hitter percent difference (B = 4 2D aggregates)",
+    );
+    let setup = imdb_setup(&scale);
+    let aggregates = setup.aggregates_2d_set(4);
+    let all_attrs: Vec<AttrId> = setup.population.schema().attr_ids().collect();
+    let mut rng = SmallRng::seed_from_u64(4);
+    let sets = random_attr_sets(&all_attrs, 3, 20, &mut rng);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for hitter in [Hitter::Heavy, Hitter::Light] {
+        for (sample_name, sample) in &setup.samples {
+            let queries = pick_point_queries(
+                &setup.population,
+                &sets,
+                hitter,
+                scale.queries,
+                &mut rng,
+            );
+            for method in Method::HEADLINE {
+                let model = build_model(
+                    sample,
+                    &aggregates,
+                    setup.population.len() as f64,
+                    method,
+                );
+                let errors = eval_point_queries(&model, method, &queries);
+                let s = summarize(&errors);
+                rows.push(vec![
+                    hitter.name().into(),
+                    (*sample_name).into(),
+                    method.name().into(),
+                    f(s.p25),
+                    f(s.p50),
+                    f(s.p75),
+                    f(s.mean),
+                ]);
+            }
+        }
+    }
+    table(
+        &["hitters", "sample", "method", "p25", "p50", "p75", "mean"],
+        &rows,
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig. 7: average percent difference on Flights SCorners and June as 1-D
+//! aggregates are added in order A (F, O, DE, E, DT) and order B (reverse).
+//! The big accuracy jump lands when the bias-inducing attribute's marginal
+//! arrives (O for SCorners, F for June).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_bench::methods::{average_error, Method};
+use themis_bench::report::{banner, f, table};
+use themis_bench::setup::{flights_setup, Scale};
+use themis_bench::workload::{attr_subsets, pick_point_queries, Hitter};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig. 7",
+        "Flights: adding 1D aggregates in order A and order B",
+    );
+    let setup = flights_setup(&scale);
+    let n = setup.population.len() as f64;
+    let sets = attr_subsets(&setup.aggregate_attrs, 2..=4);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let queries = pick_point_queries(
+        &setup.population,
+        &sets,
+        Hitter::Random,
+        scale.queries,
+        &mut rng,
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (sample_name, sample) in setup
+        .samples
+        .iter()
+        .filter(|(name, _)| *name == "SCorners" || *name == "June")
+    {
+        for (order_name, reverse) in [("A", false), ("B", true)] {
+            for b in 1..=5usize {
+                let aggs = setup.aggregates_1d_set(b, reverse);
+                let mut row = vec![
+                    (*sample_name).to_string(),
+                    order_name.to_string(),
+                    b.to_string(),
+                ];
+                for method in Method::HEADLINE {
+                    row.push(f(average_error(sample, &aggs, n, method, &queries)));
+                }
+                rows.push(row);
+            }
+        }
+    }
+    table(
+        &["sample", "order", "1D B", "AQP", "IPF", "BB", "Hybrid"],
+        &rows,
+    );
+}

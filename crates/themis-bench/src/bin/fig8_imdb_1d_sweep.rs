@@ -1,0 +1,56 @@
+//! Fig. 8: average percent difference on IMDB SR159 and GB as 1-D
+//! aggregates are added in order A (MY, MC, G, RG, RT) and order B
+//! (reverse). The jump lands when the bias attribute arrives (RG for
+//! SR159, MC for GB), less pronounced than Flights because the aggregates
+//! do not cover all attributes.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_bench::methods::{average_error, Method};
+use themis_bench::report::{banner, f, table};
+use themis_bench::setup::{imdb_setup, Scale};
+use themis_bench::workload::{pick_point_queries, random_attr_sets, Hitter};
+use themis_data::AttrId;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 8", "IMDB: adding 1D aggregates in order A and order B");
+    let setup = imdb_setup(&scale);
+    let n = setup.population.len() as f64;
+    let all_attrs: Vec<AttrId> = setup.population.schema().attr_ids().collect();
+    let mut rng = SmallRng::seed_from_u64(8);
+    let sets = random_attr_sets(&all_attrs, 3, 20, &mut rng);
+    let queries = pick_point_queries(
+        &setup.population,
+        &sets,
+        Hitter::Random,
+        scale.queries,
+        &mut rng,
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (sample_name, sample) in setup
+        .samples
+        .iter()
+        .filter(|(name, _)| *name == "SR159" || *name == "GB")
+    {
+        for (order_name, reverse) in [("A", false), ("B", true)] {
+            for b in 1..=5usize {
+                let aggs = setup.aggregates_1d_set(b, reverse);
+                let mut row = vec![
+                    (*sample_name).to_string(),
+                    order_name.to_string(),
+                    b.to_string(),
+                ];
+                for method in Method::HEADLINE {
+                    row.push(f(average_error(sample, &aggs, n, method, &queries)));
+                }
+                rows.push(row);
+            }
+        }
+    }
+    table(
+        &["sample", "order", "1D B", "AQP", "IPF", "BB", "Hybrid"],
+        &rows,
+    );
+}

@@ -1,0 +1,46 @@
+//! Fig. 9: average percent difference on Flights SCorners and June as 2-D
+//! aggregates are added (after all five 1-D marginals). BB improves most
+//! with more aggregates, with diminishing returns past two.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_bench::methods::{average_error, Method};
+use themis_bench::report::{banner, f, table};
+use themis_bench::setup::{flights_setup, Scale};
+use themis_bench::workload::{attr_subsets, pick_point_queries, Hitter};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig. 9",
+        "Flights: adding 2D aggregates after the 5 1D marginals",
+    );
+    let setup = flights_setup(&scale);
+    let n = setup.population.len() as f64;
+    let sets = attr_subsets(&setup.aggregate_attrs, 2..=4);
+    let mut rng = SmallRng::seed_from_u64(9);
+    let queries = pick_point_queries(
+        &setup.population,
+        &sets,
+        Hitter::Random,
+        scale.queries,
+        &mut rng,
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (sample_name, sample) in setup
+        .samples
+        .iter()
+        .filter(|(name, _)| *name == "SCorners" || *name == "June")
+    {
+        for b in 0..=4usize {
+            let aggs = setup.aggregates_1d_plus(2, b);
+            let mut row = vec![(*sample_name).to_string(), b.to_string()];
+            for method in Method::HEADLINE {
+                row.push(f(average_error(sample, &aggs, n, method, &queries)));
+            }
+            rows.push(row);
+        }
+    }
+    table(&["sample", "2D B", "AQP", "IPF", "BB", "Hybrid"], &rows);
+}

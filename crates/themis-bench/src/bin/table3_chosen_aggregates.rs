@@ -1,0 +1,31 @@
+//! Table 3: the 2-D and 3-D aggregates chosen by the t-cherry pruning
+//! technique for Flights and IMDB (budget B = 4).
+
+use themis_bench::report::{banner, table};
+use themis_bench::setup::{flights_setup, imdb_setup, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table 3", "aggregate attributes chosen by the pruning technique");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for setup in [flights_setup(&scale), imdb_setup(&scale)] {
+        let schema = setup.population.schema().clone();
+        for (d, menu) in [(2usize, &setup.aggregates_2d), (3, &setup.aggregates_3d)] {
+            for (b, agg) in menu.iter().enumerate() {
+                let names: Vec<&str> = agg
+                    .attrs()
+                    .iter()
+                    .map(|&a| schema.attr(a).name())
+                    .collect();
+                rows.push(vec![
+                    setup.name.to_string(),
+                    d.to_string(),
+                    (b + 1).to_string(),
+                    names.join(" & "),
+                ]);
+            }
+        }
+    }
+    table(&["Dataset", "d", "B", "Attributes"], &rows);
+}

@@ -1,0 +1,19 @@
+//! # themis-bench
+//!
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§6). Each table/figure has a dedicated binary in `src/bin/`
+//! (see DESIGN.md §4 for the index); timing tables additionally have
+//! Criterion benches under `benches/`.
+//!
+//! The harness runs at a laptop-friendly scale by default; set
+//! `THEMIS_SCALE=paper` to run at the paper's population sizes and query
+//! counts.
+
+pub mod methods;
+pub mod report;
+pub mod setup;
+pub mod workload;
+
+pub use methods::{answer_point, build_model, Method};
+pub use setup::{flights_setup, imdb_setup, Scale};
+pub use workload::{pick_point_queries, Hitter, PointQuery};

@@ -1,0 +1,174 @@
+//! The compared methods: AQP, LinReg, IPF, the BN modes, and the hybrid.
+
+use themis_aggregates::AggregateSet;
+use themis_bn::LearnMode;
+use themis_core::{percent_difference, ReweightMethod, Themis, ThemisConfig};
+use themis_data::Relation;
+
+use crate::workload::PointQuery;
+
+/// A compared method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Default AQP: uniform reweighting.
+    Aqp,
+    /// Linear-regression reweighting.
+    LinReg,
+    /// IPF reweighting.
+    Ipf,
+    /// A Bayesian network alone (answers by inference / generation).
+    Bn(LearnMode),
+    /// Themis' hybrid (IPF + BB by default).
+    Hybrid,
+}
+
+impl Method {
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Aqp => "AQP",
+            Method::LinReg => "LinReg",
+            Method::Ipf => "IPF",
+            Method::Bn(mode) => mode.name(),
+            Method::Hybrid => "Hybrid",
+        }
+    }
+
+    /// The four methods of the headline comparison (Figs. 3–6).
+    pub const HEADLINE: [Method; 4] = [
+        Method::Aqp,
+        Method::Ipf,
+        Method::Bn(LearnMode::BB),
+        Method::Hybrid,
+    ];
+}
+
+/// Build a [`Themis`] model configured to behave as `method`.
+pub fn build_model(
+    sample: &Relation,
+    aggregates: &AggregateSet,
+    population_size: f64,
+    method: Method,
+) -> Themis {
+    let config = match method {
+        Method::Aqp => ThemisConfig {
+            reweighting: ReweightMethod::Uniform,
+            bn_mode: None,
+            ..ThemisConfig::default()
+        },
+        Method::LinReg => ThemisConfig {
+            reweighting: ReweightMethod::LinReg(Default::default()),
+            bn_mode: None,
+            ..ThemisConfig::default()
+        },
+        Method::Ipf => ThemisConfig {
+            reweighting: ReweightMethod::Ipf(Default::default()),
+            bn_mode: None,
+            ..ThemisConfig::default()
+        },
+        Method::Bn(mode) => ThemisConfig {
+            // The reweighted sample is unused for pure-BN answering, but
+            // uniform keeps build cost minimal.
+            reweighting: ReweightMethod::Uniform,
+            bn_mode: Some(mode),
+            ..ThemisConfig::default()
+        },
+        Method::Hybrid => ThemisConfig::default(),
+    };
+    Themis::build(sample.clone(), aggregates.clone(), population_size, config)
+}
+
+/// Answer one point query with the method's answering rule.
+pub fn answer_point(model: &Themis, method: Method, query: &PointQuery) -> f64 {
+    match method {
+        Method::Aqp | Method::LinReg | Method::Ipf => {
+            model.point_query_sample(&query.attrs, &query.values)
+        }
+        Method::Bn(_) => model.point_query_bn(&query.attrs, &query.values),
+        Method::Hybrid => model.point_query(&query.attrs, &query.values),
+    }
+}
+
+/// Percent differences of a method over a query workload.
+pub fn eval_point_queries(model: &Themis, method: Method, queries: &[PointQuery]) -> Vec<f64> {
+    queries
+        .iter()
+        .map(|q| percent_difference(q.truth, answer_point(model, method, q)))
+        .collect()
+}
+
+/// Build a model and return its average percent difference over a workload
+/// — the unit of work of the aggregate-knowledge sweeps (Figs. 7–12).
+pub fn average_error(
+    sample: &Relation,
+    aggregates: &AggregateSet,
+    population_size: f64,
+    method: Method,
+    queries: &[PointQuery],
+) -> f64 {
+    let model = build_model(sample, aggregates, population_size, method);
+    let errors = eval_point_queries(&model, method, queries);
+    errors.iter().sum::<f64>() / errors.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_aggregates::AggregateResult;
+    use themis_data::paper_example::{example_population, example_sample};
+    use themis_data::AttrId;
+
+    fn setup() -> (Relation, AggregateSet) {
+        let p = example_population();
+        let set = AggregateSet::from_results(vec![
+            AggregateResult::compute(&p, &[AttrId(0)]),
+            AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]),
+        ]);
+        (p, set)
+    }
+
+    #[test]
+    fn all_methods_build_and_answer() {
+        let (p, set) = setup();
+        let s = example_sample();
+        let q = PointQuery {
+            attrs: vec![AttrId(0)],
+            values: vec![0],
+            truth: p.point_count(&[AttrId(0)], &[0]),
+        };
+        for method in [
+            Method::Aqp,
+            Method::LinReg,
+            Method::Ipf,
+            Method::Bn(LearnMode::BB),
+            Method::Hybrid,
+        ] {
+            let model = build_model(&s, &set, 10.0, method);
+            let est = answer_point(&model, method, &q);
+            assert!(est.is_finite() && est >= 0.0, "{}: {est}", method.name());
+        }
+    }
+
+    #[test]
+    fn ipf_beats_aqp_on_biased_sample() {
+        let (p, set) = setup();
+        let s = example_sample(); // biased towards date=01
+        let queries = vec![
+            PointQuery {
+                attrs: vec![AttrId(0)],
+                values: vec![0],
+                truth: p.point_count(&[AttrId(0)], &[0]),
+            },
+            PointQuery {
+                attrs: vec![AttrId(0)],
+                values: vec![1],
+                truth: p.point_count(&[AttrId(0)], &[1]),
+            },
+        ];
+        let aqp = build_model(&s, &set, 10.0, Method::Aqp);
+        let ipf = build_model(&s, &set, 10.0, Method::Ipf);
+        let e_aqp: f64 = eval_point_queries(&aqp, Method::Aqp, &queries).iter().sum();
+        let e_ipf: f64 = eval_point_queries(&ipf, Method::Ipf, &queries).iter().sum();
+        assert!(e_ipf < e_aqp, "IPF {e_ipf} should beat AQP {e_aqp}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Console table / series formatting for the experiment binaries.
+
+/// Print a header banner naming the experiment and the paper artifact it
+/// regenerates.
+pub fn banner(artifact: &str, description: &str) {
+    println!("==========================================================");
+    println!("{artifact}: {description}");
+    println!("==========================================================");
+}
+
+/// Print a table: header row then aligned data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format a float with fixed precision.
+pub fn f(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Summary statistics of an error distribution, matching the boxplot views
+/// in the paper's figures.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Mean (the black X of Figs. 3–4).
+    pub mean: f64,
+}
+
+/// Compute [`Summary`] over percent differences.
+pub fn summarize(errors: &[f64]) -> Summary {
+    let mean = errors.iter().sum::<f64>() / errors.len().max(1) as f64;
+    Summary {
+        p25: themis_core::metrics::percentile(errors, 25.0),
+        p50: themis_core::metrics::percentile(errors, 50.0),
+        p75: themis_core::metrics::percentile(errors, 75.0),
+        mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_orders_percentiles() {
+        let errors: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = summarize(&errors);
+        assert!(s.p25 < s.p50 && s.p50 < s.p75);
+        assert!((s.mean - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatting_is_compact() {
+        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(12345.6), "12346");
+        assert_eq!(f(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,229 @@
+//! Dataset / sample / aggregate setups shared by the experiment binaries.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_aggregates::gamma::all_aggregates_of_dim;
+use themis_aggregates::{select_tcherry, AggregateResult, AggregateSet};
+use themis_data::datasets::flights::{FlightsConfig, FlightsDataset};
+use themis_data::datasets::imdb::{ImdbConfig, ImdbDataset};
+use themis_data::{AttrId, Relation};
+
+/// Experiment scale. The default (`quick`) finishes every binary in
+/// seconds-to-minutes on a laptop; `paper` uses the paper's sizes.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Flights population size.
+    pub flights_n: usize,
+    /// IMDB population size.
+    pub imdb_n: usize,
+    /// IMDB dense-name domain size.
+    pub imdb_names: usize,
+    /// CHILD population size.
+    pub child_n: usize,
+    /// Point queries per hitter class.
+    pub queries: usize,
+    /// Replicate BN sample size for GROUP BY answering.
+    pub bn_sample_size: usize,
+}
+
+impl Scale {
+    /// Read the scale from the `THEMIS_SCALE` environment variable
+    /// (`quick` default, `paper` for full size).
+    pub fn from_env() -> Self {
+        match std::env::var("THEMIS_SCALE").as_deref() {
+            Ok("paper") => Scale {
+                flights_n: 500_000,
+                imdb_n: 200_000,
+                imdb_names: 20_000,
+                child_n: 20_000,
+                queries: 100,
+                bn_sample_size: 50_000,
+            },
+            _ => Scale {
+                flights_n: 60_000,
+                imdb_n: 40_000,
+                imdb_names: 4_000,
+                child_n: 20_000,
+                queries: 60,
+                bn_sample_size: 20_000,
+            },
+        }
+    }
+}
+
+/// A prepared dataset: population, named biased samples, and the aggregate
+/// menus (all 1D marginals plus the pruning-selected 2D and 3D aggregates).
+pub struct ExperimentSetup {
+    /// Dataset label (`Flights` / `IMDB`).
+    pub name: &'static str,
+    /// The population `P` (held only to compute ground truth).
+    pub population: Relation,
+    /// `(sample name, sample)` pairs in the paper's presentation order.
+    pub samples: Vec<(&'static str, Relation)>,
+    /// 1-D aggregates in "order A" (the paper's Figs. 7–8 attribute order).
+    pub aggregates_1d: Vec<AggregateResult>,
+    /// Pruning-selected 2-D aggregates (Table 3), best first.
+    pub aggregates_2d: Vec<AggregateResult>,
+    /// Pruning-selected 3-D aggregates (Table 3), best first.
+    pub aggregates_3d: Vec<AggregateResult>,
+    /// Attributes eligible for aggregates (IMDB restricts to 5 of 8).
+    pub aggregate_attrs: Vec<AttrId>,
+}
+
+impl ExperimentSetup {
+    /// The first `b` pruning-selected 2-D aggregates as a set — the
+    /// "B = 4, d = 2" default knowledge of Figs. 3, 4, and 14.
+    pub fn aggregates_2d_set(&self, b: usize) -> AggregateSet {
+        AggregateSet::from_results(self.aggregates_2d[..b.min(self.aggregates_2d.len())].to_vec())
+    }
+
+    /// 1-D aggregates in order A (`reverse = false`) or order B, truncated
+    /// to `b`.
+    pub fn aggregates_1d_set(&self, b: usize, reverse: bool) -> AggregateSet {
+        let mut order: Vec<AggregateResult> = self.aggregates_1d.clone();
+        if reverse {
+            order.reverse();
+        }
+        order.truncate(b);
+        AggregateSet::from_results(order)
+    }
+
+    /// All 1-D aggregates plus the first `b` aggregates of the given
+    /// dimension (the Figs. 9–12 sweeps).
+    pub fn aggregates_1d_plus(&self, dim: usize, b: usize) -> AggregateSet {
+        let mut results = self.aggregates_1d.clone();
+        let menu = match dim {
+            2 => &self.aggregates_2d,
+            3 => &self.aggregates_3d,
+            _ => panic!("only 2-D and 3-D menus exist"),
+        };
+        results.extend(menu[..b.min(menu.len())].iter().cloned());
+        AggregateSet::from_results(results)
+    }
+}
+
+/// Build the Flights setup: population, the four biased samples (Unif,
+/// June, SCorners, Corners), and pruning-selected aggregate menus.
+pub fn flights_setup(scale: &Scale) -> ExperimentSetup {
+    let dataset = FlightsDataset::generate(FlightsConfig {
+        n: scale.flights_n,
+        ..Default::default()
+    });
+    let mut rng = SmallRng::seed_from_u64(0xF11);
+    let samples = vec![
+        ("Unif", dataset.sample_unif(&mut rng)),
+        ("June", dataset.sample_june(&mut rng)),
+        ("SCorners", dataset.sample_scorners(&mut rng)),
+        ("Corners", dataset.sample_corners(&mut rng)),
+    ];
+    let attrs: Vec<AttrId> = dataset.population.schema().attr_ids().collect();
+    let (a1, a2, a3) = aggregate_menus(&dataset.population, &attrs);
+    ExperimentSetup {
+        name: "Flights",
+        population: dataset.population,
+        samples,
+        aggregates_1d: a1,
+        aggregates_2d: a2,
+        aggregates_3d: a3,
+        aggregate_attrs: attrs,
+    }
+}
+
+/// Build the IMDB setup: population, the four biased samples (Unif, GB,
+/// SR159, R159), and aggregate menus restricted to {MY, MC, G, RG, RT}
+/// ("to investigate the impact of aggregates that do not cover all
+/// attributes", §6.3).
+pub fn imdb_setup(scale: &Scale) -> ExperimentSetup {
+    let dataset = ImdbDataset::generate(ImdbConfig {
+        n: scale.imdb_n,
+        names: scale.imdb_names,
+        ..Default::default()
+    });
+    let mut rng = SmallRng::seed_from_u64(0x14DB);
+    let samples = vec![
+        ("Unif", dataset.sample_unif(&mut rng)),
+        ("GB", dataset.sample_gb(&mut rng)),
+        ("SR159", dataset.sample_sr159(&mut rng)),
+        ("R159", dataset.sample_r159(&mut rng)),
+    ];
+    let a = ImdbDataset::attrs();
+    // Order A of Fig. 8: MY, MC, G, RG, RT.
+    let agg_attrs = vec![a.my, a.mc, a.g, a.rg, a.rt];
+    let (a1, a2, a3) = aggregate_menus(&dataset.population, &agg_attrs);
+    ExperimentSetup {
+        name: "IMDB",
+        population: dataset.population,
+        samples,
+        aggregates_1d: a1,
+        aggregates_2d: a2,
+        aggregates_3d: a3,
+        aggregate_attrs: agg_attrs,
+    }
+}
+
+/// Compute the aggregate menus: all 1-D marginals in the given attribute
+/// order, plus t-cherry-pruned 2-D and 3-D selections of budget 4.
+fn aggregate_menus(
+    population: &Relation,
+    attrs: &[AttrId],
+) -> (
+    Vec<AggregateResult>,
+    Vec<AggregateResult>,
+    Vec<AggregateResult>,
+) {
+    let a1 = attrs
+        .iter()
+        .map(|&a| AggregateResult::compute(population, &[a]))
+        .collect();
+    let candidates_2d = all_aggregates_of_dim(population, attrs, 2);
+    let picked_2d = select_tcherry(&candidates_2d, 4);
+    let a2 = picked_2d.iter().map(|&i| candidates_2d[i].clone()).collect();
+    let candidates_3d = all_aggregates_of_dim(population, attrs, 3);
+    let picked_3d = select_tcherry(&candidates_3d, 4);
+    let a3 = picked_3d.iter().map(|&i| candidates_3d[i].clone()).collect();
+    (a1, a2, a3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            flights_n: 8_000,
+            imdb_n: 6_000,
+            imdb_names: 500,
+            child_n: 2_000,
+            queries: 10,
+            bn_sample_size: 2_000,
+        }
+    }
+
+    #[test]
+    fn flights_setup_has_four_samples_and_menus() {
+        let s = flights_setup(&tiny_scale());
+        assert_eq!(s.samples.len(), 4);
+        assert_eq!(s.aggregates_1d.len(), 5);
+        assert_eq!(s.aggregates_2d.len(), 4);
+        assert_eq!(s.aggregates_3d.len(), 4);
+        assert_eq!(s.aggregates_2d_set(2).len(), 2);
+        assert_eq!(s.aggregates_1d_plus(2, 4).len(), 9);
+    }
+
+    #[test]
+    fn imdb_menus_exclude_dense_attributes() {
+        let s = imdb_setup(&tiny_scale());
+        let n_attr = themis_data::datasets::imdb::ImdbDataset::attrs().n;
+        for agg in s.aggregates_2d.iter().chain(&s.aggregates_3d) {
+            assert!(!agg.attrs().contains(&n_attr), "N must not be aggregated");
+        }
+    }
+
+    #[test]
+    fn order_b_reverses_order_a() {
+        let s = flights_setup(&tiny_scale());
+        let a = s.aggregates_1d_set(5, false);
+        let b = s.aggregates_1d_set(5, true);
+        assert_eq!(a.get(0).attrs(), b.get(4).attrs());
+    }
+}

@@ -1,0 +1,178 @@
+//! Point-query workload generation (§6.3).
+//!
+//! Query selection values are drawn from the population's *light hitters*
+//! (smallest group counts), *heavy hitters* (largest), or *random* existing
+//! values; 100 point queries per selection per attribute set in the paper.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use themis_data::{AttrId, Relation};
+
+/// Which part of the count distribution queries target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hitter {
+    /// Largest population groups.
+    Heavy,
+    /// Smallest population groups.
+    Light,
+    /// Any existing group.
+    Random,
+}
+
+impl Hitter {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hitter::Heavy => "heavy",
+            Hitter::Light => "light",
+            Hitter::Random => "random",
+        }
+    }
+}
+
+/// One d-dimensional point query with its true population count.
+#[derive(Debug, Clone)]
+pub struct PointQuery {
+    /// Queried attributes.
+    pub attrs: Vec<AttrId>,
+    /// Queried values.
+    pub values: Vec<u32>,
+    /// True `COUNT(*)` over the population.
+    pub truth: f64,
+}
+
+/// Draw `count` point queries against the population over the given
+/// attribute sets. Heavy/light queries come from the top/bottom 20% of each
+/// set's group-count distribution.
+pub fn pick_point_queries<R: Rng>(
+    population: &Relation,
+    attr_sets: &[Vec<AttrId>],
+    hitter: Hitter,
+    count: usize,
+    rng: &mut R,
+) -> Vec<PointQuery> {
+    assert!(!attr_sets.is_empty(), "need at least one attribute set");
+    // Sorted (ascending count) group lists per attribute set.
+    let sorted: Vec<Vec<(Vec<u32>, f64)>> = attr_sets
+        .iter()
+        .map(|attrs| {
+            let mut groups: Vec<(Vec<u32>, f64)> =
+                population.group_counts(attrs).into_iter().collect();
+            groups.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite counts").then(a.0.cmp(&b.0)));
+            groups
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let set_idx = rng.gen_range(0..attr_sets.len());
+        let groups = &sorted[set_idx];
+        let band = (groups.len() / 5).max(1);
+        let pick = match hitter {
+            Hitter::Light => rng.gen_range(0..band),
+            Hitter::Heavy => groups.len() - 1 - rng.gen_range(0..band),
+            Hitter::Random => rng.gen_range(0..groups.len()),
+        };
+        let (values, truth) = groups[pick].clone();
+        out.push(PointQuery {
+            attrs: attr_sets[set_idx].clone(),
+            values,
+            truth,
+        });
+    }
+    out
+}
+
+/// All attribute subsets of the given sizes (used for the paper's "all
+/// possible attribute sets of size two to five").
+pub fn attr_subsets(attrs: &[AttrId], sizes: std::ops::RangeInclusive<usize>) -> Vec<Vec<AttrId>> {
+    let mut out = Vec::new();
+    for d in sizes {
+        let mut subset = Vec::with_capacity(d);
+        subsets_rec(attrs, d, 0, &mut subset, &mut out);
+    }
+    out
+}
+
+fn subsets_rec(
+    attrs: &[AttrId],
+    d: usize,
+    start: usize,
+    subset: &mut Vec<AttrId>,
+    out: &mut Vec<Vec<AttrId>>,
+) {
+    if subset.len() == d {
+        out.push(subset.clone());
+        return;
+    }
+    for i in start..attrs.len() {
+        subset.push(attrs[i]);
+        subsets_rec(attrs, d, i + 1, subset, out);
+        subset.pop();
+    }
+}
+
+/// Choose `count` random attribute sets of dimension `d` (IMDB uses 20
+/// random 3-D sets because the full enumeration is too large).
+pub fn random_attr_sets<R: Rng>(
+    attrs: &[AttrId],
+    d: usize,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Vec<AttrId>> {
+    let all = attr_subsets(attrs, d..=d);
+    let mut idx: Vec<usize> = (0..all.len()).collect();
+    idx.shuffle(rng);
+    idx.truncate(count.min(all.len()));
+    idx.into_iter().map(|i| all[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use themis_data::paper_example::example_population;
+
+    #[test]
+    fn heavy_hitters_have_larger_truth_than_light() {
+        let p = example_population();
+        let sets = vec![vec![AttrId(1), AttrId(2)]];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let heavy = pick_point_queries(&p, &sets, Hitter::Heavy, 30, &mut rng);
+        let light = pick_point_queries(&p, &sets, Hitter::Light, 30, &mut rng);
+        let h_avg: f64 = heavy.iter().map(|q| q.truth).sum::<f64>() / 30.0;
+        let l_avg: f64 = light.iter().map(|q| q.truth).sum::<f64>() / 30.0;
+        assert!(h_avg > l_avg, "heavy {h_avg} vs light {l_avg}");
+    }
+
+    #[test]
+    fn truths_match_population_counts() {
+        let p = example_population();
+        let sets = vec![vec![AttrId(0)], vec![AttrId(1), AttrId(2)]];
+        let mut rng = SmallRng::seed_from_u64(2);
+        for q in pick_point_queries(&p, &sets, Hitter::Random, 50, &mut rng) {
+            assert_eq!(q.truth, p.point_count(&q.attrs, &q.values));
+            assert!(q.truth > 0.0, "queries target existing values");
+        }
+    }
+
+    #[test]
+    fn attr_subsets_enumerates() {
+        let attrs: Vec<AttrId> = (0..5).map(AttrId).collect();
+        assert_eq!(attr_subsets(&attrs, 2..=2).len(), 10);
+        assert_eq!(attr_subsets(&attrs, 2..=5).len(), 10 + 10 + 5 + 1);
+    }
+
+    #[test]
+    fn random_attr_sets_are_distinct() {
+        let attrs: Vec<AttrId> = (0..6).map(AttrId).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let sets = random_attr_sets(&attrs, 3, 10, &mut rng);
+        assert_eq!(sets.len(), 10);
+        let mut d = sets.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), 10);
+    }
+}

@@ -1,0 +1,252 @@
+//! Discrete factors for sum-product inference.
+//!
+//! A [`Factor`] is a non-negative table over a set of attributes. Variable
+//! elimination multiplies factors and sums out variables; both operations
+//! are implemented over a mixed-radix index layout (first variable most
+//! significant).
+
+use themis_data::AttrId;
+
+/// A discrete factor over an ordered list of variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    /// Variables in index order (most significant first).
+    pub vars: Vec<AttrId>,
+    /// Cardinalities aligned with `vars`.
+    pub cards: Vec<usize>,
+    /// Flat table of size `Π cards`.
+    pub table: Vec<f64>,
+}
+
+impl Factor {
+    /// A constant scalar factor (no variables).
+    pub fn scalar(value: f64) -> Self {
+        Self {
+            vars: vec![],
+            cards: vec![],
+            table: vec![value],
+        }
+    }
+
+    /// Build a factor, checking the table size.
+    ///
+    /// # Panics
+    /// Panics if `table.len() != Π cards` or `vars` and `cards` differ in
+    /// length.
+    pub fn new(vars: Vec<AttrId>, cards: Vec<usize>, table: Vec<f64>) -> Self {
+        assert_eq!(vars.len(), cards.len(), "vars/cards mismatch");
+        let size: usize = cards.iter().product::<usize>().max(1);
+        assert_eq!(table.len(), size, "table size mismatch");
+        Self { vars, cards, table }
+    }
+
+    /// Number of table entries.
+    pub fn size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Index of an assignment given values for (a superset of) this factor's
+    /// variables, provided as a lookup function.
+    fn index_of(&self, value_of: impl Fn(AttrId) -> u32) -> usize {
+        let mut idx = 0usize;
+        for (&v, &c) in self.vars.iter().zip(&self.cards) {
+            idx = idx * c + value_of(v) as usize;
+        }
+        idx
+    }
+
+    /// Value at a full assignment over this factor's variables (in `vars`
+    /// order).
+    pub fn at(&self, values: &[u32]) -> f64 {
+        assert_eq!(values.len(), self.vars.len());
+        self.table[self.index_of(|a| {
+            values[self.vars.iter().position(|&v| v == a).expect("own var")]
+        })]
+    }
+
+    /// Pointwise product of two factors over the union of their variables.
+    pub fn multiply(&self, other: &Factor) -> Factor {
+        // Union of variables, self's first.
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        for (&v, &c) in other.vars.iter().zip(&other.cards) {
+            if !vars.contains(&v) {
+                vars.push(v);
+                cards.push(c);
+            }
+        }
+        let size: usize = cards.iter().product::<usize>().max(1);
+        let mut table = vec![0.0; size];
+
+        // Walk all assignments of the union via mixed-radix counting.
+        let mut assignment = vec![0u32; vars.len()];
+        for (flat, entry) in table.iter_mut().enumerate() {
+            // Decode flat index into the assignment.
+            let mut rem = flat;
+            for i in (0..vars.len()).rev() {
+                assignment[i] = (rem % cards[i]) as u32;
+                rem /= cards[i];
+            }
+            let value_of = |a: AttrId| {
+                assignment[vars.iter().position(|&v| v == a).expect("var in union")]
+            };
+            let left = self.table[self.index_of(value_of)];
+            let right = other.table[other.index_of(value_of)];
+            *entry = left * right;
+        }
+        Factor { vars, cards, table }
+    }
+
+    /// Sum out one variable.
+    ///
+    /// # Panics
+    /// Panics if `var` is not in this factor.
+    pub fn marginalize_out(&self, var: AttrId) -> Factor {
+        let pos = self
+            .vars
+            .iter()
+            .position(|&v| v == var)
+            .expect("variable not in factor");
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        let removed_card = cards.remove(pos);
+        vars.remove(pos);
+
+        let size: usize = cards.iter().product::<usize>().max(1);
+        let mut table = vec![0.0; size];
+        let mut assignment = vec![0u32; self.vars.len()];
+        for (flat, &value) in self.table.iter().enumerate() {
+            let mut rem = flat;
+            for i in (0..self.vars.len()).rev() {
+                assignment[i] = (rem % self.cards[i]) as u32;
+                rem /= self.cards[i];
+            }
+            // Index into the reduced factor.
+            let mut idx = 0usize;
+            for (i, (&_v, &c)) in vars.iter().zip(&cards).enumerate() {
+                let orig = if i < pos { i } else { i + 1 };
+                idx = idx * c + assignment[orig] as usize;
+            }
+            table[idx] += value;
+        }
+        debug_assert!(removed_card > 0);
+        Factor { vars, cards, table }
+    }
+
+    /// Restrict (condition) a variable to a fixed value, removing it.
+    ///
+    /// # Panics
+    /// Panics if `var` is not in this factor or `value` is out of range.
+    pub fn restrict(&self, var: AttrId, value: u32) -> Factor {
+        let pos = self
+            .vars
+            .iter()
+            .position(|&v| v == var)
+            .expect("variable not in factor");
+        assert!((value as usize) < self.cards[pos], "value out of range");
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+
+        let size: usize = cards.iter().product::<usize>().max(1);
+        let mut table = vec![0.0; size];
+        let mut assignment = vec![0u32; self.vars.len()];
+        for (flat, &v) in self.table.iter().enumerate() {
+            let mut rem = flat;
+            for i in (0..self.vars.len()).rev() {
+                assignment[i] = (rem % self.cards[i]) as u32;
+                rem /= self.cards[i];
+            }
+            if assignment[pos] != value {
+                continue;
+            }
+            let mut idx = 0usize;
+            for (i, &c) in cards.iter().enumerate() {
+                let orig = if i < pos { i } else { i + 1 };
+                idx = idx * c + assignment[orig] as usize;
+            }
+            table[idx] += v;
+        }
+        Factor { vars, cards, table }
+    }
+
+    /// Sum of all entries.
+    pub fn total(&self) -> f64 {
+        self.table.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f_ab() -> Factor {
+        // A (card 2) × B (card 2): table [a0b0, a0b1, a1b0, a1b1].
+        Factor::new(
+            vec![AttrId(0), AttrId(1)],
+            vec![2, 2],
+            vec![0.1, 0.2, 0.3, 0.4],
+        )
+    }
+
+    fn f_b() -> Factor {
+        Factor::new(vec![AttrId(1)], vec![2], vec![0.5, 2.0])
+    }
+
+    #[test]
+    fn at_indexes_mixed_radix() {
+        let f = f_ab();
+        assert_eq!(f.at(&[0, 1]), 0.2);
+        assert_eq!(f.at(&[1, 0]), 0.3);
+    }
+
+    #[test]
+    fn multiply_broadcasts_shared_vars() {
+        let p = f_ab().multiply(&f_b());
+        assert_eq!(p.vars, vec![AttrId(0), AttrId(1)]);
+        assert!((p.at(&[0, 0]) - 0.05).abs() < 1e-12);
+        assert!((p.at(&[0, 1]) - 0.4).abs() < 1e-12);
+        assert!((p.at(&[1, 1]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiply_disjoint_is_outer_product() {
+        let a = Factor::new(vec![AttrId(0)], vec![2], vec![0.25, 0.75]);
+        let c = Factor::new(vec![AttrId(2)], vec![3], vec![1.0, 2.0, 3.0]);
+        let p = a.multiply(&c);
+        assert_eq!(p.size(), 6);
+        assert!((p.at(&[1, 2]) - 2.25).abs() < 1e-12);
+        assert!((p.total() - 1.0 * 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginalize_out_sums() {
+        let m = f_ab().marginalize_out(AttrId(1));
+        assert_eq!(m.vars, vec![AttrId(0)]);
+        assert!((m.at(&[0]) - 0.3).abs() < 1e-12);
+        assert!((m.at(&[1]) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restrict_conditions() {
+        let r = f_ab().restrict(AttrId(0), 1);
+        assert_eq!(r.vars, vec![AttrId(1)]);
+        assert_eq!(r.table, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn scalar_factor_multiplies_as_constant() {
+        let s = Factor::scalar(2.0);
+        let p = s.multiply(&f_b());
+        assert_eq!(p.table, vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn marginalize_then_total_preserves_mass() {
+        let f = f_ab();
+        let total = f.total();
+        let m = f.marginalize_out(AttrId(0));
+        assert!((m.total() - total).abs() < 1e-12);
+    }
+}

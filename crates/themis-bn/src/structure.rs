@@ -1,0 +1,463 @@
+//! Two-phase greedy hill-climbing structure learning (Alg. 2 and 3).
+//!
+//! Phase 1 builds from the aggregates Γ: only moves whose score computation
+//! has *support* in Γ (the family `{X_i, X_j} ∪ Pa` appears together in some
+//! aggregate) are considered, and every edge added in this phase is *locked*
+//! — it cannot be removed or reversed later, keeping all structural
+//! knowledge from the population intact and preventing overfitting to the
+//! sample. Phase 2 continues from the sample with all moves allowed (except
+//! on locked edges).
+//!
+//! Like the paper's prototype (§6.1) the default restricts networks to
+//! trees (`max_parents = 1`); the limit is configurable (§5.2's "limiting
+//! the number of parents" optimization).
+
+use crate::network::topological_order;
+use crate::score::{family_bic, CountSource, GammaSource, SampleSource};
+use std::collections::HashMap;
+use themis_aggregates::AggregateSet;
+use themis_data::{AttrId, Relation};
+
+/// Which data source(s) drive structure learning (the first letter of the
+/// §6.6 mode names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructureSource {
+    /// Sample only (`S*` modes): single phase over `S`.
+    SampleOnly,
+    /// Aggregates only (`A*` modes): phase 1 only; attributes not covered by
+    /// Γ stay disconnected (uniformity assumption).
+    AggregatesOnly,
+    /// Both (`B*` modes): phase 1 over Γ with locking, then phase 2 over `S`.
+    Both,
+}
+
+/// Options for structure learning.
+#[derive(Debug, Clone)]
+pub struct StructureOptions {
+    /// Maximum number of parents per node (1 = trees, the paper's default).
+    pub max_parents: usize,
+    /// Additional random-restart climbs of the sample phase (the paper
+    /// notes greedy search "will not always learn the optimal structure",
+    /// §6.5, and leaves improving it as future work). 0 = plain greedy.
+    pub restarts: usize,
+    /// Seed for the restart initializations.
+    pub restart_seed: u64,
+}
+
+impl Default for StructureOptions {
+    fn default() -> Self {
+        Self {
+            max_parents: 1,
+            restarts: 0,
+            restart_seed: 0x57A7,
+        }
+    }
+}
+
+/// A candidate move in the hill climb.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Move {
+    Add(AttrId, AttrId),
+    Remove(AttrId, AttrId),
+    Reverse(AttrId, AttrId),
+}
+
+/// Learn a parent structure. Returns `parents[i]` = parent list of node `i`.
+pub fn learn_structure(
+    sample: &Relation,
+    aggregates: &AggregateSet,
+    population_size: f64,
+    source: StructureSource,
+    options: &StructureOptions,
+) -> Vec<Vec<AttrId>> {
+    let arity = sample.schema().arity();
+    let mut parents: Vec<Vec<AttrId>> = vec![Vec::new(); arity];
+    let mut locked: Vec<(AttrId, AttrId)> = Vec::new();
+
+    match source {
+        StructureSource::SampleOnly => {
+            let src = SampleSource::new(sample);
+            hill_climb(sample, &src, None, &mut parents, &locked, options);
+            restart_best(sample, &mut parents, &locked, options);
+        }
+        StructureSource::AggregatesOnly => {
+            let src = GammaSource::new(aggregates, population_size);
+            let covered = aggregates.covered_attrs();
+            hill_climb(sample, &src, Some(&covered), &mut parents, &locked, options);
+        }
+        StructureSource::Both => {
+            // Phase 1: Γ, restricted to covered attributes; lock the edges.
+            let gamma = GammaSource::new(aggregates, population_size);
+            let covered = aggregates.covered_attrs();
+            hill_climb(sample, &gamma, Some(&covered), &mut parents, &locked, options);
+            for (child, ps) in parents.iter().enumerate() {
+                for &p in ps {
+                    locked.push((p, AttrId(child)));
+                }
+            }
+            // Phase 2: sample, all attributes.
+            let src = SampleSource::new(sample);
+            hill_climb(sample, &src, None, &mut parents, &locked, options);
+            restart_best(sample, &mut parents, &locked, options);
+        }
+    }
+    parents
+}
+
+/// Random-restart refinement: climb from `options.restarts` random seeds
+/// (always containing the locked edges) and keep the structure with the
+/// best total sample-BIC.
+fn restart_best(
+    sample: &Relation,
+    parents: &mut [Vec<AttrId>],
+    locked: &[(AttrId, AttrId)],
+    options: &StructureOptions,
+) {
+    if options.restarts == 0 {
+        return;
+    }
+    use rand::prelude::*;
+    let src = SampleSource::new(sample);
+    let arity = sample.schema().arity();
+    let mut best_score = total_bic(sample, &src, parents);
+    let mut rng = SmallRng::seed_from_u64(options.restart_seed);
+
+    for _ in 0..options.restarts {
+        // Random acyclic seed: locked edges plus random forward edges in a
+        // shuffled node order (forward edges can never create a cycle).
+        let mut order: Vec<usize> = (0..arity).collect();
+        order.shuffle(&mut rng);
+        let mut candidate: Vec<Vec<AttrId>> = vec![Vec::new(); arity];
+        for &(p, c) in locked {
+            candidate[c.0].push(p);
+        }
+        for pos in 1..arity {
+            let child = order[pos];
+            if candidate[child].len() >= options.max_parents || !rng.gen_bool(0.5) {
+                continue;
+            }
+            let parent = AttrId(order[rng.gen_range(0..pos)]);
+            if !candidate[child].contains(&parent) {
+                candidate[child].push(parent);
+            }
+        }
+        if topological_order(&candidate).is_none() {
+            continue;
+        }
+        hill_climb(sample, &src, None, &mut candidate, locked, options);
+        let score = total_bic(sample, &src, &candidate);
+        if score > best_score {
+            best_score = score;
+            parents.clone_from_slice(&candidate);
+        }
+    }
+}
+
+/// Total decomposable BIC of a structure under a count source.
+fn total_bic<S: CountSource>(sample: &Relation, source: &S, parents: &[Vec<AttrId>]) -> f64 {
+    let schema = sample.schema();
+    parents
+        .iter()
+        .enumerate()
+        .map(|(i, ps)| {
+            let child = AttrId(i);
+            let mut sorted = ps.clone();
+            sorted.sort();
+            let pcards: Vec<usize> = sorted.iter().map(|&p| schema.domain(p).size()).collect();
+            family_bic(source, child, &sorted, schema.domain(child).size(), &pcards)
+                .unwrap_or(f64::NEG_INFINITY)
+        })
+        .sum()
+}
+
+/// One hill-climbing phase over a count source, optionally restricted to a
+/// subset of nodes.
+fn hill_climb<S: CountSource>(
+    sample: &Relation,
+    source: &S,
+    restrict_to: Option<&[AttrId]>,
+    parents: &mut [Vec<AttrId>],
+    locked: &[(AttrId, AttrId)],
+    options: &StructureOptions,
+) {
+    let schema = sample.schema().clone();
+    let arity = schema.arity();
+    let nodes: Vec<AttrId> = match restrict_to {
+        Some(r) => r.to_vec(),
+        None => (0..arity).map(AttrId).collect(),
+    };
+    let card = |a: AttrId| schema.domain(a).size();
+
+    // Family-score cache keyed by (child, sorted parents). `None` = family
+    // unsupported by this source.
+    let mut cache: HashMap<(AttrId, Vec<AttrId>), Option<f64>> = HashMap::new();
+    let mut score_family = |child: AttrId, ps: &[AttrId]| -> Option<f64> {
+        let mut key_ps = ps.to_vec();
+        key_ps.sort();
+        cache
+            .entry((child, key_ps.clone()))
+            .or_insert_with(|| {
+                let pcards: Vec<usize> = key_ps.iter().map(|&p| card(p)).collect();
+                family_bic(source, child, &key_ps, card(child), &pcards)
+            })
+            .to_owned()
+    };
+
+    loop {
+        // Current family scores for delta computation.
+        let mut best: Option<(Move, f64)> = None;
+        for &i in &nodes {
+            for &j in &nodes {
+                if i == j {
+                    continue;
+                }
+                let has_edge = parents[j.0].contains(&i);
+                let edge_locked = locked.contains(&(i, j));
+
+                if !has_edge {
+                    // Add i → j.
+                    if parents[j.0].len() < options.max_parents
+                        && !creates_cycle(parents, i, j)
+                    {
+                        let mut new_ps = parents[j.0].clone();
+                        new_ps.push(i);
+                        let delta = match (score_family(j, &new_ps), score_family(j, &parents[j.0].clone())) {
+                            (Some(new), Some(old)) => Some(new - old),
+                            _ => None,
+                        };
+                        if let Some(d) = delta {
+                            if d > 1e-9 && best.is_none_or(|(_, bd)| d > bd) {
+                                best = Some((Move::Add(i, j), d));
+                            }
+                        }
+                    }
+                } else if !edge_locked {
+                    // Remove i → j.
+                    let mut without = parents[j.0].clone();
+                    without.retain(|&p| p != i);
+                    if let (Some(new), Some(old)) =
+                        (score_family(j, &without), score_family(j, &parents[j.0].clone()))
+                    {
+                        let d = new - old;
+                        if d > 1e-9 && best.is_none_or(|(_, bd)| d > bd) {
+                            best = Some((Move::Remove(i, j), d));
+                        }
+                    }
+                    // Reverse i → j.
+                    if parents[i.0].len() < options.max_parents {
+                        let mut j_without = parents[j.0].clone();
+                        j_without.retain(|&p| p != i);
+                        let mut i_with = parents[i.0].clone();
+                        i_with.push(j);
+                        if !creates_cycle_after_reverse(parents, i, j) {
+                            let delta = (|| {
+                                let j_new = score_family(j, &j_without)?;
+                                let j_old = score_family(j, &parents[j.0].clone())?;
+                                let i_new = score_family(i, &i_with)?;
+                                let i_old = score_family(i, &parents[i.0].clone())?;
+                                Some((j_new - j_old) + (i_new - i_old))
+                            })();
+                            if let Some(d) = delta {
+                                if d > 1e-9 && best.is_none_or(|(_, bd)| d > bd) {
+                                    best = Some((Move::Reverse(i, j), d));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((Move::Add(i, j), _)) => parents[j.0].push(i),
+            Some((Move::Remove(i, j), _)) => parents[j.0].retain(|&p| p != i),
+            Some((Move::Reverse(i, j), _)) => {
+                parents[j.0].retain(|&p| p != i);
+                parents[i.0].push(j);
+            }
+            None => break,
+        }
+    }
+}
+
+/// Whether adding `i → j` creates a directed cycle.
+fn creates_cycle(parents: &[Vec<AttrId>], i: AttrId, j: AttrId) -> bool {
+    let mut candidate = parents.to_vec();
+    candidate[j.0].push(i);
+    topological_order(&candidate).is_none()
+}
+
+/// Whether reversing `i → j` to `j → i` creates a cycle.
+fn creates_cycle_after_reverse(parents: &[Vec<AttrId>], i: AttrId, j: AttrId) -> bool {
+    let mut candidate = parents.to_vec();
+    candidate[j.0].retain(|&p| p != i);
+    candidate[i.0].push(j);
+    topological_order(&candidate).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use themis_aggregates::AggregateResult;
+    use themis_data::{Attribute, Domain, Relation, Schema};
+
+    /// Population where Y is a noisy copy of X and Z is independent.
+    fn dependent_population(n: usize) -> Relation {
+        let schema = Schema::new(vec![
+            Attribute::new("x", Domain::indexed("x", 3)),
+            Attribute::new("y", Domain::indexed("y", 3)),
+            Attribute::new("z", Domain::indexed("z", 2)),
+        ]);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut p = Relation::new(schema);
+        for _ in 0..n {
+            let x = rng.gen_range(0..3u32);
+            let y = if rng.gen_bool(0.85) { x } else { rng.gen_range(0..3u32) };
+            let z = u32::from(rng.gen_bool(0.5));
+            p.push_row(&[x, y, z]);
+        }
+        p
+    }
+
+    #[test]
+    fn sample_only_finds_the_dependence() {
+        let p = dependent_population(2000);
+        let parents = learn_structure(
+            &p,
+            &AggregateSet::new(),
+            2000.0,
+            StructureSource::SampleOnly,
+            &StructureOptions::default(),
+        );
+        // X-Y must be connected in one direction; Z must stay isolated.
+        let xy = parents[1].contains(&AttrId(0)) || parents[0].contains(&AttrId(1));
+        assert!(xy, "X-Y edge missing: {parents:?}");
+        assert!(parents[2].is_empty(), "Z should have no parents");
+        assert!(!parents[0].contains(&AttrId(2)) && !parents[1].contains(&AttrId(2)));
+    }
+
+    #[test]
+    fn aggregates_only_limits_to_covered_attrs() {
+        let p = dependent_population(2000);
+        let set = AggregateSet::from_results(vec![AggregateResult::compute(
+            &p,
+            &[AttrId(0), AttrId(1)],
+        )]);
+        let parents = learn_structure(
+            &p,
+            &set,
+            2000.0,
+            StructureSource::AggregatesOnly,
+            &StructureOptions::default(),
+        );
+        let xy = parents[1].contains(&AttrId(0)) || parents[0].contains(&AttrId(1));
+        assert!(xy, "X-Y edge missing: {parents:?}");
+        // Z is not covered by Γ: it must stay disconnected.
+        assert!(parents[2].is_empty());
+    }
+
+    #[test]
+    fn phase_one_edges_survive_phase_two() {
+        // Aggregates say X-Y are dependent; a pathological sample that says
+        // otherwise must not remove the locked edge.
+        let p = dependent_population(2000);
+        let set = AggregateSet::from_results(vec![AggregateResult::compute(
+            &p,
+            &[AttrId(0), AttrId(1)],
+        )]);
+        // Adversarial sample: X and Y independent.
+        let schema = p.schema().clone();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut s = Relation::new(schema);
+        for _ in 0..500 {
+            s.push_row(&[rng.gen_range(0..3), rng.gen_range(0..3), u32::from(rng.gen_bool(0.5))]);
+        }
+        let parents = learn_structure(
+            &s,
+            &set,
+            2000.0,
+            StructureSource::Both,
+            &StructureOptions::default(),
+        );
+        let xy = parents[1].contains(&AttrId(0)) || parents[0].contains(&AttrId(1));
+        assert!(xy, "locked Γ edge was dropped: {parents:?}");
+    }
+
+    #[test]
+    fn max_parents_is_respected() {
+        let p = dependent_population(2000);
+        for max_parents in [1usize, 2] {
+            let parents = learn_structure(
+                &p,
+                &AggregateSet::new(),
+                2000.0,
+                StructureSource::SampleOnly,
+                &StructureOptions { max_parents, ..StructureOptions::default() },
+            );
+            assert!(parents.iter().all(|ps| ps.len() <= max_parents));
+        }
+    }
+
+    #[test]
+    fn restarts_never_regress_the_score() {
+        let p = dependent_population(1500);
+        let plain = learn_structure(
+            &p,
+            &AggregateSet::new(),
+            1500.0,
+            StructureSource::SampleOnly,
+            &StructureOptions::default(),
+        );
+        let restarted = learn_structure(
+            &p,
+            &AggregateSet::new(),
+            1500.0,
+            StructureSource::SampleOnly,
+            &StructureOptions {
+                restarts: 4,
+                ..StructureOptions::default()
+            },
+        );
+        use crate::score::SampleSource;
+        let src = SampleSource::new(&p);
+        let score = |parents: &[Vec<AttrId>]| super::total_bic(&p, &src, parents);
+        assert!(score(&restarted) >= score(&plain) - 1e-9);
+        assert!(topological_order(&restarted).is_some());
+        assert!(restarted.iter().all(|ps| ps.len() <= 1));
+    }
+
+    #[test]
+    fn restarts_preserve_locked_edges() {
+        let p = dependent_population(1500);
+        let set = AggregateSet::from_results(vec![AggregateResult::compute(
+            &p,
+            &[AttrId(0), AttrId(1)],
+        )]);
+        let parents = learn_structure(
+            &p,
+            &set,
+            1500.0,
+            StructureSource::Both,
+            &StructureOptions {
+                restarts: 4,
+                ..StructureOptions::default()
+            },
+        );
+        let xy = parents[1].contains(&AttrId(0)) || parents[0].contains(&AttrId(1));
+        assert!(xy, "Γ edge must survive restarts: {parents:?}");
+    }
+
+    #[test]
+    fn structure_is_acyclic() {
+        let p = dependent_population(1000);
+        let parents = learn_structure(
+            &p,
+            &AggregateSet::new(),
+            1000.0,
+            StructureSource::SampleOnly,
+            &StructureOptions { max_parents: 2, ..StructureOptions::default() },
+        );
+        assert!(topological_order(&parents).is_some());
+    }
+}

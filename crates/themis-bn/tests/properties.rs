@@ -1,0 +1,173 @@
+//! Property-based tests for the Bayesian-network substrate: variable
+//! elimination against brute force on random networks, forward-sampling
+//! consistency, and constrained-learning invariants.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_bn::parameters::{learn_parameters, ParamOptions, ParamSource};
+use themis_bn::{forward_sample, point_probability, BayesianNetwork, Cpt};
+use themis_data::{AttrId, Attribute, Domain, Relation, Schema};
+
+/// A random chain/forest network over the given cardinalities: node i has
+/// parent i-1 with probability `edge_prob[i]`.
+fn random_network(cards: Vec<usize>, edges: Vec<bool>, seed: u64) -> BayesianNetwork {
+    let schema = Schema::new(
+        cards
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Attribute::new(format!("x{i}"), Domain::indexed(format!("x{i}"), c)))
+            .collect(),
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut parents: Vec<Vec<AttrId>> = vec![Vec::new(); cards.len()];
+    for i in 1..cards.len() {
+        if edges[i - 1] {
+            parents[i].push(AttrId(i - 1));
+        }
+    }
+    let cpts: Vec<Cpt> = (0..cards.len())
+        .map(|i| {
+            let pcards: Vec<usize> = parents[i].iter().map(|p| cards[p.0]).collect();
+            let configs: usize = pcards.iter().product::<usize>().max(1);
+            let mut table = Vec::with_capacity(configs * cards[i]);
+            for _ in 0..configs {
+                let raw: Vec<f64> = (0..cards[i]).map(|_| rng.gen_range(0.05..1.0)).collect();
+                let s: f64 = raw.iter().sum();
+                table.extend(raw.into_iter().map(|x| x / s));
+            }
+            Cpt {
+                card: cards[i],
+                parent_cards: pcards,
+                table,
+            }
+        })
+        .collect();
+    BayesianNetwork::new(schema, parents, cpts)
+}
+
+fn brute_force(net: &BayesianNetwork, attrs: &[AttrId], values: &[u32]) -> f64 {
+    let cards: Vec<usize> = net
+        .schema()
+        .attr_ids()
+        .map(|a| net.schema().domain(a).size())
+        .collect();
+    let total: usize = cards.iter().product();
+    let mut p = 0.0;
+    let mut assignment = vec![0u32; cards.len()];
+    for flat in 0..total {
+        let mut rem = flat;
+        for i in (0..cards.len()).rev() {
+            assignment[i] = (rem % cards[i]) as u32;
+            rem /= cards[i];
+        }
+        if attrs.iter().zip(values).all(|(&a, &v)| assignment[a.0] == v) {
+            p += net.joint_prob(&assignment);
+        }
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn variable_elimination_matches_brute_force(
+        cards in prop::collection::vec(2usize..4, 2..5),
+        edges in prop::collection::vec(any::<bool>(), 4),
+        seed in 0u64..500,
+        qattr in 0usize..4,
+    ) {
+        let net = random_network(cards.clone(), edges, seed);
+        let a = AttrId(qattr % cards.len());
+        for v in 0..cards[a.0] as u32 {
+            let ve = point_probability(&net, &[a], &[v]);
+            let bf = brute_force(&net, &[a], &[v]);
+            prop_assert!((ve - bf).abs() < 1e-10, "{ve} vs {bf}");
+        }
+    }
+
+    #[test]
+    fn pairwise_ve_matches_brute_force(
+        cards in prop::collection::vec(2usize..4, 3..5),
+        edges in prop::collection::vec(any::<bool>(), 4),
+        seed in 0u64..500,
+    ) {
+        let net = random_network(cards.clone(), edges, seed);
+        let a = AttrId(0);
+        let b = AttrId(cards.len() - 1);
+        let ve = point_probability(&net, &[a, b], &[0, 0]);
+        let bf = brute_force(&net, &[a, b], &[0, 0]);
+        prop_assert!((ve - bf).abs() < 1e-10);
+    }
+
+    #[test]
+    fn marginals_sum_to_one(
+        cards in prop::collection::vec(2usize..5, 2..5),
+        edges in prop::collection::vec(any::<bool>(), 4),
+        seed in 0u64..500,
+    ) {
+        let net = random_network(cards.clone(), edges, seed);
+        for (i, &c) in cards.iter().enumerate() {
+            let total: f64 = (0..c as u32)
+                .map(|v| point_probability(&net, &[AttrId(i)], &[v]))
+                .sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_samples_respect_the_schema(
+        cards in prop::collection::vec(2usize..4, 2..5),
+        edges in prop::collection::vec(any::<bool>(), 4),
+        seed in 0u64..500,
+    ) {
+        let net = random_network(cards.clone(), edges, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        let s = forward_sample(&net, 200, &mut rng);
+        prop_assert_eq!(s.len(), 200);
+        for r in (0..200).step_by(17) {
+            for (i, &c) in cards.iter().enumerate() {
+                prop_assert!((s.value(r, AttrId(i)) as usize) < c);
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_learning_keeps_cpts_normalized(
+        rows in prop::collection::vec((0u32..3, 0u32..3), 5..40),
+        pin in 0.05f64..0.9,
+    ) {
+        // Two attributes; constrain Pr(x0 = 0) = pin via an aggregate.
+        let schema = Schema::new(vec![
+            Attribute::new("x0", Domain::indexed("x0", 3)),
+            Attribute::new("x1", Domain::indexed("x1", 3)),
+        ]);
+        let mut sample = Relation::new(schema);
+        for (a, b) in rows {
+            sample.push_row(&[a, b]);
+        }
+        let n = 1000.0;
+        let agg = AggregateResult::from_groups(
+            vec![AttrId(0)],
+            vec![
+                (vec![0], pin * n),
+                (vec![1], (1.0 - pin) * n / 2.0),
+                (vec![2], (1.0 - pin) * n / 2.0),
+            ],
+        );
+        let set = AggregateSet::from_results(vec![agg]);
+        let net = learn_parameters(
+            &sample,
+            &set,
+            n,
+            vec![vec![], vec![AttrId(0)]],
+            ParamSource::Both,
+            &ParamOptions::default(),
+        );
+        prop_assert!(net.is_normalized(1e-8));
+        let p0 = point_probability(&net, &[AttrId(0)], &[0]);
+        prop_assert!((p0 - pin).abs() < 1e-3, "Pr(x0=0) = {p0}, want {pin}");
+    }
+}

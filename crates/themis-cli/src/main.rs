@@ -1,0 +1,46 @@
+//! `themis` — an interactive open-world SQL shell.
+//!
+//! ```text
+//! $ cargo run -p themis-cli --release
+//! themis> \load flights sample.csv cat,cat,num:12
+//! themis> \aggregate flights origin_state aggregates_o.csv
+//! themis> \population 7000000
+//! themis> \build
+//! themis> SELECT origin_state, COUNT(*) FROM flights GROUP BY origin_state;
+//! ```
+//!
+//! The shell wraps the `themis-core` API: load a biased sample (CSV),
+//! register published aggregates, build the model, then query it with the
+//! supported SQL subset. Meta commands start with `\`; everything else is
+//! parsed as SQL against the built model.
+
+use std::io::{BufRead, Write};
+
+mod repl;
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut session = repl::Session::new();
+    println!("Themis open-world SQL shell — \\help for commands, \\quit to exit");
+    loop {
+        print!("themis> ");
+        std::io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match session.handle(line.trim()) {
+            repl::Outcome::Continue(output) => {
+                if !output.is_empty() {
+                    println!("{output}");
+                }
+            }
+            repl::Outcome::Quit => break,
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! REPL session state and command handling, separated from I/O so it can be
+//! unit tested.
+
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_core::{Themis, ThemisConfig};
+use themis_data::ingest::{ingest_csv, ColumnSpec};
+use themis_data::{AttrId, Relation};
+
+/// What the loop should do after a line.
+#[derive(Debug, PartialEq)]
+pub enum Outcome {
+    /// Print this (possibly empty) output and continue.
+    Continue(String),
+    /// Exit the shell.
+    Quit,
+}
+
+/// Shell state: the loaded sample, registered aggregates, and the built
+/// model.
+pub struct Session {
+    table_name: Option<String>,
+    sample: Option<Relation>,
+    aggregates: AggregateSet,
+    population_size: Option<f64>,
+    model: Option<Themis>,
+}
+
+impl Session {
+    /// Fresh session.
+    pub fn new() -> Self {
+        Self {
+            table_name: None,
+            sample: None,
+            aggregates: AggregateSet::new(),
+            population_size: None,
+            model: None,
+        }
+    }
+
+    /// Handle one input line.
+    pub fn handle(&mut self, line: &str) -> Outcome {
+        if line.is_empty() {
+            return Outcome::Continue(String::new());
+        }
+        if let Some(cmd) = line.strip_prefix('\\') {
+            return self.meta(cmd);
+        }
+        Outcome::Continue(self.sql(line))
+    }
+
+    fn meta(&mut self, cmd: &str) -> Outcome {
+        let parts: Vec<&str> = cmd.split_whitespace().collect();
+        match parts.first().copied() {
+            Some("quit") | Some("q") | Some("exit") => Outcome::Quit,
+            Some("help") => Outcome::Continue(HELP.to_string()),
+            Some("load") => Outcome::Continue(self.cmd_load(&parts[1..])),
+            Some("aggregate") => Outcome::Continue(self.cmd_aggregate(&parts[1..])),
+            Some("population") => Outcome::Continue(self.cmd_population(&parts[1..])),
+            Some("build") => Outcome::Continue(self.cmd_build()),
+            Some("status") => Outcome::Continue(self.cmd_status()),
+            Some(other) => Outcome::Continue(format!("unknown command \\{other}; try \\help")),
+            None => Outcome::Continue(String::new()),
+        }
+    }
+
+    /// `\load <table> <file.csv> <spec,spec,...>` where spec is `cat` or
+    /// `num:<buckets>`.
+    fn cmd_load(&mut self, args: &[&str]) -> String {
+        let [table, path, specs] = args else {
+            return "usage: \\load <table> <file.csv> <cat|num:K>[,...]".into();
+        };
+        let specs: Result<Vec<ColumnSpec>, String> = specs
+            .split(',')
+            .map(|s| {
+                if s == "cat" {
+                    Ok(ColumnSpec::Categorical)
+                } else if let Some(k) = s.strip_prefix("num:") {
+                    k.parse::<usize>()
+                        .map(|buckets| ColumnSpec::Numeric { buckets })
+                        .map_err(|_| format!("bad bucket count in {s:?}"))
+                } else {
+                    Err(format!("bad column spec {s:?} (use cat or num:K)"))
+                }
+            })
+            .collect();
+        let specs = match specs {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return format!("cannot read {path}: {e}"),
+        };
+        match ingest_csv(&text, &specs) {
+            Ok(out) => {
+                let msg = format!(
+                    "loaded {} rows into {table} ({} null rows dropped)",
+                    out.relation.len(),
+                    out.dropped_nulls
+                );
+                self.table_name = Some(table.to_string());
+                self.sample = Some(out.relation);
+                self.model = None;
+                msg
+            }
+            Err(e) => format!("ingest error: {e}"),
+        }
+    }
+
+    /// `\aggregate <attr>[,<attr>...] <file.csv>` — the file has one header
+    /// line (ignored) and rows `value[,value...],count`.
+    fn cmd_aggregate(&mut self, args: &[&str]) -> String {
+        let [attrs, path] = args else {
+            return "usage: \\aggregate <attr>[,<attr>...] <file.csv>".into();
+        };
+        let Some(sample) = &self.sample else {
+            return "load a sample first (\\load)".into();
+        };
+        let schema = sample.schema().clone();
+        let attr_ids: Result<Vec<AttrId>, String> = attrs
+            .split(',')
+            .map(|name| {
+                schema
+                    .attr_id(name)
+                    .ok_or_else(|| format!("unknown attribute {name:?}"))
+            })
+            .collect();
+        let attr_ids = match attr_ids {
+            Ok(a) => a,
+            Err(e) => return e,
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return format!("cannot read {path}: {e}"),
+        };
+        let mut groups = Vec::new();
+        for (i, line) in text.lines().skip(1).enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            if fields.len() != attr_ids.len() + 1 {
+                return format!(
+                    "aggregate row {i}: expected {} fields, found {}",
+                    attr_ids.len() + 1,
+                    fields.len()
+                );
+            }
+            let mut key = Vec::with_capacity(attr_ids.len());
+            for (f, &a) in fields.iter().zip(&attr_ids) {
+                match schema.domain(a).id_of(f) {
+                    Some(id) => key.push(id),
+                    // Values outside the sample's active domain cannot be
+                    // represented; skip the group but keep going.
+                    None => {
+                        key.clear();
+                        break;
+                    }
+                }
+            }
+            if key.is_empty() {
+                continue;
+            }
+            let count: f64 = match fields.last().expect("non-empty").parse() {
+                Ok(c) => c,
+                Err(_) => return format!("aggregate row {i}: bad count {:?}", fields.last()),
+            };
+            groups.push((key, count));
+        }
+        let n_groups = groups.len();
+        self.aggregates
+            .push(AggregateResult::from_groups(attr_ids, groups));
+        self.model = None;
+        format!("registered aggregate over {attrs} with {n_groups} groups")
+    }
+
+    fn cmd_population(&mut self, args: &[&str]) -> String {
+        match args {
+            [n] => match n.parse::<f64>() {
+                Ok(v) if v > 0.0 => {
+                    self.population_size = Some(v);
+                    self.model = None;
+                    format!("population size set to {v}")
+                }
+                _ => "population size must be a positive number".into(),
+            },
+            _ => "usage: \\population <n>".into(),
+        }
+    }
+
+    fn cmd_build(&mut self) -> String {
+        let Some(sample) = self.sample.clone() else {
+            return "load a sample first (\\load)".into();
+        };
+        let Some(n) = self.population_size else {
+            return "set the population size first (\\population <n>)".into();
+        };
+        if self.aggregates.is_empty() {
+            return "register at least one aggregate first (\\aggregate)".into();
+        }
+        let model = Themis::build(sample, self.aggregates.clone(), n, ThemisConfig::default());
+        let report = model
+            .ipf_report()
+            .map(|r| {
+                format!(
+                    "IPF: {} sweeps, violation {:.2e}, converged = {}",
+                    r.iterations, r.final_violation, r.converged
+                )
+            })
+            .unwrap_or_default();
+        self.model = Some(model);
+        format!("model built. {report}")
+    }
+
+    fn cmd_status(&self) -> String {
+        let mut out = String::new();
+        match (&self.table_name, &self.sample) {
+            (Some(t), Some(s)) => {
+                out.push_str(&format!("table {t}: {} rows, {} attributes\n", s.len(), s.schema().arity()));
+                for a in s.schema().attributes() {
+                    out.push_str(&format!("  {} ({} values)\n", a.name(), a.domain().size()));
+                }
+            }
+            _ => out.push_str("no sample loaded\n"),
+        }
+        out.push_str(&format!("aggregates: {}\n", self.aggregates.len()));
+        match self.population_size {
+            Some(n) => out.push_str(&format!("population size: {n}\n")),
+            None => out.push_str("population size: unset\n"),
+        }
+        match &self.model {
+            Some(m) => {
+                out.push_str("model: built\n");
+                out.push_str(&m.describe());
+            }
+            None => out.push_str("model: not built"),
+        }
+        out
+    }
+
+    fn sql(&mut self, sql: &str) -> String {
+        let Some(model) = &self.model else {
+            return "build the model first (\\build)".into();
+        };
+        match model.sql(sql) {
+            Ok(result) => result.to_string(),
+            Err(e) => format!("error: {e}"),
+        }
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const HELP: &str = "\
+commands:
+  \\load <table> <file.csv> <cat|num:K>[,...]   load a biased sample
+  \\aggregate <attr>[,<attr>...] <file.csv>     register a population aggregate
+                                               (rows: value[,value...],count)
+  \\population <n>                              set the population size
+  \\build                                       build the Themis model
+  \\status                                      show session state
+  \\quit                                        exit
+anything else is executed as SQL against the model, e.g.
+  SELECT origin_state, COUNT(*) FROM flights GROUP BY origin_state;";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("themis-cli-test-{name}"));
+        let mut f = std::fs::File::create(&path).expect("temp file");
+        f.write_all(content.as_bytes()).expect("write");
+        path
+    }
+
+    fn full_session() -> Session {
+        let sample = write_temp(
+            "sample.csv",
+            "state,month\nCA,01\nCA,01\nCA,02\nNY,01\n",
+        );
+        let agg = write_temp("agg.csv", "state,count\nCA,30\nNY,70\n");
+        let mut s = Session::new();
+        assert!(matches!(
+            s.handle(&format!("\\load flights {} cat,cat", sample.display())),
+            Outcome::Continue(_)
+        ));
+        let out = s.handle(&format!("\\aggregate state {}", agg.display()));
+        assert!(matches!(out, Outcome::Continue(ref m) if m.contains("2 groups")), "{out:?}");
+        s.handle("\\population 100");
+        let out = s.handle("\\build");
+        assert!(matches!(out, Outcome::Continue(ref m) if m.contains("model built")), "{out:?}");
+        s
+    }
+
+    #[test]
+    fn end_to_end_session_answers_sql() {
+        let mut s = full_session();
+        let out = s.handle("SELECT state, COUNT(*) FROM flights GROUP BY state");
+        let Outcome::Continue(text) = out else {
+            panic!("expected output")
+        };
+        assert!(text.contains("CA"), "{text}");
+        assert!(text.contains("NY"), "{text}");
+        // NY is underrepresented in the sample (1 of 4 rows) but the
+        // aggregate says it is 70% of the population: the debiased count
+        // must exceed CA's.
+        let ca: f64 = extract_count(&text, "CA");
+        let ny: f64 = extract_count(&text, "NY");
+        assert!(ny > ca, "NY {ny} should exceed CA {ca}\n{text}");
+    }
+
+    fn extract_count(table: &str, label: &str) -> f64 {
+        table
+            .lines()
+            .find(|l| l.starts_with(label))
+            .and_then(|l| l.split('|').nth(1))
+            .and_then(|c| c.trim().parse().ok())
+            .unwrap_or_else(|| panic!("row {label} not found in {table}"))
+    }
+
+    #[test]
+    fn commands_require_prerequisites() {
+        let mut s = Session::new();
+        assert!(matches!(
+            s.handle("SELECT COUNT(*) FROM t"),
+            Outcome::Continue(ref m) if m.contains("\\build")
+        ));
+        assert!(matches!(
+            s.handle("\\build"),
+            Outcome::Continue(ref m) if m.contains("\\load")
+        ));
+        assert!(matches!(
+            s.handle("\\aggregate state nowhere.csv"),
+            Outcome::Continue(ref m) if m.contains("\\load")
+        ));
+    }
+
+    #[test]
+    fn quit_and_help_work() {
+        let mut s = Session::new();
+        assert_eq!(s.handle("\\quit"), Outcome::Quit);
+        assert!(matches!(
+            s.handle("\\help"),
+            Outcome::Continue(ref m) if m.contains("\\load")
+        ));
+        assert!(matches!(
+            s.handle("\\nonsense"),
+            Outcome::Continue(ref m) if m.contains("unknown command")
+        ));
+    }
+
+    #[test]
+    fn status_reports_state() {
+        let mut s = full_session();
+        let Outcome::Continue(status) = s.handle("\\status") else {
+            panic!()
+        };
+        assert!(status.contains("4 rows"));
+        assert!(status.contains("aggregates: 1"));
+        assert!(status.contains("model: built"));
+    }
+
+    #[test]
+    fn bad_specs_are_reported() {
+        let mut s = Session::new();
+        let out = s.handle("\\load t nowhere.csv cat,banana");
+        assert!(matches!(out, Outcome::Continue(ref m) if m.contains("bad column spec")));
+    }
+}

@@ -1,0 +1,144 @@
+//! Equi-width bucketization of real-valued attributes.
+//!
+//! Themis supports continuous data types by bucketizing their active domains
+//! into equi-width buckets (§3 footnote 2, §6.2). A [`Bucketizer`] maps raw
+//! `f64` measurements to dense bucket ids and produces a [`Domain`] whose
+//! labels describe the bucket ranges.
+
+use crate::domain::Domain;
+
+/// Equi-width bucketizer over a closed value range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucketizer {
+    lo: f64,
+    hi: f64,
+    buckets: usize,
+    width: f64,
+}
+
+impl Bucketizer {
+    /// Create a bucketizer splitting `[lo, hi]` into `buckets` equal-width
+    /// buckets.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0`, the bounds are not finite, or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(hi > lo, "hi must exceed lo");
+        Self {
+            lo,
+            hi,
+            buckets,
+            width: (hi - lo) / buckets as f64,
+        }
+    }
+
+    /// Create a bucketizer spanning the observed range of `values`.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty, contains non-finite numbers, or all
+    /// values are identical.
+    pub fn fit(values: &[f64], buckets: usize) -> Self {
+        assert!(!values.is_empty(), "cannot fit bucketizer on empty data");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in values {
+            assert!(v.is_finite(), "non-finite value in data");
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(hi > lo, "all values identical; bucketization is degenerate");
+        Self::new(lo, hi, buckets)
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets
+    }
+
+    /// Bucket id for a value. Values outside `[lo, hi]` clamp to the first or
+    /// last bucket (this matches how out-of-range census values are coded).
+    pub fn bucket(&self, value: f64) -> u32 {
+        if value <= self.lo {
+            return 0;
+        }
+        let raw = ((value - self.lo) / self.width) as usize;
+        raw.min(self.buckets - 1) as u32
+    }
+
+    /// The half-open range `[lo, hi)` covered by a bucket (the final bucket
+    /// is closed).
+    pub fn bucket_range(&self, id: u32) -> (f64, f64) {
+        let lo = self.lo + id as f64 * self.width;
+        (lo, lo + self.width)
+    }
+
+    /// Midpoint of a bucket, useful for weighted means over bucketized data.
+    pub fn midpoint(&self, id: u32) -> f64 {
+        let (lo, hi) = self.bucket_range(id);
+        (lo + hi) / 2.0
+    }
+
+    /// Build the discrete [`Domain`] with range labels `"[lo,hi)"`.
+    pub fn domain(&self, name: impl Into<String>) -> Domain {
+        let labels = (0..self.buckets as u32)
+            .map(|i| {
+                let (lo, hi) = self.bucket_range(i);
+                format!("[{lo:.1},{hi:.1})")
+            })
+            .collect();
+        Domain::labeled(name, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_equi_width() {
+        let b = Bucketizer::new(0.0, 100.0, 4);
+        assert_eq!(b.bucket(0.0), 0);
+        assert_eq!(b.bucket(24.9), 0);
+        assert_eq!(b.bucket(25.0), 1);
+        assert_eq!(b.bucket(99.9), 3);
+        assert_eq!(b.bucket(100.0), 3); // closed final bucket
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let b = Bucketizer::new(0.0, 10.0, 2);
+        assert_eq!(b.bucket(-5.0), 0);
+        assert_eq!(b.bucket(50.0), 1);
+    }
+
+    #[test]
+    fn fit_spans_observed_range() {
+        let b = Bucketizer::fit(&[3.0, 7.0, 5.0], 2);
+        assert_eq!(b.bucket(3.0), 0);
+        assert_eq!(b.bucket(7.0), 1);
+    }
+
+    #[test]
+    fn domain_labels_describe_ranges() {
+        let b = Bucketizer::new(0.0, 2.0, 2);
+        let d = b.domain("len");
+        assert_eq!(d.size(), 2);
+        assert_eq!(d.label(0), "[0.0,1.0)");
+        assert_eq!(d.label(1), "[1.0,2.0)");
+    }
+
+    #[test]
+    fn midpoints_are_centered() {
+        let b = Bucketizer::new(0.0, 10.0, 5);
+        assert!((b.midpoint(0) - 1.0).abs() < 1e-12);
+        assert!((b.midpoint(4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn fit_rejects_constant_data() {
+        Bucketizer::fit(&[1.0, 1.0], 3);
+    }
+}

@@ -1,0 +1,286 @@
+//! The CHILD Bayesian network dataset.
+//!
+//! The paper's pruning experiments (§6.8, Fig. 15) use data synthesized from
+//! the 20-node CHILD network of the bnlearn repository. We reproduce the
+//! published network *structure* exactly; the conditional probability tables
+//! are generated deterministically from a fixed seed with strongly peaked
+//! rows, which preserves the property Fig. 15 needs — a known ground-truth
+//! network with non-trivial dependencies whose exact query answers can be
+//! computed (see DESIGN.md §2).
+
+use crate::domain::Domain;
+use crate::relation::Relation;
+use crate::schema::{Attribute, Schema};
+use rand::prelude::*;
+use std::sync::Arc;
+
+/// One node of the CHILD network.
+#[derive(Debug, Clone)]
+pub struct ChildNode {
+    /// Node / attribute name.
+    pub name: &'static str,
+    /// Cardinality of the node's domain.
+    pub card: usize,
+    /// Parent node indices (into [`ChildNetwork::nodes`], which is
+    /// topologically ordered).
+    pub parents: Vec<usize>,
+    /// Conditional probability table, laid out row-major:
+    /// `cpt[config * card + value]` where `config` is the mixed-radix index
+    /// of the parent assignment (first parent most significant).
+    pub cpt: Vec<f64>,
+}
+
+/// The CHILD network: 20 nodes, published structure, seeded CPTs.
+#[derive(Debug, Clone)]
+pub struct ChildNetwork {
+    /// Nodes in topological order.
+    pub nodes: Vec<ChildNode>,
+}
+
+/// `(name, cardinality, parent names)` for the published CHILD structure,
+/// listed in topological order.
+const STRUCTURE: [(&str, usize, &[&str]); 20] = [
+    ("BirthAsphyxia", 2, &[]),
+    ("Disease", 6, &["BirthAsphyxia"]),
+    ("Sick", 2, &["Disease"]),
+    ("Age", 3, &["Disease", "Sick"]),
+    ("LVH", 2, &["Disease"]),
+    ("DuctFlow", 3, &["Disease"]),
+    ("CardiacMixing", 4, &["Disease"]),
+    ("LungParench", 3, &["Disease"]),
+    ("LungFlow", 3, &["Disease"]),
+    ("HypDistrib", 2, &["DuctFlow", "CardiacMixing"]),
+    ("HypoxiaInO2", 3, &["CardiacMixing", "LungParench"]),
+    ("CO2", 3, &["LungParench"]),
+    ("ChestXray", 5, &["LungParench", "LungFlow"]),
+    ("Grunting", 2, &["LungParench", "Sick"]),
+    ("LVHreport", 2, &["LVH"]),
+    ("LowerBodyO2", 3, &["HypDistrib", "HypoxiaInO2"]),
+    ("RUQO2", 3, &["HypoxiaInO2"]),
+    ("CO2Report", 2, &["CO2"]),
+    ("XrayReport", 5, &["ChestXray"]),
+    ("GruntingReport", 2, &["Grunting"]),
+];
+
+impl ChildNetwork {
+    /// Build the network with the default CPT seed.
+    pub fn new() -> Self {
+        Self::with_seed(0x000C_411D)
+    }
+
+    /// Build the network with seeded CPTs. Every row of every CPT is peaked
+    /// on a (config-dependent) preferred value so attributes are genuinely
+    /// dependent on their parents.
+    pub fn with_seed(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let name_index = |n: &str| {
+            STRUCTURE
+                .iter()
+                .position(|(name, _, _)| *name == n)
+                .unwrap_or_else(|| panic!("unknown CHILD node {n}"))
+        };
+        let nodes = STRUCTURE
+            .iter()
+            .map(|(name, card, parent_names)| {
+                let parents: Vec<usize> = parent_names.iter().map(|p| name_index(p)).collect();
+                let configs: usize = parents
+                    .iter()
+                    .map(|&p| STRUCTURE[p].1)
+                    .product::<usize>()
+                    .max(1);
+                let mut cpt = Vec::with_capacity(configs * card);
+                for _ in 0..configs {
+                    cpt.extend(peaked_row(*card, &mut rng));
+                }
+                ChildNode {
+                    name,
+                    card: *card,
+                    parents,
+                    cpt,
+                }
+            })
+            .collect();
+        Self { nodes }
+    }
+
+    /// Number of nodes (20).
+    pub fn arity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Schema with one attribute per node, in topological node order.
+    pub fn schema(&self) -> Arc<Schema> {
+        Schema::new(
+            self.nodes
+                .iter()
+                .map(|n| Attribute::new(n.name, Domain::indexed(n.name, n.card)))
+                .collect(),
+        )
+    }
+
+    /// Mixed-radix index of a parent assignment for `node`, first parent
+    /// most significant.
+    pub fn parent_config(&self, node: usize, values: &[u32]) -> usize {
+        let n = &self.nodes[node];
+        let mut idx = 0usize;
+        for &p in &n.parents {
+            idx = idx * self.nodes[p].card + values[p] as usize;
+        }
+        idx
+    }
+
+    /// Conditional probability `Pr(node = value | parents as in values)`.
+    pub fn cond_prob(&self, node: usize, value: u32, values: &[u32]) -> f64 {
+        let n = &self.nodes[node];
+        let config = self.parent_config(node, values);
+        n.cpt[config * n.card + value as usize]
+    }
+
+    /// Joint probability of a full assignment (one value per node, in node
+    /// order).
+    pub fn joint_prob(&self, values: &[u32]) -> f64 {
+        assert_eq!(values.len(), self.nodes.len());
+        (0..self.nodes.len())
+            .map(|i| self.cond_prob(i, values[i], values))
+            .product()
+    }
+
+    /// Ancestral (forward) sampling of `n` tuples.
+    pub fn sample<R: Rng>(&self, n: usize, rng: &mut R) -> Relation {
+        let mut rel = Relation::with_capacity(self.schema(), n);
+        let mut values = vec![0u32; self.nodes.len()];
+        for _ in 0..n {
+            for (i, node) in self.nodes.iter().enumerate() {
+                let config = self.parent_config(i, &values);
+                let row = &node.cpt[config * node.card..(config + 1) * node.card];
+                values[i] = sample_categorical(row, rng);
+            }
+            rel.push_row(&values);
+        }
+        rel
+    }
+}
+
+impl Default for ChildNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A probability row peaked on a random preferred value: the peak gets
+/// 0.5–0.75 of the mass, the rest is spread by random proportions.
+fn peaked_row<R: Rng>(card: usize, rng: &mut R) -> Vec<f64> {
+    if card == 1 {
+        return vec![1.0];
+    }
+    let peak = rng.gen_range(0..card);
+    let peak_mass = rng.gen_range(0.5..0.75);
+    let mut rest: Vec<f64> = (0..card - 1).map(|_| rng.gen_range(0.1..1.0)).collect();
+    let rest_sum: f64 = rest.iter().sum();
+    rest.iter_mut()
+        .for_each(|r| *r *= (1.0 - peak_mass) / rest_sum);
+    let mut row = Vec::with_capacity(card);
+    let mut rest_iter = rest.into_iter();
+    for v in 0..card {
+        if v == peak {
+            row.push(peak_mass);
+        } else {
+            row.push(rest_iter.next().expect("rest has card-1 entries"));
+        }
+    }
+    row
+}
+
+/// Sample an index from an explicit probability row.
+fn sample_categorical<R: Rng>(probs: &[f64], rng: &mut R) -> u32 {
+    let mut u: f64 = rng.gen();
+    for (i, &p) in probs.iter().enumerate() {
+        u -= p;
+        if u <= 0.0 {
+            return i as u32;
+        }
+    }
+    (probs.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_twenty_topologically_ordered_nodes() {
+        let net = ChildNetwork::new();
+        assert_eq!(net.arity(), 20);
+        for (i, node) in net.nodes.iter().enumerate() {
+            for &p in &node.parents {
+                assert!(p < i, "parent {p} of node {i} must precede it");
+            }
+        }
+    }
+
+    #[test]
+    fn cpt_rows_are_distributions() {
+        let net = ChildNetwork::new();
+        for node in &net.nodes {
+            let configs = node.cpt.len() / node.card;
+            for c in 0..configs {
+                let row = &node.cpt[c * node.card..(c + 1) * node.card];
+                let sum: f64 = row.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-12, "{} config {c}: sum {sum}", node.name);
+                assert!(row.iter().all(|&p| p >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_matches_root_marginal() {
+        let net = ChildNetwork::new();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let data = net.sample(40_000, &mut rng);
+        let counts = data.group_row_counts(&[crate::schema::AttrId(0)]);
+        let p0 = counts.get(&vec![0]).copied().unwrap_or(0) as f64 / 40_000.0;
+        let expected = net.nodes[0].cpt[0];
+        assert!(
+            (p0 - expected).abs() < 0.02,
+            "empirical {p0} vs exact {expected}"
+        );
+    }
+
+    #[test]
+    fn joint_prob_multiplies_factors() {
+        let net = ChildNetwork::new();
+        let values = vec![0u32; 20];
+        let expected: f64 = (0..20).map(|i| net.cond_prob(i, 0, &values)).product();
+        assert!((net.joint_prob(&values) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cpts_are_deterministic_per_seed() {
+        let a = ChildNetwork::with_seed(5);
+        let b = ChildNetwork::with_seed(5);
+        let c = ChildNetwork::with_seed(6);
+        assert_eq!(a.nodes[1].cpt, b.nodes[1].cpt);
+        assert_ne!(a.nodes[1].cpt, c.nodes[1].cpt);
+    }
+
+    #[test]
+    fn schema_matches_cardinalities() {
+        let net = ChildNetwork::new();
+        let schema = net.schema();
+        assert_eq!(schema.arity(), 20);
+        assert_eq!(schema.attr_id("Disease").map(|a| schema.domain(a).size()), Some(6));
+        assert_eq!(schema.attr_id("ChestXray").map(|a| schema.domain(a).size()), Some(5));
+    }
+
+    #[test]
+    fn dependencies_are_nontrivial() {
+        // Disease must actually depend on BirthAsphyxia: the two CPT rows
+        // should differ substantially.
+        let net = ChildNetwork::new();
+        let d = &net.nodes[1];
+        let row0 = &d.cpt[0..d.card];
+        let row1 = &d.cpt[d.card..2 * d.card];
+        let l1: f64 = row0.iter().zip(row1).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 > 0.2, "rows too similar: L1 = {l1}");
+    }
+}

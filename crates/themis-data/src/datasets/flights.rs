@@ -1,0 +1,316 @@
+//! Synthetic US-flights population.
+//!
+//! Stands in for the BTS 2005 flights dataset (n = 6,992,839) used in §6.2.
+//! Attributes and abbreviations follow Table 2 of the paper:
+//!
+//! | attribute      | abrv | domain                          |
+//! |----------------|------|---------------------------------|
+//! | `fl_date`      | F    | 12 months                       |
+//! | `origin_state` | O    | 20 states, Zipf-skewed traffic  |
+//! | `dest_state`   | DE   | 20 states                       |
+//! | `elapsed_time` | E    | 12 equi-width buckets           |
+//! | `distance`     | DT   | 12 equi-width buckets           |
+//!
+//! The generator builds in the correlations the experiments rely on:
+//! distance is determined by the origin/destination pair (plus noise),
+//! elapsed time is strongly correlated with distance (the correlation that
+//! makes LinReg reweighting misbehave in Fig. 14), and month has a seasonal
+//! skew. The paper's biased samples are provided as
+//! [`FlightsDataset::sample_unif`], [`sample_june`](FlightsDataset::sample_june),
+//! [`sample_scorners`](FlightsDataset::sample_scorners), and
+//! [`sample_corners`](FlightsDataset::sample_corners).
+
+use crate::domain::Domain;
+use crate::relation::Relation;
+use crate::sampling::{RowFilter, SampleSpec};
+use crate::schema::{AttrId, Attribute, Schema};
+use rand::distributions::WeightedIndex;
+use rand::prelude::*;
+use std::sync::Arc;
+
+/// The 20 states of the synthetic flights population; the first four are the
+/// paper's "four corner" states CA, NY, FL, WA.
+pub const STATES: [&str; 20] = [
+    "CA", "NY", "FL", "WA", "TX", "IL", "GA", "CO", "AZ", "NC", "VA", "NV", "PA", "MN", "MI",
+    "OH", "NJ", "MA", "OR", "UT",
+];
+
+/// Pseudo-geographic coordinate of each state on a west–east axis, used to
+/// derive flight distances.
+const STATE_POS: [f64; 20] = [
+    0.0, 9.0, 8.5, 0.5, 5.0, 6.5, 7.8, 3.5, 1.5, 8.2, 8.6, 1.0, 8.8, 6.0, 7.0, 7.4, 9.2, 9.6,
+    0.3, 2.0,
+];
+
+/// Seasonal month weights (summer-heavy, like real flight volumes).
+const MONTH_WEIGHTS: [f64; 12] = [
+    0.85, 0.80, 0.95, 1.00, 1.05, 1.30, 1.40, 1.35, 1.00, 0.95, 0.90, 1.05,
+];
+
+/// Number of elapsed-time and distance buckets.
+pub const TIME_BUCKETS: usize = 12;
+
+/// Configuration for the flights generator.
+#[derive(Debug, Clone)]
+pub struct FlightsConfig {
+    /// Population size.
+    pub n: usize,
+    /// RNG seed for the population draw.
+    pub seed: u64,
+    /// Zipf exponent for origin-state popularity.
+    pub zipf: f64,
+    /// Sample fraction for the paper's samples (paper: 0.1).
+    pub sample_fraction: f64,
+}
+
+impl Default for FlightsConfig {
+    fn default() -> Self {
+        Self {
+            n: 500_000,
+            seed: 0x7EE1_5F11,
+            zipf: 0.9,
+            sample_fraction: 0.1,
+        }
+    }
+}
+
+/// A generated flights population together with its schema handles.
+#[derive(Debug, Clone)]
+pub struct FlightsDataset {
+    /// The full population `P`.
+    pub population: Relation,
+    config: FlightsConfig,
+}
+
+/// Attribute ids of the flights schema, in schema order.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightsAttrs {
+    /// `fl_date` (F)
+    pub f: AttrId,
+    /// `origin_state` (O)
+    pub o: AttrId,
+    /// `dest_state` (DE)
+    pub de: AttrId,
+    /// `elapsed_time` (E)
+    pub e: AttrId,
+    /// `distance` (DT)
+    pub dt: AttrId,
+}
+
+impl FlightsDataset {
+    /// The flights schema.
+    pub fn schema() -> Arc<Schema> {
+        let months: Vec<String> = (1..=12).map(|m| format!("{m:02}")).collect();
+        Schema::new(vec![
+            Attribute::new("fl_date", Domain::labeled("fl_date", months)),
+            Attribute::new("origin_state", Domain::of("origin_state", &STATES)),
+            Attribute::new("dest_state", Domain::of("dest_state", &STATES)),
+            Attribute::new("elapsed_time", Domain::indexed("elapsed_time", TIME_BUCKETS)),
+            Attribute::new("distance", Domain::indexed("distance", TIME_BUCKETS)),
+        ])
+    }
+
+    /// Attribute-id handles into the schema.
+    pub fn attrs() -> FlightsAttrs {
+        FlightsAttrs {
+            f: AttrId(0),
+            o: AttrId(1),
+            de: AttrId(2),
+            e: AttrId(3),
+            dt: AttrId(4),
+        }
+    }
+
+    /// Generate the population.
+    pub fn generate(config: FlightsConfig) -> Self {
+        let schema = Self::schema();
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut population = Relation::with_capacity(schema, config.n);
+
+        // Zipf-skewed origin popularity over the 20 states.
+        let origin_weights: Vec<f64> = (0..STATES.len())
+            .map(|i| 1.0 / ((i + 1) as f64).powf(config.zipf))
+            .collect();
+        let origin_dist = WeightedIndex::new(&origin_weights).expect("valid weights");
+        let month_dist = WeightedIndex::new(MONTH_WEIGHTS).expect("valid weights");
+
+        let mut row = [0u32; 5];
+        for _ in 0..config.n {
+            let o = origin_dist.sample(&mut rng);
+            // Destinations mix short-haul affinity with the global skew.
+            let de = if rng.gen_bool(0.3) {
+                // Short-haul: a state geographically near the origin.
+                nearest_state(o, rng.gen_range(0..4))
+            } else {
+                origin_dist.sample(&mut rng)
+            };
+
+            // Distance bucket from pseudo-geography plus noise.
+            let geo = (STATE_POS[o] - STATE_POS[de]).abs() / 9.6; // 0..1
+            let base = (geo * (TIME_BUCKETS - 2) as f64).round() as i64;
+            let dt = (base + rng.gen_range(-1..=1)).clamp(0, TIME_BUCKETS as i64 - 1) as u32;
+
+            // Elapsed time strongly correlated with distance (±1 bucket).
+            let jitter = [-1i64, 0, 0, 0, 1][rng.gen_range(0..5)];
+            let e = (dt as i64 + jitter).clamp(0, TIME_BUCKETS as i64 - 1) as u32;
+
+            // Seasonal month; southern states skew slightly to winter.
+            let mut month = month_dist.sample(&mut rng);
+            if matches!(STATES[o], "FL" | "AZ" | "TX") && rng.gen_bool(0.2) {
+                month = rng.gen_range(0..3); // Jan-Mar tourist season
+            }
+
+            row[0] = month as u32;
+            row[1] = o as u32;
+            row[2] = de as u32;
+            row[3] = e;
+            row[4] = dt;
+            population.push_row(&row);
+        }
+
+        Self { population, config }
+    }
+
+    /// The paper's `Unif` sample: uniform `sample_fraction` of the
+    /// population.
+    pub fn sample_unif<R: Rng>(&self, rng: &mut R) -> Relation {
+        SampleSpec::uniform(self.config.sample_fraction).draw(&self.population, rng)
+    }
+
+    /// The paper's `June` sample: 90% of rows have flight month June.
+    pub fn sample_june<R: Rng>(&self, rng: &mut R) -> Relation {
+        self.sample_biased_on_month(5, 0.9, rng)
+    }
+
+    /// A month-biased sample with explicit bias level.
+    pub fn sample_biased_on_month<R: Rng>(&self, month: u32, bias: f64, rng: &mut R) -> Relation {
+        let filter = RowFilter::Eq(Self::attrs().f, month);
+        SampleSpec::biased(self.config.sample_fraction, filter, bias).draw(&self.population, rng)
+    }
+
+    /// The paper's `SCorners` sample: 90% of rows originate from one of the
+    /// four corner states (CA, NY, FL, WA).
+    pub fn sample_scorners<R: Rng>(&self, rng: &mut R) -> Relation {
+        self.sample_corners_with_bias(0.9, rng)
+    }
+
+    /// The paper's `Corners` sample: 100%-biased corner-state selection; the
+    /// sample's support differs from the population's.
+    pub fn sample_corners<R: Rng>(&self, rng: &mut R) -> Relation {
+        self.sample_corners_with_bias(1.0, rng)
+    }
+
+    /// Corner-state sample with an explicit bias level (used for the Fig. 5
+    /// bias sweep from 1.0 down to 0.9).
+    pub fn sample_corners_with_bias<R: Rng>(&self, bias: f64, rng: &mut R) -> Relation {
+        let filter = RowFilter::In(Self::attrs().o, vec![0, 1, 2, 3]);
+        SampleSpec::biased(self.config.sample_fraction, filter, bias).draw(&self.population, rng)
+    }
+
+    /// Population size `n`.
+    pub fn population_size(&self) -> usize {
+        self.population.len()
+    }
+}
+
+/// The `k`-th nearest state to `origin` by the west–east coordinate
+/// (excluding the origin itself).
+fn nearest_state(origin: usize, k: usize) -> usize {
+    let mut others: Vec<usize> = (0..STATES.len()).filter(|&s| s != origin).collect();
+    others.sort_by(|&a, &b| {
+        let da = (STATE_POS[a] - STATE_POS[origin]).abs();
+        let db = (STATE_POS[b] - STATE_POS[origin]).abs();
+        da.partial_cmp(&db).expect("finite distances")
+    });
+    others[k.min(others.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FlightsDataset {
+        FlightsDataset::generate(FlightsConfig {
+            n: 20_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let d = small();
+        assert_eq!(d.population.len(), 20_000);
+    }
+
+    #[test]
+    fn origin_states_are_zipf_skewed() {
+        let d = small();
+        let counts = d.population.group_counts(&[FlightsDataset::attrs().o]);
+        let ca = counts.get(&vec![0]).copied().unwrap_or(0.0);
+        let ut = counts.get(&vec![19]).copied().unwrap_or(0.0);
+        assert!(ca > 3.0 * ut, "CA ({ca}) should dominate UT ({ut})");
+    }
+
+    #[test]
+    fn elapsed_time_tracks_distance() {
+        let d = small();
+        let a = FlightsDataset::attrs();
+        let mut close = 0usize;
+        for r in 0..d.population.len() {
+            let e = d.population.value(r, a.e) as i64;
+            let dt = d.population.value(r, a.dt) as i64;
+            if (e - dt).abs() <= 1 {
+                close += 1;
+            }
+        }
+        assert_eq!(close, d.population.len(), "E must be within 1 bucket of DT");
+    }
+
+    #[test]
+    fn corners_sample_is_pure_selection() {
+        let d = small();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let s = d.sample_corners(&mut rng);
+        let a = FlightsDataset::attrs();
+        for r in 0..s.len() {
+            assert!(s.value(r, a.o) < 4, "corners sample must only hold corner origins");
+        }
+    }
+
+    #[test]
+    fn scorners_sample_is_ninety_percent_biased() {
+        let d = small();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let s = d.sample_scorners(&mut rng);
+        let a = FlightsDataset::attrs();
+        let corners = (0..s.len()).filter(|&r| s.value(r, a.o) < 4).count();
+        let frac = corners as f64 / s.len() as f64;
+        assert!((frac - 0.9).abs() < 0.02, "corner fraction {frac} should be ~0.9");
+    }
+
+    #[test]
+    fn june_sample_is_month_biased() {
+        let d = small();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let s = d.sample_june(&mut rng);
+        let a = FlightsDataset::attrs();
+        let june = (0..s.len()).filter(|&r| s.value(r, a.f) == 5).count();
+        let frac = june as f64 / s.len() as f64;
+        assert!(frac > 0.85, "June fraction {frac} should be ~0.9");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = FlightsDataset::generate(FlightsConfig {
+            n: 1000,
+            ..Default::default()
+        });
+        let b = FlightsDataset::generate(FlightsConfig {
+            n: 1000,
+            ..Default::default()
+        });
+        for r in (0..1000).step_by(97) {
+            assert_eq!(a.population.row(r), b.population.row(r));
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Synthetic IMDB actor–movie population.
+//!
+//! Stands in for the IMDB dataset of §6.2 (actor–movie pairs released in the
+//! US, Great Britain, and Canada; n = 846,380). Attributes follow Table 2:
+//!
+//! | attribute       | abrv | domain                                   |
+//! |-----------------|------|------------------------------------------|
+//! | `movie_year`    | MY   | 15 year buckets                          |
+//! | `movie_country` | MC   | {US, GB, CA}, skewed                     |
+//! | `name`          | N    | very dense (default 20,000 actor names)  |
+//! | `gender`        | G    | {M, F}                                   |
+//! | `actor_birth`   | B    | 15 year buckets, correlated with MY      |
+//! | `rating`        | RG   | 10 ratings (1..10), unimodal, MC-shifted |
+//! | `top_250_rank`  | TR   | {unranked, decile 1..10}, mostly unranked|
+//! | `runtime`       | RT   | 12 buckets, correlated with MY and RG    |
+//!
+//! The dense `N` attribute reproduces the paper's key IMDB failure mode: a
+//! Bayesian network learns `N` as (nearly) uniform and badly underestimates
+//! point queries over it (§6.4). The paper's aggregates only ever cover
+//! {MY, MC, G, RG, RT}, exercising non-covering aggregate sets.
+
+use crate::domain::Domain;
+use crate::relation::Relation;
+use crate::sampling::{RowFilter, SampleSpec};
+use crate::schema::{AttrId, Attribute, Schema};
+use rand::distributions::WeightedIndex;
+use rand::prelude::*;
+use std::sync::Arc;
+
+/// Number of movie-year and actor-birth buckets.
+pub const YEAR_BUCKETS: usize = 15;
+/// Number of runtime buckets.
+pub const RUNTIME_BUCKETS: usize = 12;
+/// Number of distinct ratings.
+pub const RATINGS: usize = 10;
+
+/// Configuration for the IMDB generator.
+#[derive(Debug, Clone)]
+pub struct ImdbConfig {
+    /// Population size.
+    pub n: usize,
+    /// Number of distinct actor names (the dense `N` domain). The paper's
+    /// dataset has ~48,000; default here is 20,000.
+    pub names: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Sample fraction for the paper's samples (paper: 0.1).
+    pub sample_fraction: f64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        Self {
+            n: 200_000,
+            names: 20_000,
+            seed: 0x1_4DB5,
+            sample_fraction: 0.1,
+        }
+    }
+}
+
+/// Attribute ids of the IMDB schema, in schema order.
+#[derive(Debug, Clone, Copy)]
+pub struct ImdbAttrs {
+    /// `movie_year` (MY)
+    pub my: AttrId,
+    /// `movie_country` (MC)
+    pub mc: AttrId,
+    /// `name` (N)
+    pub n: AttrId,
+    /// `gender` (G)
+    pub g: AttrId,
+    /// `actor_birth` (B)
+    pub b: AttrId,
+    /// `rating` (RG)
+    pub rg: AttrId,
+    /// `top_250_rank` (TR)
+    pub tr: AttrId,
+    /// `runtime` (RT)
+    pub rt: AttrId,
+}
+
+/// A generated IMDB population.
+#[derive(Debug, Clone)]
+pub struct ImdbDataset {
+    /// The full population `P`.
+    pub population: Relation,
+    config: ImdbConfig,
+}
+
+impl ImdbDataset {
+    /// Build the IMDB schema for a given dense-name domain size.
+    pub fn schema(names: usize) -> Arc<Schema> {
+        Schema::new(vec![
+            Attribute::new("movie_year", Domain::indexed("movie_year", YEAR_BUCKETS)),
+            Attribute::new("movie_country", Domain::of("movie_country", &["US", "GB", "CA"])),
+            Attribute::new("name", Domain::indexed("name", names)),
+            Attribute::new("gender", Domain::of("gender", &["M", "F"])),
+            Attribute::new("actor_birth", Domain::indexed("actor_birth", YEAR_BUCKETS)),
+            Attribute::new(
+                "rating",
+                Domain::labeled("rating", (1..=RATINGS).map(|r| r.to_string()).collect()),
+            ),
+            Attribute::new("top_250_rank", Domain::indexed("top_250_rank", 11)),
+            Attribute::new("runtime", Domain::indexed("runtime", RUNTIME_BUCKETS)),
+        ])
+    }
+
+    /// Attribute-id handles into the schema.
+    pub fn attrs() -> ImdbAttrs {
+        ImdbAttrs {
+            my: AttrId(0),
+            mc: AttrId(1),
+            n: AttrId(2),
+            g: AttrId(3),
+            b: AttrId(4),
+            rg: AttrId(5),
+            tr: AttrId(6),
+            rt: AttrId(7),
+        }
+    }
+
+    /// Generate the population.
+    pub fn generate(config: ImdbConfig) -> Self {
+        let schema = Self::schema(config.names);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut population = Relation::with_capacity(schema, config.n);
+
+        // Movie years skew recent.
+        let year_weights: Vec<f64> = (0..YEAR_BUCKETS).map(|i| 0.5 + i as f64 * 0.15).collect();
+        let year_dist = WeightedIndex::new(&year_weights).expect("valid weights");
+        // Country skew: mostly US.
+        let country_dist = WeightedIndex::new([0.62, 0.23, 0.15]).expect("valid weights");
+        // Actor names: Zipf-skewed over a dense domain (prolific actors).
+        let name_weights: Vec<f64> = (0..config.names)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(1.07))
+            .collect();
+        let name_dist = WeightedIndex::new(&name_weights).expect("valid weights");
+
+        let mut row = [0u32; 8];
+        for _ in 0..config.n {
+            let my = year_dist.sample(&mut rng);
+            let mc = country_dist.sample(&mut rng);
+            let name = name_dist.sample(&mut rng);
+            let g = usize::from(rng.gen_bool(0.35)); // 0 = M, 1 = F
+
+            // Actors are typically born ~2 buckets before their movies.
+            let b = (my as i64 - 2 + rng.gen_range(-2..=1)).clamp(0, YEAR_BUCKETS as i64 - 1);
+
+            // Ratings unimodal around 6, GB slightly higher, CA slightly
+            // lower (MC↔RG correlation, the SR159 bias attribute).
+            let shift: i64 = match mc {
+                1 => 1,
+                2 => -1,
+                _ => 0,
+            };
+            let base: i64 = 5 + shift;
+            let spread = rng.gen_range(-3i64..=3) + rng.gen_range(-2i64..=2);
+            let rg = (base + spread / 2).clamp(0, RATINGS as i64 - 1);
+
+            // Only highly rated movies enter the top 250 (TR 0 = unranked).
+            let tr = if rg >= 8 && rng.gen_bool(0.25) {
+                rng.gen_range(1..=10)
+            } else {
+                0
+            };
+
+            // Runtime grows with year and rating.
+            let rt = ((my as f64 * 0.45) + (rg as f64 * 0.35) + rng.gen_range(-1.5..=1.5))
+                .round()
+                .clamp(0.0, RUNTIME_BUCKETS as f64 - 1.0) as u32;
+
+            row[0] = my as u32;
+            row[1] = mc as u32;
+            row[2] = name as u32;
+            row[3] = g as u32;
+            row[4] = b as u32;
+            row[5] = rg as u32;
+            row[6] = tr as u32;
+            row[7] = rt;
+            population.push_row(&row);
+        }
+
+        Self { population, config }
+    }
+
+    /// The paper's `Unif` sample.
+    pub fn sample_unif<R: Rng>(&self, rng: &mut R) -> Relation {
+        SampleSpec::uniform(self.config.sample_fraction).draw(&self.population, rng)
+    }
+
+    /// The paper's `GB` sample: 90% of rows have movie country Great
+    /// Britain.
+    pub fn sample_gb<R: Rng>(&self, rng: &mut R) -> Relation {
+        let filter = RowFilter::Eq(Self::attrs().mc, 1);
+        SampleSpec::biased(self.config.sample_fraction, filter, 0.9).draw(&self.population, rng)
+    }
+
+    /// The paper's `SR159` sample: 90% of rows have rating 1, 5, or 9.
+    pub fn sample_sr159<R: Rng>(&self, rng: &mut R) -> Relation {
+        self.sample_r159_with_bias(0.9, rng)
+    }
+
+    /// The paper's `R159` sample: a pure (100%-biased) selection of ratings
+    /// 1, 5, 9 — support differs from the population.
+    pub fn sample_r159<R: Rng>(&self, rng: &mut R) -> Relation {
+        self.sample_r159_with_bias(1.0, rng)
+    }
+
+    /// Ratings-{1,5,9} sample with an explicit bias level.
+    pub fn sample_r159_with_bias<R: Rng>(&self, bias: f64, rng: &mut R) -> Relation {
+        // Ratings 1, 5, 9 are domain ids 0, 4, 8.
+        let filter = RowFilter::In(Self::attrs().rg, vec![0, 4, 8]);
+        SampleSpec::biased(self.config.sample_fraction, filter, bias).draw(&self.population, rng)
+    }
+
+    /// Population size `n`.
+    pub fn population_size(&self) -> usize {
+        self.population.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ImdbDataset {
+        ImdbDataset::generate(ImdbConfig {
+            n: 20_000,
+            names: 2_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generates_requested_size_and_arity() {
+        let d = small();
+        assert_eq!(d.population.len(), 20_000);
+        assert_eq!(d.population.schema().arity(), 8);
+    }
+
+    #[test]
+    fn names_are_dense_and_skewed() {
+        let d = small();
+        let counts = d.population.group_row_counts(&[ImdbDataset::attrs().n]);
+        assert!(counts.len() > 1_000, "should touch many distinct names");
+        let top = counts.values().max().copied().unwrap();
+        assert!(top > 50, "most prolific actor should dominate");
+    }
+
+    #[test]
+    fn gb_movies_rate_higher_than_ca() {
+        let d = small();
+        let a = ImdbDataset::attrs();
+        let mean_rating = |mc: u32| {
+            let mut sum = 0.0;
+            let mut cnt = 0.0;
+            for r in 0..d.population.len() {
+                if d.population.value(r, a.mc) == mc {
+                    sum += d.population.value(r, a.rg) as f64;
+                    cnt += 1.0;
+                }
+            }
+            sum / cnt
+        };
+        assert!(mean_rating(1) > mean_rating(2), "GB should out-rate CA");
+    }
+
+    #[test]
+    fn top250_requires_high_rating() {
+        let d = small();
+        let a = ImdbDataset::attrs();
+        for r in 0..d.population.len() {
+            if d.population.value(r, a.tr) != 0 {
+                assert!(d.population.value(r, a.rg) >= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn r159_sample_only_holds_selected_ratings() {
+        let d = small();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = d.sample_r159(&mut rng);
+        let a = ImdbDataset::attrs();
+        for r in 0..s.len() {
+            assert!(matches!(s.value(r, a.rg), 0 | 4 | 8));
+        }
+    }
+
+    #[test]
+    fn gb_sample_is_country_biased() {
+        let d = small();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let s = d.sample_gb(&mut rng);
+        let a = ImdbDataset::attrs();
+        let gb = (0..s.len()).filter(|&r| s.value(r, a.mc) == 1).count();
+        assert!(gb as f64 / s.len() as f64 > 0.85);
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic population generators.
+//!
+//! The paper evaluates on three datasets: US domestic flights (2005), an
+//! IMDB actor–movie join, and data sampled from the CHILD Bayesian network.
+//! We do not have the original data, so each generator synthesizes a
+//! population with the same schema shape and — critically — the same
+//! *structural* properties the experiments exercise: skewed marginals,
+//! cross-attribute correlations, a very dense attribute (IMDB's `name`), and
+//! a known ground-truth network (CHILD). See DESIGN.md §2 for the full
+//! substitution table.
+
+pub mod child;
+pub mod flights;
+pub mod imdb;
+
+pub use child::{ChildNetwork, ChildNode};
+pub use flights::{FlightsConfig, FlightsDataset};
+pub use imdb::{ImdbConfig, ImdbDataset};

@@ -1,0 +1,130 @@
+//! Discrete, ordered active domains.
+//!
+//! Themis assumes the active domain of each attribute is discrete and
+//! ordered (§3 of the paper); continuous attributes are bucketized into
+//! equi-width buckets before ingestion. A [`Domain`] maps dense value ids
+//! (`0..size`) to human-readable labels and back.
+
+use std::collections::HashMap;
+
+/// A discrete, ordered active domain for one attribute.
+///
+/// Values are stored in relations as dense `u32` ids indexing into this
+/// domain's label table. The ordering of ids is the domain order, which is
+/// what range predicates (`<`, `<=`, ...) compare against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    name: String,
+    labels: Vec<String>,
+    
+    index: HashMap<String, u32>,
+}
+
+impl Domain {
+    /// Build a domain from an ordered list of labels.
+    ///
+    /// # Panics
+    /// Panics if `labels` is empty or contains duplicates.
+    pub fn labeled(name: impl Into<String>, labels: Vec<String>) -> Self {
+        assert!(!labels.is_empty(), "domain must have at least one value");
+        let mut index = HashMap::with_capacity(labels.len());
+        for (i, l) in labels.iter().enumerate() {
+            let prev = index.insert(l.clone(), i as u32);
+            assert!(prev.is_none(), "duplicate domain label: {l}");
+        }
+        Self {
+            name: name.into(),
+            labels,
+            index,
+        }
+    }
+
+    /// Build a domain of `size` values labeled `"0"`, `"1"`, ... in order.
+    pub fn indexed(name: impl Into<String>, size: usize) -> Self {
+        Self::labeled(name, (0..size).map(|i| i.to_string()).collect())
+    }
+
+    /// Build a domain from string slices.
+    pub fn of(name: impl Into<String>, labels: &[&str]) -> Self {
+        Self::labeled(name, labels.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Domain name (usually the attribute name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of values in the active domain (`N_i` in the paper).
+    pub fn size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Label for a value id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn label(&self, id: u32) -> &str {
+        &self.labels[id as usize]
+    }
+
+    /// Look up the value id of a label, if present.
+    pub fn id_of(&self, label: &str) -> Option<u32> {
+        self.index.get(label).copied()
+    }
+
+    /// All labels in domain order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Iterate over all value ids.
+    pub fn ids(&self) -> impl Iterator<Item = u32> + '_ {
+        0..self.size() as u32
+    }
+
+    /// Whether `id` is a valid value of this domain.
+    pub fn contains(&self, id: u32) -> bool {
+        (id as usize) < self.labels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_round_trips() {
+        let d = Domain::of("state", &["CA", "NY", "FL"]);
+        assert_eq!(d.size(), 3);
+        assert_eq!(d.label(1), "NY");
+        assert_eq!(d.id_of("FL"), Some(2));
+        assert_eq!(d.id_of("WA"), None);
+        assert!(d.contains(2));
+        assert!(!d.contains(3));
+    }
+
+    #[test]
+    fn indexed_labels_are_numeric() {
+        let d = Domain::indexed("bucket", 4);
+        assert_eq!(d.labels(), &["0", "1", "2", "3"]);
+        assert_eq!(d.id_of("2"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_labels() {
+        Domain::of("x", &["a", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_domain() {
+        Domain::labeled("x", vec![]);
+    }
+
+    #[test]
+    fn ids_iterates_in_order() {
+        let d = Domain::indexed("x", 3);
+        assert_eq!(d.ids().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,77 @@
+//! The running example from the paper (Example 3.1): a toy population and
+//! biased sample of domestic US flights.
+//!
+//! Exposed publicly because downstream crates use it to verify their
+//! algorithms against the worked examples in the paper (Examples 4.1, 4.2,
+//! and 5.1 all build on this data).
+
+use crate::domain::Domain;
+use crate::relation::Relation;
+use crate::schema::{Attribute, Schema};
+use std::sync::Arc;
+
+/// Schema of Example 3.1: `date ∈ {01, 02}`, `o_st, d_st ∈ {FL, NC, NY}`.
+pub fn example_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Attribute::new("date", Domain::of("date", &["01", "02"])),
+        Attribute::new("o_st", Domain::of("o_st", &["FL", "NC", "NY"])),
+        Attribute::new("d_st", Domain::of("d_st", &["FL", "NC", "NY"])),
+    ])
+}
+
+/// The 10-tuple population `P` of Example 3.1.
+pub fn example_population() -> Relation {
+    let mut p = Relation::new(example_schema());
+    for row in [
+        ["01", "FL", "FL"],
+        ["01", "FL", "FL"],
+        ["02", "FL", "NY"],
+        ["01", "NC", "FL"],
+        ["02", "NC", "NY"],
+        ["02", "NC", "NY"],
+        ["02", "NC", "NY"],
+        ["01", "NY", "FL"],
+        ["01", "NY", "NC"],
+        ["02", "NY", "NY"],
+    ] {
+        p.push_row_labels(&row);
+    }
+    p
+}
+
+/// The 4-tuple sample `S` of Example 3.1 (drawn non-uniformly from `P`).
+pub fn example_sample() -> Relation {
+    let mut s = Relation::new(example_schema());
+    for row in [
+        ["01", "FL", "FL"],
+        ["01", "FL", "FL"],
+        ["02", "NC", "NY"],
+        ["01", "NY", "NC"],
+    ] {
+        s.push_row_labels(&row);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrId;
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(example_population().len(), 10);
+        assert_eq!(example_sample().len(), 4);
+    }
+
+    #[test]
+    fn sample_is_subset_of_population() {
+        let p = example_population();
+        let s = example_sample();
+        let attrs: Vec<AttrId> = p.schema().attr_ids().collect();
+        for row in 0..s.len() {
+            let vals = s.row(row);
+            assert!(p.contains_point(&attrs, &vals));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Biased sampling mechanisms.
+//!
+//! The paper's evaluation (§6.2) draws samples from each population with a
+//! *selection bias*: an `X` percent sample with a `Y` percent bias means the
+//! sample holds `X%` of the population rows and `Y%` of those rows satisfy a
+//! selection criterion (e.g. "flight month is June" or "origin state is one
+//! of CA, NY, FL, WA"). A 100-percent bias corresponds to a pure selection
+//! (the paper's Corners / R159 samples): tuples outside the criterion have
+//! zero sampling probability, so the sample's support differs from the
+//! population's.
+//!
+//! The sampling probability `Pr_S(t)` is never exposed to the debiasing
+//! algorithms — knowing it would make the Horvitz-Thompson estimator
+//! applicable and defeat the point of the system.
+
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A simple row-level selection criterion used to induce sample bias.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowFilter {
+    /// Attribute equals a value.
+    Eq(AttrId, u32),
+    /// Attribute value is in a set.
+    In(AttrId, Vec<u32>),
+    /// Conjunction of filters.
+    And(Vec<RowFilter>),
+}
+
+impl RowFilter {
+    /// Whether the filter matches `row` of `rel`.
+    pub fn matches(&self, rel: &Relation, row: usize) -> bool {
+        match self {
+            RowFilter::Eq(a, v) => rel.value(row, *a) == *v,
+            RowFilter::In(a, vs) => vs.contains(&rel.value(row, *a)),
+            RowFilter::And(fs) => fs.iter().all(|f| f.matches(rel, row)),
+        }
+    }
+}
+
+/// Specification of a biased sample draw.
+#[derive(Debug, Clone)]
+pub struct SampleSpec {
+    /// Fraction of the population to include, in `(0, 1]`.
+    pub fraction: f64,
+    /// Bias and its selection criterion: `Some((criterion, bias))` draws
+    /// `bias` of the sample rows from tuples matching the criterion
+    /// (`bias = 1.0` is a pure selection); `None` draws uniformly.
+    pub bias: Option<(RowFilter, f64)>,
+}
+
+impl SampleSpec {
+    /// A uniform sample of the given fraction.
+    pub fn uniform(fraction: f64) -> Self {
+        Self {
+            fraction,
+            bias: None,
+        }
+    }
+
+    /// A biased sample: `bias` of the rows match `filter`, the rest are
+    /// drawn from the complement.
+    pub fn biased(fraction: f64, filter: RowFilter, bias: f64) -> Self {
+        Self {
+            fraction,
+            bias: Some((filter, bias)),
+        }
+    }
+
+    /// Draw the sample from `population`.
+    ///
+    /// Rows are drawn without replacement; weights of the sample are reset
+    /// to 1 (the sample itself carries no information about `Pr_S`).
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `(0, 1]` or `bias` outside `[0, 1]`.
+    pub fn draw<R: Rng>(&self, population: &Relation, rng: &mut R) -> Relation {
+        assert!(
+            self.fraction > 0.0 && self.fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
+        let n = population.len();
+        let ns = ((n as f64) * self.fraction).round().max(1.0) as usize;
+
+        let rows: Vec<usize> = match &self.bias {
+            None => sample_without_replacement(n, ns, rng),
+            Some((filter, bias)) => {
+                assert!((0.0..=1.0).contains(bias), "bias must be in [0, 1]");
+                let mut matching = Vec::new();
+                let mut other = Vec::new();
+                for r in 0..n {
+                    if filter.matches(population, r) {
+                        matching.push(r);
+                    } else {
+                        other.push(r);
+                    }
+                }
+                let want_biased = ((ns as f64) * bias).round() as usize;
+                let take_biased = want_biased.min(matching.len());
+                let take_other = (ns - take_biased).min(other.len());
+                matching.shuffle(rng);
+                other.shuffle(rng);
+                let mut rows: Vec<usize> = matching[..take_biased].to_vec();
+                rows.extend_from_slice(&other[..take_other]);
+                rows
+            }
+        };
+
+        let mut sample = population.select_rows(&rows);
+        sample.fill_weights(1.0);
+        sample
+    }
+}
+
+/// Draw `k` distinct indices from `0..n` (k clamped to n).
+fn sample_without_replacement<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let k = k.min(n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example::example_population;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_sample_has_requested_size() {
+        let p = example_population();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = SampleSpec::uniform(0.5).draw(&p, &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.weights().iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn fully_biased_sample_only_matches_filter() {
+        let p = example_population();
+        let mut rng = SmallRng::seed_from_u64(2);
+        // 100% bias towards date = 01 (value id 0).
+        let filter = RowFilter::Eq(AttrId(0), 0);
+        let s = SampleSpec::biased(0.4, filter.clone(), 1.0).draw(&p, &mut rng);
+        assert_eq!(s.len(), 4);
+        for r in 0..s.len() {
+            assert!(filter.matches(&s, r));
+        }
+    }
+
+    #[test]
+    fn partial_bias_mixes_matching_and_other() {
+        let p = example_population();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let filter = RowFilter::Eq(AttrId(0), 0); // date = 01 (5 of 10 rows)
+        // 50% bias of a 40% sample: 2 matching + 2 non-matching rows.
+        let s = SampleSpec::biased(0.4, filter.clone(), 0.5).draw(&p, &mut rng);
+        let matching = (0..s.len()).filter(|&r| filter.matches(&s, r)).count();
+        assert_eq!(s.len(), 4);
+        assert_eq!(matching, 2);
+    }
+
+    #[test]
+    fn bias_clamps_when_selection_is_small() {
+        let p = example_population();
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Only one row has o_st = NC, d_st = FL... use In filter on a rare
+        // value: o_st = FL appears 3 times; ask for 80% of 10 rows biased.
+        let filter = RowFilter::Eq(AttrId(1), 0);
+        let s = SampleSpec::biased(1.0, filter.clone(), 0.8).draw(&p, &mut rng);
+        // Wanted 8 biased rows, only 3 exist; sample tops up from others.
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn and_filter_requires_all_conjuncts() {
+        let p = example_population();
+        let f = RowFilter::And(vec![
+            RowFilter::Eq(AttrId(1), 1), // o_st = NC
+            RowFilter::Eq(AttrId(2), 2), // d_st = NY
+        ]);
+        let matches: Vec<usize> = (0..p.len()).filter(|&r| f.matches(&p, r)).collect();
+        assert_eq!(matches, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn in_filter_matches_any_listed_value() {
+        let p = example_population();
+        let f = RowFilter::In(AttrId(1), vec![0, 2]); // o_st in {FL, NY}
+        let count = (0..p.len()).filter(|&r| f.matches(&p, r)).count();
+        assert_eq!(count, 6);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the data substrate.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_data::bucketize::Bucketizer;
+use themis_data::sampling::{RowFilter, SampleSpec};
+use themis_data::{AttrId, Attribute, Domain, Relation, Schema};
+
+/// Build a relation with `rows` random rows over `cards` domains.
+fn random_relation(cards: &[usize], rows: &[Vec<u32>]) -> Relation {
+    let schema = Schema::new(
+        cards
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Attribute::new(format!("a{i}"), Domain::indexed(format!("a{i}"), c)))
+            .collect(),
+    );
+    let mut rel = Relation::new(schema);
+    for row in rows {
+        rel.push_row(row);
+    }
+    rel
+}
+
+fn relation_strategy() -> impl Strategy<Value = Relation> {
+    (prop::collection::vec(2usize..5, 1..4)).prop_flat_map(|cards| {
+        let row = cards
+            .iter()
+            .map(|&c| 0u32..c as u32)
+            .collect::<Vec<_>>();
+        prop::collection::vec(row, 1..40)
+            .prop_map(move |rows| random_relation(&cards, &rows))
+    })
+}
+
+proptest! {
+    #[test]
+    fn group_counts_partition_total_weight(rel in relation_strategy()) {
+        let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+        for a in &attrs {
+            let groups = rel.group_counts(&[*a]);
+            let sum: f64 = groups.values().sum();
+            prop_assert!((sum - rel.total_weight()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn point_count_agrees_with_group_counts(rel in relation_strategy()) {
+        let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+        let groups = rel.group_counts(&attrs);
+        for (key, count) in groups {
+            prop_assert_eq!(rel.point_count(&attrs, &key), count);
+            prop_assert!(rel.contains_point(&attrs, &key));
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_proportions(rel in relation_strategy(), target in 1.0f64..1e6) {
+        let mut r = rel.clone();
+        let before: Vec<f64> = r.weights().to_vec();
+        r.normalize_weights_to(target);
+        prop_assert!((r.total_weight() - target).abs() / target < 1e-9);
+        let scale = target / rel.total_weight();
+        for (b, a) in before.iter().zip(r.weights()) {
+            prop_assert!((b * scale - a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_sample_size_is_exact(rel in relation_strategy(), frac in 0.1f64..1.0, seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let s = SampleSpec::uniform(frac).draw(&rel, &mut rng);
+        let expected = ((rel.len() as f64) * frac).round().max(1.0) as usize;
+        prop_assert_eq!(s.len(), expected.min(rel.len()));
+    }
+
+    #[test]
+    fn biased_sample_rows_come_from_population(rel in relation_strategy(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let filter = RowFilter::Eq(AttrId(0), 0);
+        let s = SampleSpec::biased(0.5, filter, 0.8).draw(&rel, &mut rng);
+        let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+        for r in 0..s.len() {
+            prop_assert!(rel.contains_point(&attrs, &s.row(r)));
+        }
+    }
+
+    #[test]
+    fn bucketizer_is_monotone(lo in -100.0f64..0.0, width in 1.0f64..100.0, k in 2usize..20) {
+        let b = Bucketizer::new(lo, lo + width, k);
+        let mut prev = 0;
+        for i in 0..=50 {
+            let v = lo + width * (i as f64) / 50.0;
+            let bucket = b.bucket(v);
+            prop_assert!(bucket >= prev, "bucket must not decrease");
+            prop_assert!((bucket as usize) < k);
+            prev = bucket;
+        }
+    }
+
+    #[test]
+    fn bucket_midpoints_lie_in_range(lo in -50.0f64..50.0, width in 0.5f64..50.0, k in 1usize..12) {
+        let b = Bucketizer::new(lo, lo + width, k);
+        for i in 0..k as u32 {
+            let m = b.midpoint(i);
+            prop_assert!(m > lo && m < lo + width + 1e-9);
+            prop_assert_eq!(b.bucket(m), i);
+        }
+    }
+}

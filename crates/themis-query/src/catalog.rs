@@ -1,0 +1,57 @@
+//! Named relation catalog.
+
+use std::collections::HashMap;
+use themis_data::Relation;
+
+/// A catalog mapping table names to weighted relations.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Relation>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&mut self, name: impl Into<String>, relation: Relation) {
+        self.tables.insert(name.into(), relation);
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.tables.get(name)
+    }
+
+    /// Registered table names (unordered).
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_data::paper_example::example_sample;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register("flights", example_sample());
+        assert!(c.get("flights").is_some());
+        assert!(c.get("missing").is_none());
+        assert_eq!(c.table_names().count(), 1);
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut c = Catalog::new();
+        c.register("t", example_sample());
+        let mut r2 = example_sample();
+        r2.fill_weights(9.0);
+        c.register("t", r2);
+        assert_eq!(c.get("t").unwrap().weights()[0], 9.0);
+    }
+}

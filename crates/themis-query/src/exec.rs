@@ -1,0 +1,827 @@
+//! Query execution: name resolution, predicate compilation, hash group-by,
+//! and hash self-join.
+
+use crate::catalog::Catalog;
+use crate::value::{QueryResult, Value};
+use std::collections::HashMap;
+use std::fmt;
+use themis_data::{AttrId, Relation};
+use themis_sql::{
+    AggFunc, ColumnRef, Comparison, Literal, Predicate, Query, SelectItem,
+};
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// FROM references a table not in the catalog.
+    UnknownTable(String),
+    /// A column does not resolve against any bound table.
+    UnknownColumn(String),
+    /// A query shape the engine does not support.
+    Unsupported(String),
+    /// SQL failed to parse (from [`run_sql`]).
+    Parse(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            ExecError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            ExecError::Parse(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Parse and execute a SQL string against a catalog.
+pub fn run_sql(catalog: &Catalog, sql: &str) -> Result<QueryResult, ExecError> {
+    let query = themis_sql::parse(sql).map_err(|e| ExecError::Parse(e.to_string()))?;
+    execute(catalog, &query)
+}
+
+/// Execute a parsed query.
+pub fn execute(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecError> {
+    let mut result = match query.from.len() {
+        1 => execute_scan(catalog, query)?,
+        2 => execute_join(catalog, query)?,
+        n => return Err(ExecError::Unsupported(format!("{n} tables in FROM"))),
+    };
+    if let Some(order) = &query.order_by {
+        apply_order_by(&mut result, order)?;
+    }
+    if let Some(limit) = query.limit {
+        result.rows.truncate(limit);
+    }
+    Ok(result)
+}
+
+/// Sort the result rows by a named output column.
+fn apply_order_by(
+    result: &mut QueryResult,
+    order: &themis_sql::OrderBy,
+) -> Result<(), ExecError> {
+    let idx = result
+        .columns
+        .iter()
+        .position(|c| c.eq_ignore_ascii_case(&order.column))
+        .ok_or_else(|| {
+            ExecError::UnknownColumn(format!("ORDER BY {} (not an output column)", order.column))
+        })?;
+    result.rows.sort_by(|a, b| {
+        let ord = match (&a[idx], &b[idx]) {
+            (Value::Num(x), Value::Num(y)) => x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal),
+            (Value::Str(x), Value::Str(y)) => x.cmp(y),
+            // Mixed cell types cannot arise within one column.
+            _ => std::cmp::Ordering::Equal,
+        };
+        if order.desc {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    Ok(())
+}
+
+/// A column resolved to (table slot, attribute).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Resolved {
+    table: usize,
+    attr: AttrId,
+}
+
+/// Resolve a column against the bound tables. The magic column `weight`
+/// (absent from the schema) resolves to `None` — it denotes the implicit
+/// weight column.
+fn resolve(
+    col: &ColumnRef,
+    bindings: &[(&str, &Relation)],
+) -> Result<Option<Resolved>, ExecError> {
+    let candidates: Vec<usize> = bindings
+        .iter()
+        .enumerate()
+        .filter(|(_, (name, _))| col.table.as_deref().is_none_or(|t| t == *name))
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return Err(ExecError::UnknownColumn(col.to_string()));
+    }
+    let mut found = None;
+    for i in candidates {
+        if let Some(attr) = bindings[i].1.schema().attr_id(&col.column) {
+            if found.is_some() {
+                return Err(ExecError::Unsupported(format!(
+                    "ambiguous column {col}; qualify it with a table alias"
+                )));
+            }
+            found = Some(Resolved { table: i, attr });
+        }
+    }
+    match found {
+        Some(r) => Ok(Some(r)),
+        None if col.column.eq_ignore_ascii_case("weight") => Ok(None),
+        None => Err(ExecError::UnknownColumn(col.to_string())),
+    }
+}
+
+/// Numeric key of each domain value: the label parsed as a number when
+/// possible, else the value id. Used for range comparisons and AVG/SUM.
+fn numeric_keys(rel: &Relation, attr: AttrId) -> Vec<f64> {
+    rel.schema()
+        .domain(attr)
+        .labels()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| l.parse::<f64>().unwrap_or(i as f64))
+        .collect()
+}
+
+/// Compile a non-join predicate into a per-value-id admission mask.
+fn compile_mask(
+    rel: &Relation,
+    attr: AttrId,
+    op: Comparison,
+    value: &Literal,
+) -> Result<Vec<bool>, ExecError> {
+    let domain = rel.schema().domain(attr);
+    let n = domain.size();
+    let mask: Vec<bool> = match value {
+        Literal::Str(s) => {
+            let id = domain.id_of(s);
+            match op {
+                Comparison::Eq => (0..n).map(|i| Some(i as u32) == id).collect(),
+                Comparison::Ne => (0..n).map(|i| Some(i as u32) != id).collect(),
+                // Ordered comparison against a label uses domain order.
+                _ => {
+                    let Some(id) = id else {
+                        return Err(ExecError::Unsupported(format!(
+                            "label '{s}' not in domain for ordered comparison"
+                        )));
+                    };
+                    (0..n)
+                        .map(|i| apply_cmp(op, i as f64, id as f64))
+                        .collect()
+                }
+            }
+        }
+        Literal::Num(x) => {
+            let keys = numeric_keys(rel, attr);
+            keys.iter().map(|&k| apply_cmp(op, k, *x)).collect()
+        }
+    };
+    Ok(mask)
+}
+
+fn apply_cmp(op: Comparison, lhs: f64, rhs: f64) -> bool {
+    match op {
+        Comparison::Eq => lhs == rhs,
+        Comparison::Ne => lhs != rhs,
+        Comparison::Lt => lhs < rhs,
+        Comparison::Le => lhs <= rhs,
+        Comparison::Gt => lhs > rhs,
+        Comparison::Ge => lhs >= rhs,
+    }
+}
+
+/// Compile an IN predicate to a mask.
+fn compile_in_mask(
+    rel: &Relation,
+    attr: AttrId,
+    values: &[Literal],
+) -> Result<Vec<bool>, ExecError> {
+    let domain = rel.schema().domain(attr);
+    let keys = numeric_keys(rel, attr);
+    let mut mask = vec![false; domain.size()];
+    for v in values {
+        match v {
+            Literal::Str(s) => {
+                if let Some(id) = domain.id_of(s) {
+                    mask[id as usize] = true;
+                }
+            }
+            Literal::Num(x) => {
+                for (i, &k) in keys.iter().enumerate() {
+                    if k == *x {
+                        mask[i] = true;
+                    }
+                }
+            }
+        }
+    }
+    Ok(mask)
+}
+
+/// One compiled aggregate.
+enum CompiledAgg {
+    CountStar,
+    /// SUM over the implicit weight column (≡ COUNT(*) in the open-world
+    /// model).
+    SumWeight,
+    Sum(Resolved),
+    Avg(Resolved),
+    Min(Resolved),
+    Max(Resolved),
+}
+
+struct CompiledSelect {
+    group_cols: Vec<Resolved>,
+    group_names: Vec<String>,
+    aggs: Vec<CompiledAgg>,
+    agg_names: Vec<String>,
+}
+
+fn compile_select(
+    query: &Query,
+    bindings: &[(&str, &Relation)],
+) -> Result<CompiledSelect, ExecError> {
+    let mut group_cols = Vec::new();
+    let mut group_names = Vec::new();
+    for g in &query.group_by {
+        let r = resolve(g, bindings)?
+            .ok_or_else(|| ExecError::Unsupported("GROUP BY weight".into()))?;
+        group_cols.push(r);
+        group_names.push(g.to_string());
+    }
+
+    let mut aggs = Vec::new();
+    let mut agg_names = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Column(c) => {
+                let r = resolve(c, bindings)?
+                    .ok_or_else(|| ExecError::Unsupported("SELECT weight".into()))?;
+                if !group_cols.contains(&r) {
+                    // Implicit GROUP BY for bare columns in aggregate-free
+                    // position is not supported; require explicit grouping
+                    // unless the query has no GROUP BY at all (then treat
+                    // the bare column list as the grouping, matching the
+                    // paper's shorthand in Table 5).
+                    if query.group_by.is_empty() {
+                        group_cols.push(r);
+                        group_names.push(c.to_string());
+                    } else {
+                        return Err(ExecError::Unsupported(format!(
+                            "column {c} must appear in GROUP BY"
+                        )));
+                    }
+                }
+            }
+            SelectItem::Aggregate { func, arg, alias } => {
+                let compiled = match (func, arg) {
+                    (AggFunc::Count, None) => CompiledAgg::CountStar,
+                    (AggFunc::Count, Some(_)) => CompiledAgg::CountStar,
+                    (AggFunc::Sum, Some(c)) => match resolve(c, bindings)? {
+                        Some(r) => CompiledAgg::Sum(r),
+                        None => CompiledAgg::SumWeight,
+                    },
+                    (AggFunc::Avg, Some(c)) => match resolve(c, bindings)? {
+                        Some(r) => CompiledAgg::Avg(r),
+                        None => {
+                            return Err(ExecError::Unsupported("AVG(weight)".into()));
+                        }
+                    },
+                    (AggFunc::Min, Some(c)) => match resolve(c, bindings)? {
+                        Some(r) => CompiledAgg::Min(r),
+                        None => return Err(ExecError::Unsupported("MIN(weight)".into())),
+                    },
+                    (AggFunc::Max, Some(c)) => match resolve(c, bindings)? {
+                        Some(r) => CompiledAgg::Max(r),
+                        None => return Err(ExecError::Unsupported("MAX(weight)".into())),
+                    },
+                    (f, None) => {
+                        return Err(ExecError::Unsupported(format!("{}()", f.name())));
+                    }
+                };
+                let name = alias.clone().unwrap_or_else(|| match item {
+                    SelectItem::Aggregate { func, arg, .. } => match arg {
+                        Some(c) => format!("{}({c})", func.name()),
+                        None => format!("{}(*)", func.name()),
+                    },
+                    SelectItem::Column(_) => unreachable!(),
+                });
+                aggs.push(compiled);
+                agg_names.push(name);
+            }
+        }
+    }
+    if aggs.is_empty() {
+        return Err(ExecError::Unsupported(
+            "queries must contain at least one aggregate".into(),
+        ));
+    }
+    Ok(CompiledSelect {
+        group_cols,
+        group_names,
+        aggs,
+        agg_names,
+    })
+}
+
+/// Accumulator per group: total weight plus per-aggregate (weighted sum)
+/// state.
+struct Accum {
+    weight: f64,
+    sums: Vec<f64>,
+    /// Whether any row has been folded in (MIN/MAX need a first-value seed).
+    seen: bool,
+}
+
+/// Shared aggregation driver over an iterator of joined rows.
+fn aggregate_rows(
+    select: &CompiledSelect,
+    bindings: &[(&str, &Relation)],
+    rows: impl Iterator<Item = (Vec<usize>, f64)>,
+) -> QueryResult {
+    // Precompute numeric keys for SUM/AVG columns.
+    let numeric: Vec<Option<Vec<f64>>> = select
+        .aggs
+        .iter()
+        .map(|a| match a {
+            CompiledAgg::Sum(r)
+            | CompiledAgg::Avg(r)
+            | CompiledAgg::Min(r)
+            | CompiledAgg::Max(r) => Some(numeric_keys(bindings[r.table].1, r.attr)),
+            _ => None,
+        })
+        .collect();
+
+    let mut groups: HashMap<Vec<u32>, Accum> = HashMap::new();
+    // SQL semantics: an aggregate-only query over an empty input returns a
+    // single all-zero row, not an empty result.
+    if select.group_cols.is_empty() {
+        groups.insert(
+            Vec::new(),
+            Accum {
+                weight: 0.0,
+                sums: vec![0.0; select.aggs.len()],
+                seen: false,
+            },
+        );
+    }
+    for (row_idx, weight) in rows {
+        let key: Vec<u32> = select
+            .group_cols
+            .iter()
+            .map(|r| bindings[r.table].1.value(row_idx[r.table], r.attr))
+            .collect();
+        let acc = groups.entry(key).or_insert_with(|| Accum {
+            weight: 0.0,
+            sums: vec![0.0; select.aggs.len()],
+            seen: false,
+        });
+        acc.weight += weight;
+        for (i, agg) in select.aggs.iter().enumerate() {
+            match agg {
+                CompiledAgg::CountStar | CompiledAgg::SumWeight => acc.sums[i] += weight,
+                CompiledAgg::Sum(r) | CompiledAgg::Avg(r) => {
+                    let v = bindings[r.table].1.value(row_idx[r.table], r.attr);
+                    acc.sums[i] +=
+                        weight * numeric[i].as_ref().expect("precomputed")[v as usize];
+                }
+                CompiledAgg::Min(r) => {
+                    if weight > 0.0 {
+                        let v = bindings[r.table].1.value(row_idx[r.table], r.attr);
+                        let key = numeric[i].as_ref().expect("precomputed")[v as usize];
+                        acc.sums[i] = if acc.seen { acc.sums[i].min(key) } else { key };
+                    }
+                }
+                CompiledAgg::Max(r) => {
+                    if weight > 0.0 {
+                        let v = bindings[r.table].1.value(row_idx[r.table], r.attr);
+                        let key = numeric[i].as_ref().expect("precomputed")[v as usize];
+                        acc.sums[i] = if acc.seen { acc.sums[i].max(key) } else { key };
+                    }
+                }
+            }
+        }
+        acc.seen = true;
+    }
+
+    let mut rows_out: Vec<Vec<Value>> = groups
+        .into_iter()
+        .map(|(key, acc)| {
+            let mut row: Vec<Value> = key
+                .iter()
+                .zip(&select.group_cols)
+                .map(|(&v, r)| {
+                    Value::Str(
+                        bindings[r.table]
+                            .1
+                            .schema()
+                            .domain(r.attr)
+                            .label(v)
+                            .to_string(),
+                    )
+                })
+                .collect();
+            for (i, agg) in select.aggs.iter().enumerate() {
+                let v = match agg {
+                    CompiledAgg::Avg(_) => {
+                        if acc.weight > 0.0 {
+                            acc.sums[i] / acc.weight
+                        } else {
+                            0.0
+                        }
+                    }
+                    _ => acc.sums[i],
+                };
+                row.push(Value::Num(v));
+            }
+            row
+        })
+        .collect();
+    rows_out.sort_by(|a, b| {
+        let ka: Vec<&str> = a
+            .iter()
+            .filter_map(|v| match v {
+                Value::Str(s) => Some(s.as_str()),
+                Value::Num(_) => None,
+            })
+            .collect();
+        let kb: Vec<&str> = b
+            .iter()
+            .filter_map(|v| match v {
+                Value::Str(s) => Some(s.as_str()),
+                Value::Num(_) => None,
+            })
+            .collect();
+        ka.cmp(&kb)
+    });
+
+    let mut columns = select.group_names.clone();
+    columns.extend(select.agg_names.iter().cloned());
+    QueryResult {
+        columns,
+        rows: rows_out,
+        group_arity: select.group_cols.len(),
+    }
+}
+
+fn execute_scan(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecError> {
+    let table = &query.from[0];
+    let rel = catalog
+        .get(&table.name)
+        .ok_or_else(|| ExecError::UnknownTable(table.name.clone()))?;
+    let bindings: Vec<(&str, &Relation)> = vec![(table.binding(), rel)];
+
+    // Compile predicates to masks.
+    let mut masks: Vec<(AttrId, Vec<bool>)> = Vec::new();
+    for p in &query.predicates {
+        match p {
+            Predicate::Compare { col, op, value } => {
+                let r = resolve(col, &bindings)?
+                    .ok_or_else(|| ExecError::Unsupported("predicate on weight".into()))?;
+                masks.push((r.attr, compile_mask(rel, r.attr, *op, value)?));
+            }
+            Predicate::In { col, values } => {
+                let r = resolve(col, &bindings)?
+                    .ok_or_else(|| ExecError::Unsupported("predicate on weight".into()))?;
+                masks.push((r.attr, compile_in_mask(rel, r.attr, values)?));
+            }
+            Predicate::JoinEq { .. } => {
+                return Err(ExecError::Unsupported(
+                    "join predicate on a single-table query".into(),
+                ));
+            }
+        }
+    }
+
+    let select = compile_select(query, &bindings)?;
+    let weights = rel.weights();
+    let rows = (0..rel.len()).filter_map(move |r| {
+        for (attr, mask) in &masks {
+            if !mask[rel.value(r, *attr) as usize] {
+                return None;
+            }
+        }
+        Some((vec![r], weights[r]))
+    });
+    Ok(aggregate_rows(&select, &bindings, rows))
+}
+
+fn execute_join(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecError> {
+    let left_ref = &query.from[0];
+    let right_ref = &query.from[1];
+    let left = catalog
+        .get(&left_ref.name)
+        .ok_or_else(|| ExecError::UnknownTable(left_ref.name.clone()))?;
+    let right = catalog
+        .get(&right_ref.name)
+        .ok_or_else(|| ExecError::UnknownTable(right_ref.name.clone()))?;
+    let bindings: Vec<(&str, &Relation)> =
+        vec![(left_ref.binding(), left), (right_ref.binding(), right)];
+
+    // Split predicates into join keys and per-side filters.
+    let mut join_keys: Vec<(Resolved, Resolved)> = Vec::new();
+    let mut masks: Vec<(Resolved, Vec<bool>)> = Vec::new();
+    for p in &query.predicates {
+        match p {
+            Predicate::JoinEq { left: l, right: r } => {
+                let lr = resolve(l, &bindings)?
+                    .ok_or_else(|| ExecError::Unsupported("join on weight".into()))?;
+                let rr = resolve(r, &bindings)?
+                    .ok_or_else(|| ExecError::Unsupported("join on weight".into()))?;
+                if lr.table == rr.table {
+                    return Err(ExecError::Unsupported(
+                        "join predicate must span both tables".into(),
+                    ));
+                }
+                let (a, b) = if lr.table == 0 { (lr, rr) } else { (rr, lr) };
+                join_keys.push((a, b));
+            }
+            Predicate::Compare { col, op, value } => {
+                let r = resolve(col, &bindings)?
+                    .ok_or_else(|| ExecError::Unsupported("predicate on weight".into()))?;
+                let rel = bindings[r.table].1;
+                masks.push((r, compile_mask(rel, r.attr, *op, value)?));
+            }
+            Predicate::In { col, values } => {
+                let r = resolve(col, &bindings)?
+                    .ok_or_else(|| ExecError::Unsupported("predicate on weight".into()))?;
+                let rel = bindings[r.table].1;
+                masks.push((r, compile_in_mask(rel, r.attr, values)?));
+            }
+        }
+    }
+    if join_keys.is_empty() {
+        return Err(ExecError::Unsupported(
+            "two-table query without a join condition (cross products are not supported)".into(),
+        ));
+    }
+
+    let passes = |table: usize, row: usize| {
+        masks
+            .iter()
+            .filter(|(r, _)| r.table == table)
+            .all(|(r, mask)| mask[bindings[table].1.value(row, r.attr) as usize])
+    };
+
+    // Build a hash table over the right side keyed by the join columns.
+    let mut built: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+    for row in 0..right.len() {
+        if !passes(1, row) {
+            continue;
+        }
+        let key: Vec<u32> = join_keys
+            .iter()
+            .map(|(_, r)| right.value(row, r.attr))
+            .collect();
+        built.entry(key).or_default().push(row);
+    }
+
+    let select = compile_select(query, &bindings)?;
+    let mut joined: Vec<(Vec<usize>, f64)> = Vec::new();
+    for lrow in 0..left.len() {
+        if !passes(0, lrow) {
+            continue;
+        }
+        let key: Vec<u32> = join_keys
+            .iter()
+            .map(|(l, _)| left.value(lrow, l.attr))
+            .collect();
+        if let Some(matches) = built.get(&key) {
+            for &rrow in matches {
+                joined.push((
+                    vec![lrow, rrow],
+                    left.weights()[lrow] * right.weights()[rrow],
+                ));
+            }
+        }
+    }
+    Ok(aggregate_rows(&select, &bindings, joined.into_iter()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_data::paper_example::{example_population, example_sample};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("flights", example_population());
+        c.register("sample", example_sample());
+        c
+    }
+
+    #[test]
+    fn count_star_sums_weights() {
+        let c = catalog();
+        let r = run_sql(&c, "SELECT COUNT(*) FROM flights").unwrap();
+        assert_eq!(r.scalar(), Some(10.0));
+    }
+
+    #[test]
+    fn sum_weight_is_count_star() {
+        let mut c = Catalog::new();
+        let mut s = example_sample();
+        s.fill_weights(2.5);
+        c.register("s", s);
+        let r = run_sql(&c, "SELECT SUM(weight) AS n FROM s").unwrap();
+        assert_eq!(r.scalar(), Some(10.0));
+        assert_eq!(r.columns, vec!["n"]);
+    }
+
+    #[test]
+    fn filtered_group_by_count() {
+        let c = catalog();
+        let r = run_sql(
+            &c,
+            "SELECT o_st, COUNT(*) FROM flights WHERE date = '01' GROUP BY o_st",
+        )
+        .unwrap();
+        let m = r.to_map();
+        assert_eq!(m[&vec!["FL".to_string()]], vec![2.0]);
+        assert_eq!(m[&vec!["NC".to_string()]], vec![1.0]);
+        assert_eq!(m[&vec!["NY".to_string()]], vec![2.0]);
+    }
+
+    #[test]
+    fn bare_select_columns_group_implicitly() {
+        // Table 5 writes "SELECT O, AVG(E) FROM F" leaving GROUP BY implied.
+        let c = catalog();
+        let a = run_sql(&c, "SELECT o_st, COUNT(*) FROM flights").unwrap();
+        let b = run_sql(&c, "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st").unwrap();
+        assert_eq!(a.to_map(), b.to_map());
+    }
+
+    #[test]
+    fn avg_is_weighted() {
+        let mut c = Catalog::new();
+        let mut s = example_sample();
+        // weights: [1, 1, 8, 2]; date ids: [0, 0, 1, 0].
+        s.set_weights(vec![1.0, 1.0, 8.0, 2.0]);
+        c.register("s", s);
+        let r = run_sql(&c, "SELECT AVG(date) AS a FROM s").unwrap();
+        // Weighted mean of date ids (labels "01"/"02" parse to 1.0/2.0):
+        // (1*1 + 1*1 + 8*2 + 2*1) / 12 = 20/12.
+        assert!((r.scalar().unwrap() - 20.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_predicate_filters() {
+        let c = catalog();
+        let r = run_sql(
+            &c,
+            "SELECT COUNT(*) FROM flights WHERE o_st IN ('FL', 'NY')",
+        )
+        .unwrap();
+        assert_eq!(r.scalar(), Some(6.0));
+    }
+
+    #[test]
+    fn numeric_range_predicate() {
+        let c = catalog();
+        // date labels "01", "02" parse numerically.
+        let r = run_sql(&c, "SELECT COUNT(*) FROM flights WHERE date <= 1").unwrap();
+        assert_eq!(r.scalar(), Some(5.0));
+    }
+
+    #[test]
+    fn self_join_counts_connecting_pairs() {
+        let c = catalog();
+        // Flights into X joined with flights out of X.
+        let r = run_sql(
+            &c,
+            "SELECT COUNT(*) FROM flights t, flights s WHERE t.d_st = s.o_st",
+        )
+        .unwrap();
+        // Hand count: d_st counts FL=4,NC=1,NY=5; o_st counts FL=3,NC=4,NY=3.
+        // Σ_x d(x)·o(x) = 4*3 + 1*4 + 5*3 = 31.
+        assert_eq!(r.scalar(), Some(31.0));
+    }
+
+    #[test]
+    fn join_weights_multiply() {
+        let mut c = Catalog::new();
+        let mut s = example_sample();
+        s.fill_weights(2.0);
+        c.register("f", s);
+        let r = run_sql(&c, "SELECT COUNT(*) FROM f t, f s WHERE t.d_st = s.o_st").unwrap();
+        // Unweighted pair count on the sample: d_st [FL,FL,NY,NC] ids, o_st
+        // [FL,FL,NC,NY]: d(FL)=2 · o(FL)=2 + d(NY)=1 · o(NY)=1 + d(NC)=1 ·
+        // o(NC)=1 = 6 pairs, each weighted 2*2.
+        assert_eq!(r.scalar(), Some(24.0));
+    }
+
+    #[test]
+    fn join_with_group_by_and_filter() {
+        let c = catalog();
+        let r = run_sql(
+            &c,
+            "SELECT t.o_st, s.d_st, COUNT(*) FROM flights t, flights s \
+             WHERE t.d_st = s.o_st AND t.d_st IN ('NC') GROUP BY t.o_st, s.d_st",
+        )
+        .unwrap();
+        // Only NY→NC joins (1 tuple) with NC→* (4 tuples): NC→FL ×1,
+        // NC→NY ×3.
+        let m = r.to_map();
+        assert_eq!(m[&vec!["NY".to_string(), "FL".to_string()]], vec![1.0]);
+        assert_eq!(m[&vec!["NY".to_string(), "NY".to_string()]], vec![3.0]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let c = catalog();
+        assert!(matches!(
+            run_sql(&c, "SELECT COUNT(*) FROM missing"),
+            Err(ExecError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            run_sql(&c, "SELECT COUNT(*) FROM flights WHERE nope = 1"),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn order_by_desc_limit_returns_top_groups() {
+        let c = catalog();
+        let r = run_sql(
+            &c,
+            "SELECT o_st, COUNT(*) AS n FROM flights GROUP BY o_st ORDER BY n DESC LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // NC has 4 flights, the most.
+        assert_eq!(r.rows[0][0], Value::Str("NC".into()));
+        assert_eq!(r.rows[0][1], Value::Num(4.0));
+    }
+
+    #[test]
+    fn order_by_group_column_sorts_labels() {
+        let c = catalog();
+        let r = run_sql(
+            &c,
+            "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st ORDER BY o_st DESC",
+        )
+        .unwrap();
+        let labels: Vec<String> = r
+            .rows
+            .iter()
+            .map(|row| match &row[0] {
+                Value::Str(s) => s.clone(),
+                Value::Num(_) => unreachable!(),
+            })
+            .collect();
+        assert_eq!(labels, vec!["NY", "NC", "FL"]);
+    }
+
+    #[test]
+    fn order_by_unknown_output_column_errors() {
+        let c = catalog();
+        let err = run_sql(
+            &c,
+            "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st ORDER BY nope",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::UnknownColumn(_)));
+    }
+
+    #[test]
+    fn min_max_aggregate_over_groups() {
+        let c = catalog();
+        let r = run_sql(
+            &c,
+            "SELECT o_st, MIN(date), MAX(date) FROM flights GROUP BY o_st",
+        )
+        .unwrap();
+        let m = r.to_map();
+        // FL flies in months 01 and 02 (labels parse to 1.0 / 2.0).
+        assert_eq!(m[&vec!["FL".to_string()]], vec![1.0, 2.0]);
+        // NC: one 01 flight, three 02 flights.
+        assert_eq!(m[&vec!["NC".to_string()]], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn min_ignores_zero_weight_rows() {
+        let mut c = Catalog::new();
+        let mut s = example_sample();
+        // Zero out the single date=02 row; MIN/MAX over date must then see
+        // only date=01.
+        s.set_weights(vec![1.0, 1.0, 0.0, 1.0]);
+        c.register("s", s);
+        let r = run_sql(&c, "SELECT MIN(date) AS lo, MAX(date) AS hi FROM s").unwrap();
+        let m = r.to_map();
+        assert_eq!(m[&Vec::<String>::new()], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_filter_returns_zero_row() {
+        let c = catalog();
+        let r = run_sql(&c, "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NC'")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(0.0));
+    }
+
+    #[test]
+    fn aggregate_free_queries_are_rejected() {
+        let c = catalog();
+        assert!(matches!(
+            run_sql(&c, "SELECT o_st FROM flights"),
+            Err(ExecError::Unsupported(_))
+        ));
+    }
+}

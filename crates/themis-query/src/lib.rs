@@ -1,0 +1,21 @@
+//! # themis-query
+//!
+//! Weighted columnar query execution for Themis.
+//!
+//! The paper stores reweighted samples in Postgres with the weight as an
+//! extra column and translates `COUNT(*)` into `SUM(weight)` (§4.1, §6.1).
+//! This crate implements that execution model natively over
+//! [`themis_data::Relation`]: selections compile to per-domain value masks,
+//! aggregation is hash group-by over `(group key) → Σ weight`, and
+//! self-joins (Table 5's Q6) hash-join two weighted scans with the joined
+//! row weight being the *product* of the input weights (each sample tuple
+//! stands for `w` population tuples, so a joined pair stands for `w_l · w_r`
+//! pairs).
+
+pub mod catalog;
+pub mod exec;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use exec::{execute, run_sql, ExecError};
+pub use value::{QueryResult, Value};

@@ -1,0 +1,125 @@
+//! Query output values and result sets.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An output cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A group-by column value (the domain label).
+    Str(String),
+    /// An aggregate value.
+    Num(f64),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Num(n) => write!(f, "{n:.4}"),
+        }
+    }
+}
+
+/// A query result: column headers plus rows, sorted by the group columns
+/// for deterministic output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Column headers (group columns first, then aggregates).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// How many leading columns are group-by keys.
+    pub group_arity: usize,
+}
+
+impl QueryResult {
+    /// Map from group-key labels to the row's aggregate values. For
+    /// aggregate-only queries the single row is keyed by the empty vector.
+    pub fn to_map(&self) -> HashMap<Vec<String>, Vec<f64>> {
+        let mut out = HashMap::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let key: Vec<String> = row[..self.group_arity]
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => s.clone(),
+                    Value::Num(n) => n.to_string(),
+                })
+                .collect();
+            let aggs: Vec<f64> = row[self.group_arity..]
+                .iter()
+                .map(|v| match v {
+                    Value::Num(n) => *n,
+                    Value::Str(_) => f64::NAN,
+                })
+                .collect();
+            out.insert(key, aggs);
+        }
+        out
+    }
+
+    /// The single aggregate value of a scalar (no GROUP BY, one aggregate)
+    /// result; `None` if the shape doesn't match.
+    pub fn scalar(&self) -> Option<f64> {
+        if self.group_arity == 0 && self.rows.len() == 1 && self.rows[0].len() == 1 {
+            match &self.rows[0][0] {
+                Value::Num(n) => Some(*n),
+                Value::Str(_) => None,
+            }
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> QueryResult {
+        QueryResult {
+            columns: vec!["state".into(), "count".into()],
+            rows: vec![
+                vec![Value::Str("CA".into()), Value::Num(10.0)],
+                vec![Value::Str("NY".into()), Value::Num(5.0)],
+            ],
+            group_arity: 1,
+        }
+    }
+
+    #[test]
+    fn to_map_keys_by_group() {
+        let m = result().to_map();
+        assert_eq!(m[&vec!["CA".to_string()]], vec![10.0]);
+        assert_eq!(m[&vec!["NY".to_string()]], vec![5.0]);
+    }
+
+    #[test]
+    fn scalar_requires_scalar_shape() {
+        assert_eq!(result().scalar(), None);
+        let s = QueryResult {
+            columns: vec!["count".into()],
+            rows: vec![vec![Value::Num(7.0)]],
+            group_arity: 0,
+        };
+        assert_eq!(s.scalar(), Some(7.0));
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let text = result().to_string();
+        assert!(text.contains("state | count"));
+        assert!(text.contains("CA | 10.0000"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Iterative Proportional Fitting (§4.1.2, Alg. 1).
+//!
+//! IPF treats every tuple weight as an independent parameter. It sweeps over
+//! the aggregate constraints (rows of `G^{0/1}`); whenever a constraint is
+//! unsatisfied, the weights of exactly the tuples participating in it are
+//! rescaled so it becomes satisfied. If a satisfying scaling exists, the
+//! sweep converges to it; if not (e.g. the sample is missing support for
+//! some groups, Example 4.2), it oscillates and we return the approximate
+//! weights from the final sweep, which still answer in-sample queries well
+//! (§6.7).
+
+use themis_aggregates::{AggregateSet, IncidenceMatrix};
+use themis_data::Relation;
+
+/// Options for IPF.
+#[derive(Debug, Clone)]
+pub struct IpfOptions {
+    /// Maximum full sweeps over the constraints (`maxIter` in Alg. 1).
+    pub max_iterations: usize,
+    /// Convergence threshold on the maximum relative constraint violation.
+    pub tolerance: f64,
+}
+
+impl Default for IpfOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Convergence report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpfReport {
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Final maximum relative violation over supported constraints.
+    pub final_violation: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Run IPF and return the learned weights.
+///
+/// # Panics
+/// Panics if the sample is empty.
+pub fn ipf_weights(
+    sample: &Relation,
+    aggregates: &AggregateSet,
+    options: &IpfOptions,
+) -> (Vec<f64>, IpfReport) {
+    assert!(!sample.is_empty(), "cannot reweight an empty sample");
+    let incidence = IncidenceMatrix::build(sample, aggregates);
+    ipf_on_incidence(&incidence, sample.len(), options)
+}
+
+/// IPF over a prebuilt incidence matrix (exposed so callers that already
+/// built `G^{0/1}` — e.g. the bench harness timing Table 8 — can skip the
+/// rebuild).
+pub fn ipf_on_incidence(
+    incidence: &IncidenceMatrix,
+    n_sample: usize,
+    options: &IpfOptions,
+) -> (Vec<f64>, IpfReport) {
+    let mut w = vec![1.0f64; n_sample];
+    let mut iterations = 0;
+    let mut violation = incidence.max_relative_violation(&w);
+
+    while violation > options.tolerance && iterations < options.max_iterations {
+        for row in incidence.rows() {
+            if row.sample_rows.is_empty() {
+                continue;
+            }
+            let dot: f64 = row.sample_rows.iter().map(|&c| w[c as usize]).sum();
+            if dot <= 0.0 {
+                // All participating weights collapsed to zero; nothing to
+                // rescale multiplicatively.
+                continue;
+            }
+            if (dot - row.target).abs() > f64::EPSILON * row.target.max(1.0) {
+                let s = row.target / dot;
+                for &c in &row.sample_rows {
+                    w[c as usize] *= s;
+                }
+            }
+        }
+        iterations += 1;
+        violation = incidence.max_relative_violation(&w);
+    }
+
+    (
+        w,
+        IpfReport {
+            iterations,
+            final_violation: violation,
+            converged: violation <= options.tolerance,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_aggregates::AggregateResult;
+    use themis_data::paper_example::{example_population, example_sample};
+    use themis_data::AttrId;
+
+    fn example_aggregates() -> AggregateSet {
+        let p = example_population();
+        AggregateSet::from_results(vec![
+            AggregateResult::compute(&p, &[AttrId(0)]),
+            AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]),
+        ])
+    }
+
+    /// Trace the first sweep of Example 4.2 step by step.
+    #[test]
+    fn example_4_2_first_sweep() {
+        let s = example_sample();
+        let incidence = IncidenceMatrix::build(&s, &example_aggregates());
+        let mut w = [1.0f64; 4];
+
+        // j = 1: date = 01, rows {0,1,3}, target 5, dot 3 → scale 5/3.
+        let row = &incidence.rows()[0];
+        let dot: f64 = row.sample_rows.iter().map(|&c| w[c as usize]).sum();
+        let s1 = row.target / dot;
+        for &c in &row.sample_rows {
+            w[c as usize] *= s1;
+        }
+        assert!((w[0] - 5.0 / 3.0).abs() < 1e-12);
+        assert!((w[1] - 5.0 / 3.0).abs() < 1e-12);
+        assert!((w[2] - 1.0).abs() < 1e-12);
+        assert!((w[3] - 5.0 / 3.0).abs() < 1e-12);
+
+        // j = 2: date = 02, row {2}, target 5 → w[2] = 5.
+        let row = &incidence.rows()[1];
+        let dot: f64 = row.sample_rows.iter().map(|&c| w[c as usize]).sum();
+        for &c in &row.sample_rows {
+            w[c as usize] *= row.target / dot;
+        }
+        assert!((w[2] - 5.0).abs() < 1e-12);
+    }
+
+    /// After one full sweep the weights must match the paper's final column
+    /// [1, 1, 3, 1].
+    #[test]
+    fn example_4_2_full_sweep_matches_paper() {
+        let s = example_sample();
+        let opts = IpfOptions {
+            max_iterations: 1,
+            tolerance: 1e-12,
+        };
+        let (w, rep) = ipf_weights(&s, &example_aggregates(), &opts);
+        assert_eq!(rep.iterations, 1);
+        assert!((w[0] - 1.0).abs() < 1e-9, "{w:?}");
+        assert!((w[1] - 1.0).abs() < 1e-9, "{w:?}");
+        assert!((w[2] - 3.0).abs() < 1e-9, "{w:?}");
+        assert!((w[3] - 1.0).abs() < 1e-9, "{w:?}");
+    }
+
+    /// Example 4.2's sample lacks FL-bound support, so IPF must not
+    /// converge.
+    #[test]
+    fn example_4_2_does_not_converge() {
+        let s = example_sample();
+        let (_, rep) = ipf_weights(&s, &example_aggregates(), &IpfOptions::default());
+        assert!(!rep.converged);
+        assert!(rep.final_violation > 0.1);
+    }
+
+    /// When a feasible scaling exists IPF finds it.
+    #[test]
+    fn converges_on_feasible_problem() {
+        let p = example_population();
+        // The full population trivially satisfies its own aggregates.
+        let (w, rep) = ipf_weights(&p, &example_aggregates(), &IpfOptions::default());
+        assert!(rep.converged, "{rep:?}");
+        assert!(rep.iterations <= 2);
+        for &wi in &w {
+            assert!((wi - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Single 1-D aggregate: IPF reduces to direct post-stratification.
+    #[test]
+    fn single_aggregate_is_post_stratification() {
+        let p = example_population();
+        let s = example_sample();
+        let set = AggregateSet::from_results(vec![AggregateResult::compute(&p, &[AttrId(0)])]);
+        let (w, rep) = ipf_weights(&s, &set, &IpfOptions::default());
+        assert!(rep.converged);
+        // date=01: 3 sample rows, population 5 → weight 5/3 each.
+        assert!((w[0] - 5.0 / 3.0).abs() < 1e-9);
+        assert!((w[3] - 5.0 / 3.0).abs() < 1e-9);
+        // date=02: 1 sample row, population 5 → weight 5.
+        assert!((w[2] - 5.0).abs() < 1e-9);
+    }
+
+    /// Weighted point queries after IPF match the population for supported
+    /// in-sample tuples (the §6.7 claim).
+    #[test]
+    fn in_sample_queries_improve() {
+        let p = example_population();
+        let mut s = example_sample();
+        let (w, _) = ipf_weights(&s, &example_aggregates(), &IpfOptions::default());
+        s.set_weights(w);
+        // NC→NY has true count 3; the reweighted sample should be close.
+        let est = s.point_count(&[AttrId(1), AttrId(2)], &[1, 2]);
+        let truth = p.point_count(&[AttrId(1), AttrId(2)], &[1, 2]);
+        assert!((est - truth).abs() < 0.75, "est {est} vs truth {truth}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # themis-reweight
+//!
+//! Sample reweighting for Themis (§4.1 of the paper). Each tuple `t` of the
+//! biased sample `S` is assigned a weight `w(t)` — the number of population
+//! tuples it represents — so that `COUNT(*)` queries over the population can
+//! be answered as `SUM(weight)` over the sample. Three schemes:
+//!
+//! * [`uniform`] — the default AQP baseline: `w(t) = |P| / |S|` for every
+//!   tuple. Accurate only for unbiased samples.
+//! * [`linreg`] — constrained linear regression (§4.1.1): assumes
+//!   `w(t) = β · t^{0/1}` is a linear function of the tuple's one-hot
+//!   encoding, solves `[G^{0/1} X_S] β = y` with β ≥ 0 by non-negative least
+//!   squares, encourages a positive intercept with an extra `[n_S, 0, …, 0]`
+//!   row, and sum-normalizes the weights to the population size.
+//! * [`ipf`] — Iterative Proportional Fitting (§4.1.2, Alg. 1): treats every
+//!   `w(t)` as a free parameter and rescales the tuples participating in
+//!   each unsatisfied aggregate until all constraints hold (or the iteration
+//!   cap is reached — IPF need not converge when the sample is missing
+//!   support, Example 4.2).
+
+pub mod ipf;
+pub mod linreg;
+pub mod onehot;
+pub mod uniform;
+
+pub use ipf::{ipf_weights, IpfOptions, IpfReport};
+pub use linreg::{linreg_weights, LinRegOptions, LinRegReport};
+pub use uniform::uniform_weights;

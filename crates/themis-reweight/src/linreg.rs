@@ -1,0 +1,211 @@
+//! Linear-regression reweighting (§4.1.1).
+//!
+//! Assumes `w(t) = β · t^{0/1}` for a non-negative coefficient vector β over
+//! the one-hot encoding of the aggregate-covered attributes. The system
+//! `[G^{0/1} X_S] β = y` is solved as constrained (non-negative) least
+//! squares; an extra row `[n_S, 0, …, 0]` with target `n_S` is appended to
+//! push the intercept positive so every tuple receives some weight; finally
+//! the learned weights are sum-normalized to the population size `n`.
+
+use crate::onehot::OneHotLayout;
+use themis_aggregates::{AggregateSet, IncidenceMatrix};
+use themis_data::Relation;
+use themis_solver::matrix::DenseMatrix;
+use themis_solver::nnls::{nnls, NnlsReport};
+
+/// Options for linear-regression reweighting.
+#[derive(Debug, Clone)]
+pub struct LinRegOptions {
+    /// Whether to constrain β ≥ 0 (the paper's formulation). Setting this to
+    /// false gives the unconstrained ablation of DESIGN.md §5.3, which can
+    /// produce negative weights.
+    pub nonnegative: bool,
+    /// Whether to append the `[n_S, 0, …, 0]` intercept-encouraging row.
+    pub intercept_row: bool,
+}
+
+impl Default for LinRegOptions {
+    fn default() -> Self {
+        Self {
+            nonnegative: true,
+            intercept_row: true,
+        }
+    }
+}
+
+/// Fit report.
+#[derive(Debug, Clone)]
+pub struct LinRegReport {
+    /// Number of all-zero rows of `G^{0/1} X_S` dropped (aggregate groups
+    /// with no support in the sample).
+    pub dropped_rows: usize,
+    /// β vector (one-hot width, intercept first).
+    pub beta: Vec<f64>,
+    /// NNLS convergence info (`None` for the unconstrained ablation).
+    pub nnls: Option<NnlsReport>,
+}
+
+/// Learn weights by constrained linear regression and sum-normalize them to
+/// `population_size`.
+///
+/// # Panics
+/// Panics if the sample is empty or no aggregate covers any attribute.
+pub fn linreg_weights(
+    sample: &Relation,
+    aggregates: &AggregateSet,
+    population_size: f64,
+    options: &LinRegOptions,
+) -> (Vec<f64>, LinRegReport) {
+    assert!(!sample.is_empty(), "cannot reweight an empty sample");
+    let covered = aggregates.covered_attrs();
+    assert!(
+        !covered.is_empty(),
+        "aggregates must cover at least one attribute"
+    );
+
+    let layout = OneHotLayout::new(sample, &covered);
+    let incidence = IncidenceMatrix::build(sample, aggregates);
+    let supported = incidence.rows_with_support();
+    let dropped = incidence.n_rows() - supported.len();
+    let ns = sample.len();
+
+    // X = G^{0/1} X_S restricted to supported rows: row r is the column sum
+    // of the one-hot encodings of the sample rows in group r.
+    let mut x = DenseMatrix::zeros(0, layout.width());
+    let mut y = Vec::with_capacity(supported.len() + 1);
+    let mut encoded = vec![0.0; layout.width()];
+    let mut acc = vec![0.0; layout.width()];
+    for &r in &supported {
+        let row = &incidence.rows()[r];
+        acc.fill(0.0);
+        for &c in &row.sample_rows {
+            layout.encode_into(sample, c as usize, &mut encoded);
+            for (a, e) in acc.iter_mut().zip(&encoded) {
+                *a += e;
+            }
+        }
+        x.push_row(&acc);
+        y.push(row.target);
+    }
+
+    // Intercept-encouraging row [n_S, 0, ..., 0] with target n_S.
+    if options.intercept_row {
+        acc.fill(0.0);
+        acc[0] = ns as f64;
+        x.push_row(&acc);
+        y.push(ns as f64);
+    }
+
+    let (beta, nnls_report) = if options.nonnegative {
+        let (b, rep) = nnls(&x, &y);
+        (b, Some(rep))
+    } else {
+        (themis_solver::lstsq(&x, &y), None)
+    };
+
+    // w(t) = β · t^{0/1}, then sum-normalize to n.
+    let mut weights = Vec::with_capacity(ns);
+    for r in 0..ns {
+        layout.encode_into(sample, r, &mut encoded);
+        weights.push(themis_solver::matrix::dot(&beta, &encoded));
+    }
+    let total: f64 = weights.iter().sum();
+    if total > 0.0 {
+        let scale = population_size / total;
+        weights.iter_mut().for_each(|w| *w *= scale);
+    } else {
+        // Degenerate fit (all-zero β): fall back to uniform weights, which
+        // is what sum-normalizing a constant vector would give.
+        let u = population_size / ns as f64;
+        weights.iter_mut().for_each(|w| *w = u);
+    }
+
+    (
+        weights,
+        LinRegReport {
+            dropped_rows: dropped,
+            beta,
+            nnls: nnls_report,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_aggregates::AggregateResult;
+    use themis_data::paper_example::{example_population, example_sample};
+    use themis_data::AttrId;
+
+    fn example_aggregates() -> AggregateSet {
+        let p = example_population();
+        AggregateSet::from_results(vec![
+            AggregateResult::compute(&p, &[AttrId(0)]),
+            AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]),
+        ])
+    }
+
+    #[test]
+    fn weights_are_nonnegative_and_normalized() {
+        let s = example_sample();
+        let (w, rep) = linreg_weights(&s, &example_aggregates(), 10.0, &LinRegOptions::default());
+        assert_eq!(w.len(), 4);
+        assert!(w.iter().all(|&x| x >= 0.0), "{w:?}");
+        assert!((w.iter().sum::<f64>() - 10.0).abs() < 1e-9);
+        assert!(rep.beta.iter().all(|&b| b >= 0.0));
+        // Example 4.1: 4 of the 9 aggregate rows have no sample support.
+        assert_eq!(rep.dropped_rows, 4);
+    }
+
+    #[test]
+    fn biased_sample_gets_debiased_toward_aggregates() {
+        // date=02 is underrepresented in the sample (1 of 4 rows) but holds
+        // half the population; its tuple must get more weight than each
+        // date=01 tuple.
+        let s = example_sample();
+        let (w, _) = linreg_weights(&s, &example_aggregates(), 10.0, &LinRegOptions::default());
+        let date02_weight = w[2];
+        let date01_weight = w[0];
+        assert!(
+            date02_weight > date01_weight,
+            "02 tuple {date02_weight} should outweigh 01 tuple {date01_weight}"
+        );
+    }
+
+    #[test]
+    fn unconstrained_ablation_can_go_negative() {
+        // Not asserting it *must* be negative here — only that the option
+        // runs and produces normalized weights.
+        let s = example_sample();
+        let opts = LinRegOptions {
+            nonnegative: false,
+            intercept_row: true,
+        };
+        let (w, rep) = linreg_weights(&s, &example_aggregates(), 10.0, &opts);
+        assert!(rep.nnls.is_none());
+        assert!((w.iter().sum::<f64>() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_aggregate_partial_coverage() {
+        let p = example_population();
+        let s = example_sample();
+        let set = AggregateSet::from_results(vec![AggregateResult::compute(&p, &[AttrId(1)])]);
+        let (w, _) = linreg_weights(&s, &set, 10.0, &LinRegOptions::default());
+        assert!((w.iter().sum::<f64>() - 10.0).abs() < 1e-9);
+        // o_st marginals: FL 3, NC 4, NY 3. Sample has FL×2, NC×1, NY×1.
+        // The NC tuple should carry more weight than either FL tuple.
+        assert!(w[2] > w[0]);
+    }
+
+    #[test]
+    fn uniform_sample_stays_near_uniform() {
+        // A sample that already matches the aggregates should stay roughly
+        // uniform: use the whole population as the "sample".
+        let p = example_population();
+        let (w, _) = linreg_weights(&p, &example_aggregates(), 10.0, &LinRegOptions::default());
+        for &wi in &w {
+            assert!((wi - 1.0).abs() < 0.35, "weight {wi} strays far from 1");
+        }
+    }
+}

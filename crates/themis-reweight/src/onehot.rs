@@ -1,0 +1,109 @@
+//! One-hot encoding of sample tuples over the aggregate-covered attributes.
+//!
+//! §4.1.1: for linear-regression reweighting a tuple `t` is represented by
+//! its one-hot encoding `t^{0/1}` over the `m` attributes covered by the
+//! aggregates, prefixed by a constant-1 intercept column, for a total width
+//! of `m^{0/1} = Σ_i N_i + 1`.
+
+use themis_data::{AttrId, Relation};
+
+/// Column layout of the one-hot encoding: intercept at column 0, then one
+/// block of `N_i` columns per covered attribute.
+#[derive(Debug, Clone)]
+pub struct OneHotLayout {
+    attrs: Vec<AttrId>,
+    /// Starting column of each attribute's block (after the intercept).
+    offsets: Vec<usize>,
+    width: usize,
+}
+
+impl OneHotLayout {
+    /// Build the layout for the given covered attributes of a relation's
+    /// schema.
+    pub fn new(relation: &Relation, attrs: &[AttrId]) -> Self {
+        let mut offsets = Vec::with_capacity(attrs.len());
+        let mut col = 1; // column 0 is the intercept
+        for &a in attrs {
+            offsets.push(col);
+            col += relation.schema().domain(a).size();
+        }
+        Self {
+            attrs: attrs.to_vec(),
+            offsets,
+            width: col,
+        }
+    }
+
+    /// Total width `m^{0/1} = Σ_i N_i + 1`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The covered attributes in block order.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Write the one-hot encoding of `row` into `out` (length
+    /// [`Self::width`]), including the intercept 1.
+    pub fn encode_into(&self, relation: &Relation, row: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.width);
+        out.fill(0.0);
+        out[0] = 1.0;
+        for (&a, &off) in self.attrs.iter().zip(&self.offsets) {
+            out[off + relation.value(row, a) as usize] = 1.0;
+        }
+    }
+
+    /// One-hot encode a single row into a fresh vector.
+    pub fn encode(&self, relation: &Relation, row: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.width];
+        self.encode_into(relation, row, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_data::paper_example::example_sample;
+
+    #[test]
+    fn matches_example_4_1() {
+        // Example 4.1's X_S: width 1 + 2 + 3 + 3 = 9; first sample row
+        // (01, FL, FL) encodes as [1, 1,0, 1,0,0, 1,0,0].
+        let s = example_sample();
+        let attrs: Vec<AttrId> = s.schema().attr_ids().collect();
+        let layout = OneHotLayout::new(&s, &attrs);
+        assert_eq!(layout.width(), 9);
+        assert_eq!(
+            layout.encode(&s, 0),
+            vec![1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0]
+        );
+        // Third row (02, NC, NY): [1, 0,1, 0,1,0, 0,0,1].
+        assert_eq!(
+            layout.encode(&s, 2),
+            vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn partial_coverage_shrinks_width() {
+        let s = example_sample();
+        let layout = OneHotLayout::new(&s, &[AttrId(1)]);
+        assert_eq!(layout.width(), 4); // intercept + 3 origin states
+        assert_eq!(layout.encode(&s, 3), vec![1.0, 0.0, 0.0, 1.0]); // NY
+    }
+
+    #[test]
+    fn every_encoding_has_one_hot_per_block() {
+        let s = example_sample();
+        let attrs: Vec<AttrId> = s.schema().attr_ids().collect();
+        let layout = OneHotLayout::new(&s, &attrs);
+        for r in 0..s.len() {
+            let e = layout.encode(&s, r);
+            let total: f64 = e.iter().sum();
+            assert_eq!(total, 1.0 + attrs.len() as f64);
+        }
+    }
+}

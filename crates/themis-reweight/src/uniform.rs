@@ -1,0 +1,36 @@
+//! Uniform reweighting: the default AQP baseline.
+
+use themis_data::Relation;
+
+/// Assign every tuple the weight `n / |S|` (§4.1: "the default approach used
+/// by standard AQP systems is to perform uniform reweighting by setting
+/// `w(t)` to be `|P| / |S|`").
+///
+/// # Panics
+/// Panics if the sample is empty or `n` is not positive.
+pub fn uniform_weights(sample: &Relation, population_size: f64) -> Vec<f64> {
+    assert!(!sample.is_empty(), "cannot reweight an empty sample");
+    assert!(population_size > 0.0, "population size must be positive");
+    vec![population_size / sample.len() as f64; sample.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_data::paper_example::example_sample;
+
+    #[test]
+    fn weights_scale_to_population() {
+        let s = example_sample();
+        let w = uniform_weights(&s, 10.0);
+        assert_eq!(w, vec![2.5; 4]);
+        assert!((w.iter().sum::<f64>() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn rejects_empty_sample() {
+        let s = themis_data::Relation::new(themis_data::paper_example::example_schema());
+        uniform_weights(&s, 10.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the reweighters.
+
+use proptest::prelude::*;
+use themis_aggregates::{AggregateResult, AggregateSet, IncidenceMatrix};
+use themis_data::{AttrId, Attribute, Domain, Relation, Schema};
+use themis_reweight::{ipf_weights, linreg_weights, IpfOptions, LinRegOptions};
+
+fn relation_from_rows(rows: &[(u32, u32)]) -> Relation {
+    let schema = Schema::new(vec![
+        Attribute::new("a", Domain::indexed("a", 3)),
+        Attribute::new("b", Domain::indexed("b", 3)),
+    ]);
+    let mut rel = Relation::new(schema);
+    for &(a, b) in rows {
+        rel.push_row(&[a, b]);
+    }
+    rel
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..3, 0u32..3), 3..40)
+}
+
+proptest! {
+    /// When the constraint targets are generated from an actual positive
+    /// weighting of the sample, a feasible scaling exists and IPF must
+    /// converge to constraint satisfaction.
+    #[test]
+    fn ipf_converges_on_feasible_problems(
+        rows in rows_strategy(),
+        true_weights in prop::collection::vec(0.5f64..20.0, 40),
+    ) {
+        let mut sample = relation_from_rows(&rows);
+        let w_star: Vec<f64> = (0..sample.len()).map(|i| true_weights[i % true_weights.len()]).collect();
+        sample.set_weights(w_star);
+        // Targets computed from the weighted sample — feasible by
+        // construction.
+        let aggs = AggregateSet::from_results(vec![
+            AggregateResult::compute(&sample, &[AttrId(0)]),
+            AggregateResult::compute(&sample, &[AttrId(1)]),
+        ]);
+        sample.fill_weights(1.0);
+        // Feasible problems converge, but only asymptotically; give the
+        // sweep loop plenty of room for ill-conditioned weightings.
+        let opts = IpfOptions {
+            max_iterations: 5_000,
+            tolerance: 1e-6,
+        };
+        let (w, report) = ipf_weights(&sample, &aggs, &opts);
+        prop_assert!(report.converged, "{report:?}");
+        let inc = IncidenceMatrix::build(&sample, &aggs);
+        prop_assert!(inc.max_relative_violation(&w) < 1e-5);
+        prop_assert!(w.iter().all(|&x| x >= 0.0 && x.is_finite()));
+    }
+
+    /// IPF over a sample that IS the population converges to unit weights.
+    #[test]
+    fn ipf_identity_on_population(rows in rows_strategy()) {
+        let pop = relation_from_rows(&rows);
+        let aggs = AggregateSet::from_results(vec![
+            AggregateResult::compute(&pop, &[AttrId(0), AttrId(1)]),
+        ]);
+        let (w, report) = ipf_weights(&pop, &aggs, &IpfOptions::default());
+        prop_assert!(report.converged);
+        for &wi in &w {
+            prop_assert!((wi - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// LinReg weights are always non-negative and sum-normalized.
+    #[test]
+    fn linreg_weights_are_normalized_and_nonnegative(
+        rows in rows_strategy(),
+        n in 10.0f64..10_000.0,
+    ) {
+        let sample = relation_from_rows(&rows);
+        let pop = relation_from_rows(&rows); // acts as its own population
+        let aggs = AggregateSet::from_results(vec![
+            AggregateResult::compute(&pop, &[AttrId(0)]),
+            AggregateResult::compute(&pop, &[AttrId(1)]),
+        ]);
+        let (w, report) = linreg_weights(&sample, &aggs, n, &LinRegOptions::default());
+        prop_assert!(w.iter().all(|&x| x >= -1e-12 && x.is_finite()));
+        prop_assert!((w.iter().sum::<f64>() - n).abs() / n < 1e-6);
+        prop_assert!(report.beta.iter().all(|&b| b >= 0.0));
+    }
+
+    /// Identical tuples always receive identical LinReg weights (w(t) is a
+    /// function of the one-hot encoding only).
+    #[test]
+    fn linreg_weight_is_a_function_of_the_tuple(rows in rows_strategy()) {
+        let sample = relation_from_rows(&rows);
+        let aggs = AggregateSet::from_results(vec![
+            AggregateResult::compute(&sample, &[AttrId(0)]),
+        ]);
+        let (w, _) = linreg_weights(&sample, &aggs, 100.0, &LinRegOptions::default());
+        for i in 0..sample.len() {
+            for j in (i + 1)..sample.len() {
+                if sample.row(i) == sample.row(j) {
+                    prop_assert!((w[i] - w[j]).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

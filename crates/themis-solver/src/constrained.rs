@@ -1,0 +1,423 @@
+//! Constrained maximum likelihood over products of probability simplices.
+//!
+//! This is the optimization kernel behind Themis' Bayesian-network
+//! parameter learning (Eq. 2 of the paper, simplified per §5.2). After the
+//! per-factor simplification, learning the conditional probability table of
+//! one node reduces to:
+//!
+//! ```text
+//! minimize   −Σ_k counts_k · log θ_k
+//! subject to each block of θ lies on the probability simplex
+//!            Σ_k a_{j,k} θ_k = b_j   for each aggregate constraint j
+//! ```
+//!
+//! where a *block* is the CPT column for one parent configuration. With no
+//! constraints the solution is the classic normalized-count MLE (closed
+//! form). With constraints we run an augmented-Lagrangian outer loop around
+//! a projected-gradient inner loop; projection onto the product of simplices
+//! is per-block [`crate::simplex::project_simplex`].
+
+use crate::simplex::project_simplex;
+
+/// One linear equality constraint `Σ terms.coef · θ[terms.idx] = rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearConstraint {
+    /// `(variable index, coefficient)` pairs; indices are into the flat θ.
+    pub terms: Vec<(usize, f64)>,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl LinearConstraint {
+    /// Evaluate the residual `a·θ − b`.
+    pub fn residual(&self, theta: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|&(i, c)| c * theta[i])
+            .sum::<f64>()
+            - self.rhs
+    }
+}
+
+/// Solver report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MleReport {
+    /// Outer (multiplier) iterations.
+    pub outer_iterations: usize,
+    /// Total inner gradient steps.
+    pub inner_iterations: usize,
+    /// Final `‖g‖∞` over the constraints.
+    pub feasibility: f64,
+    /// Whether the feasibility tolerance was met.
+    pub converged: bool,
+}
+
+/// Options for the augmented-Lagrangian solve.
+#[derive(Debug, Clone)]
+pub struct MleOptions {
+    /// Feasibility tolerance on `‖g‖∞`.
+    pub tol: f64,
+    /// Maximum outer iterations.
+    pub max_outer: usize,
+    /// Maximum inner projected-gradient steps per outer iteration.
+    pub max_inner: usize,
+    /// Initial penalty parameter ρ.
+    pub rho: f64,
+}
+
+impl Default for MleOptions {
+    fn default() -> Self {
+        Self {
+            tol: 1e-6,
+            max_outer: 40,
+            max_inner: 300,
+            rho: 10.0,
+        }
+    }
+}
+
+/// A constrained MLE problem over consecutive simplex blocks.
+#[derive(Debug, Clone)]
+pub struct ConstrainedMle {
+    /// Sizes of the consecutive simplex blocks; `Σ block_sizes` is the
+    /// number of variables.
+    pub block_sizes: Vec<usize>,
+    /// Non-negative observation counts aligned with θ.
+    pub counts: Vec<f64>,
+    /// Linear equality constraints.
+    pub constraints: Vec<LinearConstraint>,
+    /// Solver options.
+    pub options: MleOptions,
+}
+
+/// Floor used inside `log` to keep the objective finite at the boundary.
+const THETA_FLOOR: f64 = 1e-12;
+
+impl ConstrainedMle {
+    /// Build a problem with default options.
+    pub fn new(
+        block_sizes: Vec<usize>,
+        counts: Vec<f64>,
+        constraints: Vec<LinearConstraint>,
+    ) -> Self {
+        let total: usize = block_sizes.iter().sum();
+        assert_eq!(counts.len(), total, "counts must align with blocks");
+        assert!(
+            counts.iter().all(|&c| c >= 0.0 && c.is_finite()),
+            "counts must be finite and non-negative"
+        );
+        for c in &constraints {
+            for &(i, _) in &c.terms {
+                assert!(i < total, "constraint index {i} out of range");
+            }
+        }
+        Self {
+            block_sizes,
+            counts,
+            constraints,
+            options: MleOptions::default(),
+        }
+    }
+
+    /// Solve the problem. The returned θ lies on the product of simplices;
+    /// when the constraints are feasible the report's `converged` is true
+    /// and `feasibility ≤ tol`.
+    pub fn solve(&self) -> (Vec<f64>, MleReport) {
+        let mut theta = self.smoothed_mle();
+        if self.constraints.is_empty() {
+            // Closed form: per-block normalized counts. Use the *unsmoothed*
+            // normalization when a block has any observations.
+            let mut offset = 0;
+            for &size in &self.block_sizes {
+                let block = &mut theta[offset..offset + size];
+                let c = &self.counts[offset..offset + size];
+                let sum: f64 = c.iter().sum();
+                if sum > 0.0 {
+                    for (t, &ci) in block.iter_mut().zip(c) {
+                        *t = ci / sum;
+                    }
+                }
+                offset += size;
+            }
+            return (
+                theta,
+                MleReport {
+                    outer_iterations: 0,
+                    inner_iterations: 0,
+                    feasibility: 0.0,
+                    converged: true,
+                },
+            );
+        }
+
+        // Normalize counts so gradient magnitudes are scale free.
+        let total_count: f64 = self.counts.iter().sum::<f64>().max(1.0);
+        let weights: Vec<f64> = self.counts.iter().map(|c| c / total_count).collect();
+
+        let m = self.constraints.len();
+        let mut lambda = vec![0.0; m];
+        let mut rho = self.options.rho;
+        let mut inner_total = 0;
+        let mut feas = f64::INFINITY;
+
+        for outer in 0..self.options.max_outer {
+            inner_total += self.minimize_inner(&mut theta, &weights, &lambda, rho);
+            let g: Vec<f64> = self
+                .constraints
+                .iter()
+                .map(|c| c.residual(&theta))
+                .collect();
+            let new_feas = g.iter().fold(0.0f64, |a, &x| a.max(x.abs()));
+            if new_feas < self.options.tol {
+                return (
+                    theta,
+                    MleReport {
+                        outer_iterations: outer + 1,
+                        inner_iterations: inner_total,
+                        feasibility: new_feas,
+                        converged: true,
+                    },
+                );
+            }
+            for (l, &gi) in lambda.iter_mut().zip(&g) {
+                *l += rho * gi;
+            }
+            if new_feas > 0.5 * feas {
+                rho = (rho * 4.0).min(1e8);
+            }
+            feas = new_feas;
+        }
+        (
+            theta,
+            MleReport {
+                outer_iterations: self.options.max_outer,
+                inner_iterations: inner_total,
+                feasibility: feas,
+                converged: feas < self.options.tol,
+            },
+        )
+    }
+
+    /// Additive-smoothed per-block MLE used as the starting point (strictly
+    /// positive).
+    fn smoothed_mle(&self) -> Vec<f64> {
+        let mut theta = Vec::with_capacity(self.counts.len());
+        let mut offset = 0;
+        for &size in &self.block_sizes {
+            let c = &self.counts[offset..offset + size];
+            let sum: f64 = c.iter().sum();
+            for &ci in c {
+                theta.push((ci + 1.0) / (sum + size as f64));
+            }
+            offset += size;
+        }
+        theta
+    }
+
+    /// Mirror-descent (multiplicative update) minimization of the augmented
+    /// Lagrangian with fixed multipliers. The entropy geometry keeps every
+    /// coordinate strictly positive, which is exactly what the
+    /// log-likelihood objective wants. Returns the number of steps taken.
+    fn minimize_inner(
+        &self,
+        theta: &mut Vec<f64>,
+        weights: &[f64],
+        lambda: &[f64],
+        rho: f64,
+    ) -> usize {
+        let mut step = 0.5;
+        let mut value = self.augmented(theta, weights, lambda, rho);
+        let mut steps = 0;
+        for _ in 0..self.options.max_inner {
+            steps += 1;
+            let grad = self.augmented_grad(theta, weights, lambda, rho);
+            // Backtracking line search over the mirror step
+            // θ ← θ·exp(−η·g), renormalized per block.
+            let mut improved = false;
+            for _ in 0..40 {
+                let mut cand = theta.clone();
+                for (c, &g) in cand.iter_mut().zip(&grad) {
+                    let e = (-step * g).clamp(-30.0, 30.0);
+                    *c = (*c).max(THETA_FLOOR) * e.exp();
+                }
+                self.renormalize_blocks(&mut cand);
+                let cand_value = self.augmented(&cand, weights, lambda, rho);
+                if cand_value < value - 1e-14 * value.abs().max(1.0) {
+                    *theta = cand;
+                    value = cand_value;
+                    improved = true;
+                    step *= 1.5;
+                    break;
+                }
+                step *= 0.5;
+                if step < 1e-16 {
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        steps
+    }
+
+    /// Augmented Lagrangian value.
+    fn augmented(&self, theta: &[f64], weights: &[f64], lambda: &[f64], rho: f64) -> f64 {
+        let mut v = 0.0;
+        for (&w, &t) in weights.iter().zip(theta) {
+            if w > 0.0 {
+                v -= w * t.max(THETA_FLOOR).ln();
+            }
+        }
+        for (c, &l) in self.constraints.iter().zip(lambda) {
+            let g = c.residual(theta);
+            v += l * g + 0.5 * rho * g * g;
+        }
+        v
+    }
+
+    /// Gradient of the augmented Lagrangian.
+    fn augmented_grad(&self, theta: &[f64], weights: &[f64], lambda: &[f64], rho: f64) -> Vec<f64> {
+        let mut grad = vec![0.0; theta.len()];
+        for ((g, &w), &t) in grad.iter_mut().zip(weights).zip(theta) {
+            if w > 0.0 {
+                *g = -w / t.max(THETA_FLOOR);
+            }
+        }
+        for (c, &l) in self.constraints.iter().zip(lambda) {
+            let coef = l + rho * c.residual(theta);
+            for &(i, a) in &c.terms {
+                grad[i] += coef * a;
+            }
+        }
+        grad
+    }
+
+    /// Renormalize each block to sum 1, projecting onto the simplex if the
+    /// block has degenerated.
+    fn renormalize_blocks(&self, theta: &mut [f64]) {
+        let mut offset = 0;
+        for &size in &self.block_sizes {
+            let block = &mut theta[offset..offset + size];
+            let sum: f64 = block.iter().sum();
+            if sum > THETA_FLOOR && sum.is_finite() {
+                block.iter_mut().for_each(|t| *t /= sum);
+            } else {
+                project_simplex(block);
+            }
+            offset += size;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_blocks_on_simplex(theta: &[f64], blocks: &[usize]) {
+        let mut offset = 0;
+        for &size in blocks {
+            let sum: f64 = theta[offset..offset + size].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-8, "block sum {sum}");
+            assert!(theta[offset..offset + size].iter().all(|&t| t >= 0.0));
+            offset += size;
+        }
+    }
+
+    #[test]
+    fn unconstrained_is_normalized_counts() {
+        let p = ConstrainedMle::new(vec![3], vec![2.0, 6.0, 2.0], vec![]);
+        let (theta, rep) = p.solve();
+        assert!(rep.converged);
+        assert!((theta[0] - 0.2).abs() < 1e-12);
+        assert!((theta[1] - 0.6).abs() < 1e-12);
+        assert!((theta[2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unconstrained_zero_block_is_uniformish() {
+        let p = ConstrainedMle::new(vec![2, 2], vec![3.0, 1.0, 0.0, 0.0], vec![]);
+        let (theta, _) = p.solve();
+        assert!((theta[0] - 0.75).abs() < 1e-12);
+        // Empty block falls back to the smoothed (uniform) estimate.
+        assert!((theta[2] - 0.5).abs() < 1e-12);
+        assert!((theta[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinned_coordinate_redistributes_proportionally() {
+        // maximize 4 log θ0 + 4 log θ1 + 2 log θ2 s.t. θ0 = 0.5.
+        // Remaining mass 0.5 splits ∝ (4, 2) → (1/3, 1/6).
+        let p = ConstrainedMle::new(
+            vec![3],
+            vec![4.0, 4.0, 2.0],
+            vec![LinearConstraint {
+                terms: vec![(0, 1.0)],
+                rhs: 0.5,
+            }],
+        );
+        let (theta, rep) = p.solve();
+        assert!(rep.converged, "report: {rep:?}");
+        assert_blocks_on_simplex(&theta, &[3]);
+        assert!((theta[0] - 0.5).abs() < 1e-5, "{theta:?}");
+        assert!((theta[1] - 1.0 / 3.0).abs() < 1e-3, "{theta:?}");
+        assert!((theta[2] - 1.0 / 6.0).abs() < 1e-3, "{theta:?}");
+    }
+
+    #[test]
+    fn cross_block_constraint_is_satisfied() {
+        // Two 2-value blocks; constrain 0.5·θ0 + 0.5·θ2 = 0.7 (a marginal
+        // constraint with equal ancestor mass on each config).
+        let p = ConstrainedMle::new(
+            vec![2, 2],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![LinearConstraint {
+                terms: vec![(0, 0.5), (2, 0.5)],
+                rhs: 0.7,
+            }],
+        );
+        let (theta, rep) = p.solve();
+        assert!(rep.converged, "report: {rep:?}");
+        assert_blocks_on_simplex(&theta, &[2, 2]);
+        let lhs = 0.5 * theta[0] + 0.5 * theta[2];
+        assert!((lhs - 0.7).abs() < 1e-5, "{theta:?}");
+        // Symmetric problem: both blocks should move identically.
+        assert!((theta[0] - theta[2]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn infeasible_constraint_reports_not_converged() {
+        // θ0 = 1.5 is impossible on a simplex.
+        let p = ConstrainedMle::new(
+            vec![2],
+            vec![1.0, 1.0],
+            vec![LinearConstraint {
+                terms: vec![(0, 1.0)],
+                rhs: 1.5,
+            }],
+        );
+        let (theta, rep) = p.solve();
+        assert!(!rep.converged);
+        assert_blocks_on_simplex(&theta, &[2]);
+        // Best effort: θ0 pushed towards 1.
+        assert!(theta[0] > 0.9);
+    }
+
+    #[test]
+    fn zero_count_coordinate_can_receive_mass_from_constraint() {
+        // The sample never saw value 1, but an aggregate says it has
+        // probability 0.25 — the open-world case the BN handles.
+        let p = ConstrainedMle::new(
+            vec![2],
+            vec![10.0, 0.0],
+            vec![LinearConstraint {
+                terms: vec![(1, 1.0)],
+                rhs: 0.25,
+            }],
+        );
+        let (theta, rep) = p.solve();
+        assert!(rep.converged, "report: {rep:?}");
+        assert!((theta[1] - 0.25).abs() < 1e-5);
+        assert!((theta[0] - 0.75).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,240 @@
+//! Least squares via Householder QR.
+//!
+//! Solves `min_x ‖Ax − b‖₂` for a tall (or square) matrix `A`. When `A` is
+//! (numerically) rank deficient the plain QR back-substitution would divide
+//! by a tiny pivot; in that case we fall back to a ridge-regularized normal
+//! equation solve, which is well-posed and adequate for the reweighting use
+//! case (the paper's aggregate design matrices are occasionally collinear,
+//! e.g. when two aggregates cover the same attribute set).
+
+use crate::matrix::DenseMatrix;
+
+/// Relative pivot threshold below which a column is treated as dependent.
+const RANK_TOL: f64 = 1e-10;
+
+/// Solve `min_x ‖Ax − b‖₂`.
+///
+/// Over- and exactly-determined systems use Householder QR; underdetermined
+/// or rank-deficient systems fall back to a ridge-regularized normal
+/// equation solve (returning a near-minimum-norm solution).
+///
+/// # Panics
+/// Panics if `b.len() != a.rows()`.
+pub fn lstsq(a: &DenseMatrix, b: &[f64]) -> Vec<f64> {
+    assert_eq!(b.len(), a.rows(), "rhs length mismatch");
+    if a.rows() < a.cols() {
+        return ridge_solve(a, b);
+    }
+    match qr_solve(a, b) {
+        Some(x) => x,
+        None => ridge_solve(a, b),
+    }
+}
+
+/// Householder QR solve. Returns `None` if a pivot is too small relative to
+/// the matrix scale (rank deficiency).
+fn qr_solve(a: &DenseMatrix, b: &[f64]) -> Option<Vec<f64>> {
+    let m = a.rows();
+    let n = a.cols();
+    let mut r = a.clone();
+    let mut qtb = b.to_vec();
+    let scale = a.frobenius_norm().max(f64::MIN_POSITIVE);
+
+    for k in 0..n {
+        // Householder vector for column k below the diagonal.
+        let mut norm = 0.0;
+        for i in k..m {
+            norm += r[(i, k)] * r[(i, k)];
+        }
+        let norm = norm.sqrt();
+        if norm < RANK_TOL * scale {
+            return None;
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+        // v = x - alpha e1 with x the trailing column; store v normalized so
+        // v[k] = 1 implicitly by dividing through.
+        let v0 = r[(k, k)] - alpha;
+        let mut v = vec![0.0; m - k];
+        v[0] = v0;
+        for i in (k + 1)..m {
+            v[i - k] = r[(i, k)];
+        }
+        let vtv = v.iter().map(|x| x * x).sum::<f64>();
+        if vtv < f64::MIN_POSITIVE {
+            return None;
+        }
+
+        // Apply H = I - 2 v vᵀ / vᵀv to the trailing submatrix and to qtb.
+        for j in k..n {
+            let mut proj = 0.0;
+            for i in k..m {
+                proj += v[i - k] * r[(i, j)];
+            }
+            let coef = 2.0 * proj / vtv;
+            for i in k..m {
+                r[(i, j)] -= coef * v[i - k];
+            }
+        }
+        let mut proj = 0.0;
+        for i in k..m {
+            proj += v[i - k] * qtb[i];
+        }
+        let coef = 2.0 * proj / vtv;
+        for i in k..m {
+            qtb[i] -= coef * v[i - k];
+        }
+        r[(k, k)] = alpha;
+    }
+
+    // Back substitution on the upper-triangular R (top n×n block).
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut s = qtb[k];
+        for j in (k + 1)..n {
+            s -= r[(k, j)] * x[j];
+        }
+        let d = r[(k, k)];
+        if d.abs() < RANK_TOL * scale {
+            return None;
+        }
+        x[k] = s / d;
+    }
+    Some(x)
+}
+
+/// Ridge-regularized normal equations: `(AᵀA + λI) x = Aᵀ b` solved by
+/// Cholesky. `λ` is scaled to the trace of `AᵀA`.
+fn ridge_solve(a: &DenseMatrix, b: &[f64]) -> Vec<f64> {
+    let n = a.cols();
+    let at = a.transpose();
+    let mut ata = at.matmul(a);
+    let atb = a.matvec_t(b);
+    let trace: f64 = (0..n).map(|i| ata[(i, i)]).sum();
+    let lambda = (trace / n.max(1) as f64) * 1e-8 + 1e-12;
+    for i in 0..n {
+        ata[(i, i)] += lambda;
+    }
+    cholesky_solve(&ata, &atb).expect("ridge-regularized system is SPD")
+}
+
+/// Solve `M x = rhs` for symmetric positive-definite `M` via Cholesky.
+/// Returns `None` if `M` is not positive definite.
+pub fn cholesky_solve(m: &DenseMatrix, rhs: &[f64]) -> Option<Vec<f64>> {
+    let n = m.rows();
+    assert_eq!(m.cols(), n, "matrix must be square");
+    assert_eq!(rhs.len(), n, "rhs length mismatch");
+    // Lower-triangular factor L with M = L Lᵀ.
+    let mut l = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = m[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return None;
+                }
+                l[(i, j)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    // Forward solve L y = rhs.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = rhs[i];
+        for k in 0..i {
+            s -= l[(i, k)] * y[k];
+        }
+        y[i] = s / l[(i, i)];
+    }
+    // Back solve Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::norm2;
+
+    #[test]
+    fn exact_square_system() {
+        let a = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = lstsq(&a, &[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_consistent_system() {
+        // x = [1, 2]; three consistent equations.
+        let a = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let x = lstsq(&a, &[1.0, 2.0, 3.0]);
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Inconsistent system; optimum is the mean for a column of ones.
+        let a = DenseMatrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0]]);
+        let x = lstsq(&a, &[1.0, 2.0, 6.0]);
+        assert!((x[0] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        let a = DenseMatrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 1.0],
+            vec![0.5, 4.0],
+            vec![2.0, 2.0],
+        ]);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        let x = lstsq(&a, &b);
+        let mut resid = a.matvec(&x);
+        for (r, &bi) in resid.iter_mut().zip(&b) {
+            *r -= bi;
+        }
+        let grad = a.matvec_t(&resid);
+        assert!(norm2(&grad) < 1e-8, "normal equations violated: {grad:?}");
+    }
+
+    #[test]
+    fn rank_deficient_falls_back_to_ridge() {
+        // Second column is a copy of the first.
+        let a = DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let b = vec![2.0, 4.0, 6.0];
+        let x = lstsq(&a, &b);
+        // Any x with x0 + x1 = 2 solves it; ridge gives the minimum-norm-ish
+        // solution. Verify the fit instead of the coordinates.
+        let fit = a.matvec(&x);
+        for (f, &bi) in fit.iter().zip(&b) {
+            assert!((f - bi).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd() {
+        let m = DenseMatrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let x = cholesky_solve(&m, &[8.0, 7.0]).unwrap();
+        assert!((x[0] - 1.25).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(cholesky_solve(&m, &[1.0, 1.0]).is_none());
+    }
+}

@@ -1,0 +1,107 @@
+//! Euclidean projection onto the probability simplex.
+//!
+//! Implements the sort-based algorithm of Held/Wolfe/Crowder (popularized by
+//! Duchi et al., ICML 2008): the projection of `v` onto
+//! `{x : x ≥ 0, Σx = s}` is `x_i = max(v_i − τ, 0)` for the unique threshold
+//! `τ` that makes the result sum to `s`.
+
+/// Project `v` onto the simplex `{x ≥ 0, Σ x = 1}` in place.
+pub fn project_simplex(v: &mut [f64]) {
+    project_scaled_simplex(v, 1.0);
+}
+
+/// Project `v` onto `{x ≥ 0, Σ x = s}` in place.
+///
+/// # Panics
+/// Panics if `s < 0` or `v` is empty.
+pub fn project_scaled_simplex(v: &mut [f64], s: f64) {
+    assert!(s >= 0.0, "simplex scale must be non-negative");
+    assert!(!v.is_empty(), "cannot project an empty vector");
+    let n = v.len();
+    let mut sorted = v.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN in projection input"));
+
+    // Find rho = max{ j : sorted[j] - (cumsum[j] - s)/(j+1) > 0 }.
+    let mut cumsum = 0.0;
+    let mut tau = 0.0;
+    let mut found = false;
+    for (j, &sj) in sorted.iter().enumerate() {
+        cumsum += sj;
+        let t = (cumsum - s) / (j + 1) as f64;
+        if sj - t > 0.0 {
+            tau = t;
+            found = true;
+        }
+    }
+    if !found {
+        // All mass collapses onto the largest coordinate (happens when every
+        // entry is very negative); fall back to a uniform point.
+        let u = s / n as f64;
+        v.iter_mut().for_each(|x| *x = u);
+        return;
+    }
+    v.iter_mut().for_each(|x| *x = (*x - tau).max(0.0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_on_simplex(v: &[f64], s: f64) {
+        let sum: f64 = v.iter().sum();
+        assert!((sum - s).abs() < 1e-9, "sum {sum} != {s}");
+        assert!(v.iter().all(|&x| x >= 0.0), "negative coordinate in {v:?}");
+    }
+
+    #[test]
+    fn point_on_simplex_is_fixed() {
+        let mut v = vec![0.2, 0.3, 0.5];
+        project_simplex(&mut v);
+        assert!((v[0] - 0.2).abs() < 1e-12);
+        assert!((v[1] - 0.3).abs() < 1e-12);
+        assert!((v[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_shift_is_removed() {
+        // Projecting v + c*1 equals projecting v.
+        let mut a = vec![0.1, 0.4, 0.5];
+        let mut b = vec![10.1, 10.4, 10.5];
+        project_simplex(&mut a);
+        project_simplex(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_clamp() {
+        let mut v = vec![-1.0, 2.0];
+        project_simplex(&mut v);
+        assert_on_simplex(&v, 1.0);
+        assert_eq!(v[0], 0.0);
+        assert!((v[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_simplex() {
+        let mut v = vec![3.0, 1.0];
+        project_scaled_simplex(&mut v, 2.0);
+        assert_on_simplex(&v, 2.0);
+        assert!(v[0] > v[1]);
+    }
+
+    #[test]
+    fn all_negative_input_gives_valid_point() {
+        let mut v = vec![-5.0, -9.0, -7.0];
+        project_simplex(&mut v);
+        assert_on_simplex(&v, 1.0);
+    }
+
+    #[test]
+    fn single_coordinate() {
+        let mut v = vec![0.37];
+        project_simplex(&mut v);
+        assert_eq!(v, vec![1.0]);
+    }
+}

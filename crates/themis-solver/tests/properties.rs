@@ -1,0 +1,127 @@
+//! Property-based tests for the numeric substrate.
+
+use proptest::prelude::*;
+use themis_solver::constrained::{ConstrainedMle, LinearConstraint};
+use themis_solver::matrix::DenseMatrix;
+use themis_solver::{lstsq, nnls, project_simplex};
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, len..=len)
+}
+
+proptest! {
+    #[test]
+    fn simplex_projection_is_on_simplex(v in prop::collection::vec(-100.0f64..100.0, 1..20)) {
+        let mut x = v.clone();
+        project_simplex(&mut x);
+        let sum: f64 = x.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8, "sum = {sum}");
+        prop_assert!(x.iter().all(|&xi| xi >= 0.0));
+    }
+
+    #[test]
+    fn simplex_projection_is_idempotent(v in prop::collection::vec(-100.0f64..100.0, 1..20)) {
+        let mut once = v.clone();
+        project_simplex(&mut once);
+        let mut twice = once.clone();
+        project_simplex(&mut twice);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn simplex_projection_is_closest_point(
+        v in prop::collection::vec(-5.0f64..5.0, 2..8),
+        probe in prop::collection::vec(0.01f64..1.0, 2..8),
+    ) {
+        // The projection must be at least as close to v as any other simplex
+        // point (here: a random normalized probe of matching length).
+        let n = v.len().min(probe.len());
+        let v = &v[..n];
+        let mut proj = v.to_vec();
+        project_simplex(&mut proj);
+        let total: f64 = probe[..n].iter().sum();
+        let other: Vec<f64> = probe[..n].iter().map(|p| p / total).collect();
+        let d_proj: f64 = proj.iter().zip(v).map(|(a, b)| (a - b) * (a - b)).sum();
+        let d_other: f64 = other.iter().zip(v).map(|(a, b)| (a - b) * (a - b)).sum();
+        prop_assert!(d_proj <= d_other + 1e-9, "projection {d_proj} farther than probe {d_other}");
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal(
+        rows in 3usize..8,
+        cols in 1usize..3,
+        seed in finite_vec(64),
+    ) {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows * cols {
+            data.push(seed[i % seed.len()] + (i as f64) * 0.37);
+        }
+        let a = DenseMatrix::from_vec(rows, cols, data);
+        let b: Vec<f64> = (0..rows).map(|i| seed[(i * 7) % seed.len()]).collect();
+        let x = lstsq(&a, &b);
+        let mut r = a.matvec(&x);
+        for (ri, bi) in r.iter_mut().zip(&b) {
+            *ri -= bi;
+        }
+        let g = a.matvec_t(&r);
+        let scale = a.frobenius_norm().max(1.0);
+        for gi in g {
+            prop_assert!(gi.abs() / scale < 1e-5, "gradient {gi} not ~0");
+        }
+    }
+
+    #[test]
+    fn nnls_is_nonnegative_and_kkt(
+        rows in 2usize..7,
+        cols in 1usize..5,
+        seed in finite_vec(64),
+    ) {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows * cols {
+            data.push((seed[i % seed.len()]).abs() + 0.1 + (i % 5) as f64 * 0.21);
+        }
+        let a = DenseMatrix::from_vec(rows, cols, data);
+        let b: Vec<f64> = (0..rows).map(|i| seed[(i * 11) % seed.len()]).collect();
+        let (x, rep) = nnls(&a, &b);
+        prop_assert!(x.iter().all(|&v| v >= 0.0));
+        if rep.converged {
+            let mut r = a.matvec(&x);
+            for (ri, bi) in r.iter_mut().zip(&b) {
+                *ri -= bi;
+            }
+            let g = a.matvec_t(&r);
+            let scale = a.frobenius_norm().max(1.0);
+            for (&xi, &gi) in x.iter().zip(&g) {
+                if xi > 1e-8 {
+                    prop_assert!(gi.abs() / scale < 1e-4, "passive gradient {gi}");
+                } else {
+                    prop_assert!(gi / scale > -1e-4, "active gradient {gi} negative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_mle_satisfies_feasible_constraints(
+        counts in prop::collection::vec(0.0f64..20.0, 3..=3),
+        target in prop::collection::vec(0.05f64..1.0, 3..=3),
+    ) {
+        // Build a feasible pin: constrain θ0 to the value a random simplex
+        // point takes there.
+        let total: f64 = target.iter().sum();
+        let pin = target[0] / total;
+        let p = ConstrainedMle::new(
+            vec![3],
+            counts,
+            vec![LinearConstraint { terms: vec![(0, 1.0)], rhs: pin }],
+        );
+        let (theta, rep) = p.solve();
+        prop_assert!(rep.converged, "did not converge: {rep:?}");
+        prop_assert!((theta[0] - pin).abs() < 1e-4, "θ0 = {} != {pin}", theta[0]);
+        let sum: f64 = theta.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        prop_assert!(theta.iter().all(|&t| t >= -1e-12));
+    }
+}

@@ -1,0 +1,213 @@
+//! Abstract syntax for the Themis SQL subset.
+
+use std::fmt;
+
+/// A literal value in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Quoted string — matched against domain labels.
+    Str(String),
+    /// Numeric literal — compared against numeric labels or bucket ids.
+    Num(f64),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Str(s) => write!(f, "'{s}'"),
+            Literal::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A (possibly table-qualified) column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table name or alias, if qualified (`t.DE`).
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified column.
+    pub fn bare(column: impl Into<String>) -> Self {
+        Self {
+            table: None,
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// Aggregate functions supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — evaluated as `SUM(weight)` over open-world relations.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)` — weighted mean.
+    Avg,
+    /// `MIN(col)` — smallest value with positive weight.
+    Min,
+    /// `MAX(col)` — largest value with positive weight.
+    Max,
+}
+
+impl AggFunc {
+    /// SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column (must also appear in GROUP BY).
+    Column(ColumnRef),
+    /// An aggregate, optionally aliased.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Argument column; `None` for `COUNT(*)`.
+        arg: Option<ColumnRef>,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `col OP literal`.
+    Compare {
+        /// Column being tested.
+        col: ColumnRef,
+        /// Operator.
+        op: Comparison,
+        /// Literal to compare against.
+        value: Literal,
+    },
+    /// `col IN (lit, ...)`.
+    In {
+        /// Column being tested.
+        col: ColumnRef,
+        /// Allowed values.
+        values: Vec<Literal>,
+    },
+    /// `left = right` across tables — an equi-join condition.
+    JoinEq {
+        /// Left column.
+        left: ColumnRef,
+        /// Right column.
+        right: ColumnRef,
+    },
+}
+
+/// A table in the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name in the catalog.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name predicates should use to refer to this table.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// An ORDER BY key: the *output* column it names (a group column's display
+/// name or an aggregate's alias/display name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderBy {
+    /// Output column name.
+    pub column: String,
+    /// Descending order (`DESC`).
+    pub desc: bool,
+}
+
+/// A parsed query: `SELECT items FROM tables [WHERE conjuncts]
+/// [GROUP BY cols] [ORDER BY col [DESC]] [LIMIT n]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM tables (1 = scan, 2 = self-join).
+    pub from: Vec<TableRef>,
+    /// Conjunctive WHERE predicates.
+    pub predicates: Vec<Predicate>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+    /// Optional ORDER BY key.
+    pub order_by: Option<OrderBy>,
+    /// Optional LIMIT.
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips() {
+        assert_eq!(Literal::Str("CA".into()).to_string(), "'CA'");
+        assert_eq!(Literal::Num(3.5).to_string(), "3.5");
+        let c = ColumnRef {
+            table: Some("t".into()),
+            column: "DE".into(),
+        };
+        assert_eq!(c.to_string(), "t.DE");
+        assert_eq!(ColumnRef::bare("O").to_string(), "O");
+    }
+
+    #[test]
+    fn table_binding_prefers_alias() {
+        let t = TableRef {
+            name: "flights".into(),
+            alias: Some("f".into()),
+        };
+        assert_eq!(t.binding(), "f");
+        let t = TableRef {
+            name: "flights".into(),
+            alias: None,
+        };
+        assert_eq!(t.binding(), "flights");
+    }
+}

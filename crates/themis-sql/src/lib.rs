@@ -1,0 +1,27 @@
+//! # themis-sql
+//!
+//! A small SQL parser covering the query class Themis evaluates (§2, §6.4,
+//! Table 5): single-table aggregate queries with conjunctive predicates and
+//! `GROUP BY`, plus equi-self-joins:
+//!
+//! ```sql
+//! SELECT origin_state, SUM(weight) AS num_flights
+//! FROM flights
+//! WHERE elapsed_time <= 30 AND origin_state = 'CA'
+//! GROUP BY origin_state;
+//!
+//! SELECT t.O, s.DE, COUNT(*) FROM F t, F s
+//! WHERE t.DE = s.O AND t.DE IN ('CO', 'WY') GROUP BY t.O, s.DE;
+//! ```
+//!
+//! The parser is a classic hand-written lexer + recursive-descent pair and
+//! has no knowledge of schemas; name resolution happens in `themis-query`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    AggFunc, ColumnRef, Comparison, Literal, OrderBy, Predicate, Query, SelectItem, TableRef,
+};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,78 @@
+//! Property-based parser tests: no panics on arbitrary input, and
+//! structured round-trips for generated queries.
+
+use proptest::prelude::*;
+use themis_sql::{parse, Comparison, Literal, Predicate, SelectItem};
+
+proptest! {
+    /// The parser must never panic, whatever the input.
+    #[test]
+    fn parser_never_panics(input in ".{0,120}") {
+        let _ = parse(&input);
+    }
+
+    /// ...including on inputs that lex fine.
+    #[test]
+    fn parser_never_panics_on_tokenish_input(
+        words in prop::collection::vec("(SELECT|FROM|WHERE|GROUP|BY|AND|IN|AS|COUNT|SUM|AVG|[a-z]{1,6}|[0-9]{1,3}|'[a-z]{0,4}'|\\(|\\)|,|\\*|=|<|<=|>=|<>)", 0..25),
+    ) {
+        let input = words.join(" ");
+        let _ = parse(&input);
+    }
+
+    /// Generated well-formed queries parse to the expected structure.
+    #[test]
+    fn well_formed_queries_round_trip(
+        table in "[a-z]{1,8}",
+        col in "[a-z]{1,8}",
+        group in "[a-z]{1,8}",
+        num in 0i32..1000,
+        sval in "[A-Z]{1,4}",
+    ) {
+        let sql = format!(
+            "SELECT {group}, COUNT(*) FROM {table} WHERE {col} <= {num} AND {col} = '{sval}' GROUP BY {group}"
+        );
+        let q = parse(&sql).unwrap();
+        prop_assert_eq!(&q.from[0].name, &table);
+        prop_assert_eq!(q.select.len(), 2);
+        let is_agg = matches!(&q.select[1], SelectItem::Aggregate { .. });
+        prop_assert!(is_agg);
+        prop_assert_eq!(q.predicates.len(), 2);
+        match &q.predicates[0] {
+            Predicate::Compare { col: c, op, value } => {
+                prop_assert_eq!(&c.column, &col);
+                prop_assert_eq!(*op, Comparison::Le);
+                prop_assert_eq!(value, &Literal::Num(num as f64));
+            }
+            other => prop_assert!(false, "unexpected predicate {other:?}"),
+        }
+        match &q.predicates[1] {
+            Predicate::Compare { value, .. } => {
+                prop_assert_eq!(value, &Literal::Str(sval.clone()));
+            }
+            other => prop_assert!(false, "unexpected predicate {other:?}"),
+        }
+        prop_assert_eq!(q.group_by.len(), 1);
+    }
+
+    /// IN lists of any size parse with all values preserved.
+    #[test]
+    fn in_lists_round_trip(values in prop::collection::vec("[A-Z]{1,3}", 1..8)) {
+        let list = values
+            .iter()
+            .map(|v| format!("'{v}'"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let sql = format!("SELECT COUNT(*) FROM t WHERE c IN ({list})");
+        let q = parse(&sql).unwrap();
+        match &q.predicates[0] {
+            Predicate::In { values: parsed, .. } => {
+                prop_assert_eq!(parsed.len(), values.len());
+                for (p, v) in parsed.iter().zip(&values) {
+                    prop_assert_eq!(p, &Literal::Str(v.clone()));
+                }
+            }
+            other => prop_assert!(false, "unexpected predicate {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Survey calibration against (noisy) census marginals — the demography
+//! use case IPF was born for (§4.1.2), including differentially-private
+//! aggregates (§3: "the 2020 US census will add random noise to their
+//! reports... Themis will still treat these aggregates as marginal
+//! constraints").
+//!
+//! ```sh
+//! cargo run -p themis-examples --example census_calibration --release
+//! ```
+
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_core::{percent_difference, ReweightMethod, Themis, ThemisConfig};
+use themis_data::sampling::{RowFilter, SampleSpec};
+use themis_data::{AttrId, Attribute, Domain, Relation, Schema};
+
+fn main() {
+    // Synthetic "household" population: region × age bracket × income
+    // bracket with regional skew.
+    let schema = Schema::new(vec![
+        Attribute::new("region", Domain::of("region", &["north", "south", "east", "west"])),
+        Attribute::new("age", Domain::of("age", &["18-34", "35-54", "55+"])),
+        Attribute::new("income", Domain::of("income", &["low", "mid", "high"])),
+    ]);
+    let mut rng = SmallRng::seed_from_u64(2020);
+    let mut population = Relation::with_capacity(schema.clone(), 50_000);
+    for _ in 0..50_000 {
+        let region = rng.gen_range(0..4u32);
+        // Southern region skews older; east richer.
+        let age = match region {
+            1 => [0, 1, 1, 2, 2, 2][rng.gen_range(0..6)],
+            _ => [0, 0, 1, 1, 2][rng.gen_range(0..5)],
+        };
+        let income = match region {
+            2 => [1, 1, 2, 2, 2][rng.gen_range(0..5)],
+            _ => [0, 0, 1, 1, 2][rng.gen_range(0..5)],
+        };
+        population.push_row(&[region, age, income]);
+    }
+
+    // An online survey over-represents the young western population.
+    let filter = RowFilter::And(vec![
+        RowFilter::Eq(AttrId(0), 3), // west
+        RowFilter::Eq(AttrId(1), 0), // 18-34
+    ]);
+    let survey = SampleSpec::biased(0.05, filter, 0.7).draw(&population, &mut rng);
+    println!("survey: {} of {} households\n", survey.len(), population.len());
+
+    // The census bureau publishes noisy marginals (Laplace-ish noise).
+    let mut noisy = |agg: AggregateResult| {
+        let groups = agg
+            .groups()
+            .iter()
+            .map(|(k, c)| (k.clone(), (c + rng.gen_range(-30.0..30.0)).max(0.0)))
+            .collect();
+        AggregateResult::from_groups(agg.attrs().to_vec(), groups)
+    };
+    let aggregates = AggregateSet::from_results(vec![
+        noisy(AggregateResult::compute(&population, &[AttrId(0)])),
+        noisy(AggregateResult::compute(&population, &[AttrId(1)])),
+        noisy(AggregateResult::compute(&population, &[AttrId(0), AttrId(1)])),
+    ]);
+
+    let themis = Themis::build(
+        survey.clone(),
+        aggregates,
+        population.len() as f64,
+        ThemisConfig {
+            reweighting: ReweightMethod::Ipf(Default::default()),
+            ..ThemisConfig::default()
+        },
+    );
+    if let Some(rep) = themis.ipf_report() {
+        println!(
+            "IPF: {} sweeps, max relative violation {:.2e}, converged = {}",
+            rep.iterations, rep.final_violation, rep.converged
+        );
+    }
+
+    // Estimate the age distribution per region.
+    println!("\n{:<8} {:<7} {:>8} {:>10} {:>10}", "region", "age", "true", "uniform", "Themis");
+    let uniform_scale = population.len() as f64 / survey.len() as f64;
+    let mut err_unif = 0.0;
+    let mut err_themis = 0.0;
+    let mut count = 0.0;
+    for region in 0..4u32 {
+        for age in 0..3u32 {
+            let attrs = [AttrId(0), AttrId(1)];
+            let vals = [region, age];
+            let truth = population.point_count(&attrs, &vals);
+            let unif = survey.group_row_counts(&attrs).get(&vec![region, age]).copied().unwrap_or(0)
+                as f64
+                * uniform_scale;
+            let est = themis.point_query(&attrs, &vals);
+            err_unif += percent_difference(truth, unif);
+            err_themis += percent_difference(truth, est);
+            count += 1.0;
+            println!(
+                "{:<8} {:<7} {truth:>8.0} {unif:>10.0} {est:>10.0}",
+                schema.domain(AttrId(0)).label(region),
+                schema.domain(AttrId(1)).label(age),
+            );
+        }
+    }
+    println!(
+        "\naverage percent difference — uniform: {:.1}, Themis: {:.1}",
+        err_unif / count,
+        err_themis / count
+    );
+}

@@ -1,0 +1,87 @@
+//! The §2 motivating scenario at realistic scale: a data scientist analyzes
+//! short flights per state from a sample biased towards four major states.
+//!
+//! ```sh
+//! cargo run -p themis-examples --example flights_analysis --release
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_core::{percent_difference, ReweightMethod, Themis, ThemisConfig};
+use themis_data::datasets::flights::{FlightsConfig, FlightsDataset};
+use themis_examples::fmt_count;
+
+fn main() {
+    // A 100k-flight population; the analyst only ever sees the biased 10%
+    // sample plus the published per-state and per-month totals.
+    let dataset = FlightsDataset::generate(FlightsConfig {
+        n: 100_000,
+        ..Default::default()
+    });
+    let attrs = FlightsDataset::attrs();
+    let pop = &dataset.population;
+    let n = pop.len() as f64;
+    let mut rng = SmallRng::seed_from_u64(42);
+    let sample = dataset.sample_scorners(&mut rng);
+
+    let aggregates = AggregateSet::from_results(vec![
+        AggregateResult::compute(pop, &[attrs.o]),
+        AggregateResult::compute(pop, &[attrs.f]),
+        AggregateResult::compute(pop, &[attrs.o, attrs.dt]),
+    ]);
+
+    let aqp = Themis::build(
+        sample.clone(),
+        aggregates.clone(),
+        n,
+        ThemisConfig {
+            reweighting: ReweightMethod::Uniform,
+            bn_mode: None,
+            ..ThemisConfig::default()
+        },
+    );
+    let themis = Themis::build(sample, aggregates, n, ThemisConfig::default());
+
+    println!("Short flights (shortest distance bucket) per origin state:");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "state", "true", "AQP", "Themis", "AQP err%", "Thm err%"
+    );
+    let mut aqp_total = 0.0;
+    let mut themis_total = 0.0;
+    let states = ["CA", "NY", "TX", "GA", "MN", "UT"];
+    for state in states {
+        let sid = pop.schema().domain(attrs.o).id_of(state).expect("state");
+        let q_attrs = [attrs.o, attrs.dt];
+        let q_vals = [sid, 0u32];
+        let truth = pop.point_count(&q_attrs, &q_vals);
+        let aqp_est = aqp.point_query_sample(&q_attrs, &q_vals);
+        let themis_est = themis.point_query(&q_attrs, &q_vals);
+        let aqp_err = percent_difference(truth, aqp_est);
+        let themis_err = percent_difference(truth, themis_est);
+        aqp_total += aqp_err;
+        themis_total += themis_err;
+        println!(
+            "{state:<8} {:>10} {:>10} {:>10} {aqp_err:>8.1} {themis_err:>8.1}",
+            fmt_count(truth),
+            fmt_count(aqp_est),
+            fmt_count(themis_est),
+        );
+    }
+    println!(
+        "\naverage percent difference — AQP: {:.1}, Themis: {:.1}",
+        aqp_total / states.len() as f64,
+        themis_total / states.len() as f64
+    );
+
+    // The same analysis in SQL.
+    let sql = "SELECT origin_state, COUNT(*) FROM flights \
+               WHERE distance <= 0 GROUP BY origin_state";
+    let result = themis.sql(sql).expect("valid SQL");
+    println!("\n{sql};\n(first rows)\n");
+    for row in result.rows.iter().take(5) {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  {}", cells.join(" | "));
+    }
+}

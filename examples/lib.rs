@@ -1,0 +1,34 @@
+//! Shared helpers for the Themis examples. The runnable binaries live next to
+//! this file (`quickstart.rs`, `flights_analysis.rs`, ...) and are registered
+//! as Cargo examples; run them with `cargo run -p themis-examples --example
+//! quickstart --release`.
+
+/// Format a float with thousands separators for readable console output.
+pub fn fmt_count(v: f64) -> String {
+    let rounded = v.round() as i64;
+    let s = rounded.abs().to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if rounded < 0 {
+        format!("-{out}")
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_thousands() {
+        assert_eq!(fmt_count(1234567.0), "1,234,567");
+        assert_eq!(fmt_count(12.4), "12");
+        assert_eq!(fmt_count(-1000.0), "-1,000");
+    }
+}

@@ -1,0 +1,151 @@
+//! Failure-injection integration tests: degenerate aggregates, adversarial
+//! inputs, and configuration corner cases must degrade gracefully, never
+//! panic or produce NaN.
+
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_core::{ReweightMethod, Themis, ThemisConfig};
+use themis_data::paper_example::{example_population, example_sample};
+use themis_data::AttrId;
+use themis_reweight::IpfOptions;
+
+fn assert_all_finite(t: &Themis) {
+    assert!(t.reweighted_sample().weights().iter().all(|w| w.is_finite()));
+    let attrs = [AttrId(0), AttrId(1), AttrId(2)];
+    for date in 0..2u32 {
+        for o in 0..3u32 {
+            for d in 0..3u32 {
+                let est = t.point_query(&attrs, &[date, o, d]);
+                assert!(est.is_finite() && est >= 0.0, "estimate {est}");
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_aggregate_set_degrades_to_aqp_plus_sample_bn() {
+    // No aggregates at all: IPF has nothing to fit (weights stay 1 until
+    // normalization never happens), the BN learns from the sample only.
+    let t = Themis::build(
+        example_sample(),
+        AggregateSet::new(),
+        10.0,
+        ThemisConfig::default(),
+    );
+    assert_all_finite(&t);
+    let rep = t.ipf_report().expect("IPF default");
+    assert!(rep.converged, "vacuous constraints are satisfied");
+    assert_eq!(rep.iterations, 0);
+}
+
+#[test]
+fn zero_count_aggregate_groups_do_not_poison_weights() {
+    // An aggregate claiming a group has zero population count: IPF scales
+    // the participating tuples to zero — the remaining queries must stay
+    // finite and the model usable.
+    let groups = vec![(vec![0u32], 0.0), (vec![1u32], 10.0)];
+    let set = AggregateSet::from_results(vec![AggregateResult::from_groups(
+        vec![AttrId(0)],
+        groups,
+    )]);
+    let t = Themis::build(example_sample(), set, 10.0, ThemisConfig::default());
+    assert_all_finite(&t);
+    // The date=01 tuples were zeroed by the (claimed) empty group.
+    assert_eq!(t.point_query_sample(&[AttrId(0)], &[0]), 0.0);
+    // date=02 got everything.
+    assert!(t.point_query_sample(&[AttrId(0)], &[1]) > 0.0);
+}
+
+#[test]
+fn wildly_inconsistent_aggregates_stay_finite() {
+    // Two aggregates that cannot both hold (totals 10 vs 1000): IPF will
+    // not converge; everything must stay finite, best effort.
+    let p = example_population();
+    let small = AggregateResult::compute(&p, &[AttrId(0)]);
+    let huge = AggregateResult::from_groups(
+        vec![AttrId(1)],
+        vec![(vec![0], 900.0), (vec![1], 50.0), (vec![2], 50.0)],
+    );
+    let set = AggregateSet::from_results(vec![small, huge]);
+    let t = Themis::build(example_sample(), set, 10.0, ThemisConfig::default());
+    assert_all_finite(&t);
+    assert!(!t.ipf_report().unwrap().converged);
+}
+
+#[test]
+fn linreg_handles_single_group_aggregate() {
+    // One aggregate with a single group (a plain total): the design matrix
+    // is 1 row + intercept row; NNLS must handle it.
+    let set = AggregateSet::from_results(vec![AggregateResult::from_groups(
+        vec![AttrId(0)],
+        vec![(vec![0], 5.0)],
+    )]);
+    let t = Themis::build(
+        example_sample(),
+        set,
+        10.0,
+        ThemisConfig {
+            reweighting: ReweightMethod::LinReg(Default::default()),
+            bn_mode: None,
+            ..ThemisConfig::default()
+        },
+    );
+    assert_all_finite(&t);
+    assert!((t.reweighted_sample().total_weight() - 10.0).abs() < 1e-6);
+}
+
+#[test]
+fn single_row_sample_builds() {
+    let mut s = themis_data::Relation::new(themis_data::paper_example::example_schema());
+    s.push_row_labels(&["01", "FL", "FL"]);
+    let p = example_population();
+    let set = AggregateSet::from_results(vec![AggregateResult::compute(&p, &[AttrId(0)])]);
+    let t = Themis::build(s, set, 10.0, ThemisConfig::default());
+    assert_all_finite(&t);
+    // The lone tuple carries the date=01 mass.
+    assert!((t.point_query_sample(&[AttrId(0)], &[0]) - 5.0).abs() < 1e-9);
+}
+
+#[test]
+fn zero_iteration_ipf_is_uniform_weights() {
+    let p = example_population();
+    let set = AggregateSet::from_results(vec![AggregateResult::compute(&p, &[AttrId(0)])]);
+    let t = Themis::build(
+        example_sample(),
+        set,
+        10.0,
+        ThemisConfig {
+            reweighting: ReweightMethod::Ipf(IpfOptions {
+                max_iterations: 0,
+                tolerance: 1e-9,
+            }),
+            bn_mode: None,
+            ..ThemisConfig::default()
+        },
+    );
+    assert!(t.reweighted_sample().weights().iter().all(|&w| w == 1.0));
+}
+
+#[test]
+fn duplicate_aggregates_are_harmless() {
+    let p = example_population();
+    let a = AggregateResult::compute(&p, &[AttrId(0)]);
+    let set = AggregateSet::from_results(vec![a.clone(), a.clone(), a]);
+    let t = Themis::build(example_sample(), set, 10.0, ThemisConfig::default());
+    assert_all_finite(&t);
+    assert!(t.ipf_report().unwrap().converged);
+}
+
+#[test]
+fn noisy_aggregate_totals_disagreeing_with_n_still_work() {
+    // Aggregate total (14) disagrees with the declared population size
+    // (10): Themis treats both as approximate.
+    let set = AggregateSet::from_results(vec![AggregateResult::from_groups(
+        vec![AttrId(0)],
+        vec![(vec![0], 8.0), (vec![1], 6.0)],
+    )]);
+    let t = Themis::build(example_sample(), set, 10.0, ThemisConfig::default());
+    assert_all_finite(&t);
+    // BN marginal is normalized even though counts sum to 14 > n.
+    let bn = t.bayesian_network().unwrap();
+    assert!(bn.is_normalized(1e-6));
+}

@@ -1,0 +1,2 @@
+//! Integration test crate: the actual tests live in the sibling `*.rs` files
+//! registered as `[[test]]` targets in `Cargo.toml`.

@@ -1,0 +1,87 @@
+//! The paper's worked examples, verified end-to-end (Examples 3.1, 4.1,
+//! 4.2) plus the Table 1 behaviour of §2.
+
+use themis_aggregates::{AggregateResult, AggregateSet, IncidenceMatrix};
+use themis_core::{ReweightMethod, Themis, ThemisConfig};
+use themis_data::paper_example::{example_population, example_sample};
+use themis_data::AttrId;
+use themis_reweight::{ipf_weights, IpfOptions};
+
+fn gamma() -> AggregateSet {
+    let p = example_population();
+    AggregateSet::from_results(vec![
+        AggregateResult::compute(&p, &[AttrId(0)]),
+        AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]),
+    ])
+}
+
+/// Example 3.1: the aggregate values.
+#[test]
+fn example_3_1_aggregate_values() {
+    let g = gamma();
+    assert_eq!(g.get(0).groups().len(), 2);
+    assert_eq!(g.get(1).groups().len(), 7);
+    assert_eq!(g.get(0).count_for(&[0]), Some(5.0));
+    assert_eq!(g.get(1).count_for(&[1, 2]), Some(3.0)); // NC,NY = 3
+    assert_eq!(g.total_groups(), 9);
+}
+
+/// Example 4.1: the y vector is the row-wise concatenation of the counts
+/// (plus the n_S intercept row added internally by LinReg).
+#[test]
+fn example_4_1_incidence_shape() {
+    let s = example_sample();
+    let inc = IncidenceMatrix::build(&s, &gamma());
+    let y: Vec<f64> = inc.rows().iter().map(|r| r.target).collect();
+    assert_eq!(y, vec![5.0, 5.0, 2.0, 1.0, 1.0, 3.0, 1.0, 1.0, 1.0]);
+}
+
+/// Example 4.2: IPF weights after one sweep are [1, 1, 3, 1] and the
+/// process does not converge (FL-bound flights are missing).
+#[test]
+fn example_4_2_ipf_trace() {
+    let s = example_sample();
+    let one = IpfOptions {
+        max_iterations: 1,
+        tolerance: 1e-12,
+    };
+    let (w, _) = ipf_weights(&s, &gamma(), &one);
+    for (got, want) in w.iter().zip([1.0, 1.0, 3.0, 1.0]) {
+        assert!((got - want).abs() < 1e-9, "{w:?}");
+    }
+    let (_, rep) = ipf_weights(&s, &gamma(), &IpfOptions::default());
+    assert!(!rep.converged);
+}
+
+/// §2 / Table 1 behaviour: Themis answers about tuples not in the sample
+/// (the ME row of Table 1) while the reweighted sample answers 0.
+#[test]
+fn table_1_open_world_answer() {
+    let themis = Themis::build(example_sample(), gamma(), 10.0, ThemisConfig::default());
+    let attrs = [AttrId(1), AttrId(2)];
+    // FL → NY exists in P (count 1) but not in S.
+    assert_eq!(themis.point_query_sample(&attrs, &[0, 2]), 0.0);
+    let open_world = themis.point_query(&attrs, &[0, 2]);
+    assert!(open_world > 0.25 && open_world < 2.5, "estimate {open_world}");
+}
+
+/// §2: uniform reweighting (AQP) scales by |P|/|S| = 2.5 here, i.e. weight
+/// 10 in the paper's 7M/700k example.
+#[test]
+fn section_2_uniform_weights() {
+    let themis = Themis::build(
+        example_sample(),
+        gamma(),
+        10.0,
+        ThemisConfig {
+            reweighting: ReweightMethod::Uniform,
+            bn_mode: None,
+            ..ThemisConfig::default()
+        },
+    );
+    assert!(themis
+        .reweighted_sample()
+        .weights()
+        .iter()
+        .all(|&w| (w - 2.5).abs() < 1e-12));
+}

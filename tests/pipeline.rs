@@ -1,0 +1,182 @@
+//! Full-pipeline integration tests: generate → bias → ingest → learn →
+//! query, validated against ground truth.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_core::{percent_difference, ReweightMethod, Themis, ThemisConfig};
+use themis_data::datasets::flights::{FlightsConfig, FlightsDataset};
+
+fn flights() -> FlightsDataset {
+    FlightsDataset::generate(FlightsConfig {
+        n: 30_000,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn themis_beats_aqp_on_biased_flights_sample() {
+    let dataset = flights();
+    let attrs = FlightsDataset::attrs();
+    let pop = &dataset.population;
+    let n = pop.len() as f64;
+    let mut rng = SmallRng::seed_from_u64(1);
+    let sample = dataset.sample_scorners(&mut rng);
+
+    let aggregates = AggregateSet::from_results(vec![
+        AggregateResult::compute(pop, &[attrs.o]),
+        AggregateResult::compute(pop, &[attrs.f]),
+        AggregateResult::compute(pop, &[attrs.o, attrs.de]),
+    ]);
+
+    let aqp = Themis::build(
+        sample.clone(),
+        aggregates.clone(),
+        n,
+        ThemisConfig {
+            reweighting: ReweightMethod::Uniform,
+            bn_mode: None,
+            ..ThemisConfig::default()
+        },
+    );
+    let themis = Themis::build(sample, aggregates, n, ThemisConfig::default());
+
+    // Per-state counts: Themis must cut the average error substantially.
+    let mut aqp_err = 0.0;
+    let mut themis_err = 0.0;
+    for state in 0..20u32 {
+        let truth = pop.point_count(&[attrs.o], &[state]);
+        aqp_err += percent_difference(truth, aqp.point_query_sample(&[attrs.o], &[state]));
+        themis_err += percent_difference(truth, themis.point_query(&[attrs.o], &[state]));
+    }
+    assert!(
+        themis_err < 0.35 * aqp_err,
+        "themis {themis_err:.1} vs aqp {aqp_err:.1}"
+    );
+}
+
+#[test]
+fn support_mismatch_is_handled_by_the_hybrid() {
+    // Corners: non-corner origins have zero sampling probability. The
+    // reweighted sample answers 0 for them; the hybrid must not.
+    let dataset = flights();
+    let attrs = FlightsDataset::attrs();
+    let pop = &dataset.population;
+    let n = pop.len() as f64;
+    let mut rng = SmallRng::seed_from_u64(2);
+    let sample = dataset.sample_corners(&mut rng);
+
+    let aggregates = AggregateSet::from_results(vec![
+        AggregateResult::compute(pop, &[attrs.o]),
+        AggregateResult::compute(pop, &[attrs.o, attrs.de]),
+    ]);
+    let themis = Themis::build(sample.clone(), aggregates, n, ThemisConfig::default());
+
+    let mut improved = 0;
+    let mut total = 0;
+    for state in 4..20u32 {
+        let truth = pop.point_count(&[attrs.o], &[state]);
+        if truth == 0.0 {
+            continue;
+        }
+        total += 1;
+        assert_eq!(
+            sample.point_count(&[attrs.o], &[state]),
+            0.0,
+            "corners sample must miss state {state}"
+        );
+        let est = themis.point_query(&[attrs.o], &[state]);
+        if percent_difference(truth, est) < 50.0 {
+            improved += 1;
+        }
+    }
+    assert!(
+        improved * 10 >= total * 8,
+        "hybrid should answer most missing states well ({improved}/{total})"
+    );
+}
+
+#[test]
+fn weights_reflect_population_scale() {
+    let dataset = flights();
+    let attrs = FlightsDataset::attrs();
+    let pop = &dataset.population;
+    let n = pop.len() as f64;
+    let mut rng = SmallRng::seed_from_u64(3);
+    let sample = dataset.sample_june(&mut rng);
+    let aggregates = AggregateSet::from_results(vec![AggregateResult::compute(pop, &[attrs.f])]);
+
+    // IPF with a single covering marginal satisfies it exactly, so the
+    // total weight matches the population size.
+    let themis = Themis::build(sample, aggregates, n, ThemisConfig::default());
+    let total = themis.reweighted_sample().total_weight();
+    assert!(
+        (total - n).abs() / n < 0.01,
+        "total weight {total} should approximate n = {n}"
+    );
+    let rep = themis.ipf_report().expect("IPF is the default");
+    assert!(rep.converged, "single marginal must converge: {rep:?}");
+}
+
+#[test]
+fn noisy_aggregates_still_debias() {
+    // Perturb the aggregates (differential-privacy style); Themis should
+    // still beat AQP.
+    let dataset = flights();
+    let attrs = FlightsDataset::attrs();
+    let pop = &dataset.population;
+    let n = pop.len() as f64;
+    let mut rng = SmallRng::seed_from_u64(4);
+    let sample = dataset.sample_scorners(&mut rng);
+
+    let exact = AggregateResult::compute(pop, &[attrs.o]);
+    let noisy_groups = exact
+        .groups()
+        .iter()
+        .enumerate()
+        .map(|(i, (k, c))| (k.clone(), (c + if i % 2 == 0 { 25.0 } else { -25.0 }).max(0.0)))
+        .collect();
+    let noisy = AggregateResult::from_groups(vec![attrs.o], noisy_groups);
+    let aggregates = AggregateSet::from_results(vec![noisy]);
+
+    let themis = Themis::build(sample.clone(), aggregates, n, ThemisConfig::default());
+    let scale = n / sample.len() as f64;
+    let mut aqp_err = 0.0;
+    let mut themis_err = 0.0;
+    for state in 0..20u32 {
+        let truth = pop.point_count(&[attrs.o], &[state]);
+        let aqp = sample.point_count(&[attrs.o], &[state]) * scale;
+        aqp_err += percent_difference(truth, aqp);
+        themis_err += percent_difference(truth, themis.point_query(&[attrs.o], &[state]));
+    }
+    assert!(themis_err < aqp_err, "themis {themis_err} vs aqp {aqp_err}");
+}
+
+#[test]
+fn all_bn_modes_run_end_to_end() {
+    let dataset = flights();
+    let attrs = FlightsDataset::attrs();
+    let pop = &dataset.population;
+    let n = pop.len() as f64;
+    let mut rng = SmallRng::seed_from_u64(5);
+    let sample = dataset.sample_scorners(&mut rng);
+    let aggregates = AggregateSet::from_results(vec![
+        AggregateResult::compute(pop, &[attrs.o]),
+        AggregateResult::compute(pop, &[attrs.o, attrs.dt]),
+    ]);
+    for mode in themis_bn::LearnMode::ALL {
+        let t = Themis::build(
+            sample.clone(),
+            aggregates.clone(),
+            n,
+            ThemisConfig {
+                bn_mode: Some(mode),
+                ..ThemisConfig::default()
+            },
+        );
+        let bn = t.bayesian_network().expect("mode builds a BN");
+        assert!(bn.is_normalized(1e-6), "mode {} unnormalized", mode.name());
+        let est = t.point_query_bn(&[attrs.o], &[0]);
+        assert!(est.is_finite() && est >= 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! SQL-level integration tests: parse → plan → execute → hybrid merge.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_core::{Themis, ThemisConfig};
+use themis_data::datasets::flights::{FlightsConfig, FlightsDataset};
+use themis_query::{Catalog, Value};
+
+fn build() -> (FlightsDataset, Themis) {
+    let dataset = FlightsDataset::generate(FlightsConfig {
+        n: 60_000,
+        ..Default::default()
+    });
+    let attrs = FlightsDataset::attrs();
+    let pop = &dataset.population;
+    let aggregates = AggregateSet::from_results(vec![
+        AggregateResult::compute(pop, &[attrs.o]),
+        AggregateResult::compute(pop, &[attrs.o, attrs.de]),
+    ]);
+    let mut rng = SmallRng::seed_from_u64(21);
+    let sample = dataset.sample_scorners(&mut rng);
+    let n = pop.len() as f64;
+    let themis = Themis::build(
+        sample,
+        aggregates,
+        n,
+        ThemisConfig {
+            bn_sample_size: Some(10_000),
+            ..ThemisConfig::default()
+        },
+    );
+    (dataset, themis)
+}
+
+#[test]
+fn count_star_approximates_population_size() {
+    let (dataset, themis) = build();
+    let r = themis.sql("SELECT COUNT(*) FROM flights").unwrap();
+    let est = r.scalar().unwrap();
+    let n = dataset.population.len() as f64;
+    assert!((est - n).abs() / n < 0.25, "COUNT(*) = {est}, n = {n}");
+}
+
+#[test]
+fn filtered_counts_track_truth() {
+    let (dataset, themis) = build();
+    let sql = "SELECT COUNT(*) FROM flights WHERE origin_state = 'TX'";
+    let mut catalog = Catalog::new();
+    catalog.register("flights", dataset.population.clone());
+    let truth = themis_query::run_sql(&catalog, sql).unwrap().scalar().unwrap();
+    let est = themis.sql(sql).unwrap().scalar().unwrap();
+    assert!(
+        (est - truth).abs() / truth < 0.5,
+        "est {est} vs truth {truth}"
+    );
+}
+
+#[test]
+fn group_by_returns_weighted_groups() {
+    let (_, themis) = build();
+    let r = themis
+        .sql("SELECT origin_state, COUNT(*) FROM flights GROUP BY origin_state")
+        .unwrap();
+    assert_eq!(r.group_arity, 1);
+    assert!(r.rows.len() >= 15, "most states should appear");
+    // All aggregate cells positive.
+    for row in &r.rows {
+        match &row[1] {
+            Value::Num(v) => assert!(*v > 0.0),
+            Value::Str(_) => panic!("aggregate cell must be numeric"),
+        }
+    }
+}
+
+#[test]
+fn join_query_runs_on_the_model() {
+    let (_, themis) = build();
+    let r = themis
+        .sql(
+            "SELECT t.origin_state, COUNT(*) FROM flights t, flights s \
+             WHERE t.dest_state = s.origin_state GROUP BY t.origin_state",
+        )
+        .unwrap();
+    assert!(!r.rows.is_empty());
+}
+
+#[test]
+fn parse_errors_surface_cleanly() {
+    let (_, themis) = build();
+    let err = themis.sql("SELEKT * FROM flights").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("parse error"), "unexpected message: {msg}");
+}
+
+#[test]
+fn avg_queries_agree_with_population_shape() {
+    let (dataset, themis) = build();
+    let sql = "SELECT origin_state, AVG(elapsed_time) FROM flights GROUP BY origin_state";
+    let mut catalog = Catalog::new();
+    catalog.register("flights", dataset.population.clone());
+    let truth = themis_query::run_sql(&catalog, sql).unwrap().to_map();
+    let est = themis.sql_sample_only(sql).unwrap().to_map();
+    // Average elapsed-time bucket should be within 1.5 buckets for the
+    // heavily sampled corner states.
+    for state in ["CA", "NY", "FL", "WA"] {
+        let key = vec![state.to_string()];
+        let t = truth[&key][0];
+        let e = est[&key][0];
+        assert!((t - e).abs() < 1.5, "{state}: est {e} vs truth {t}");
+    }
+}
