@@ -84,7 +84,7 @@ mod tests {
 
     #[test]
     fn formatting_is_compact() {
-        assert_eq!(f(3.14159), "3.14");
+        assert_eq!(f(1.23456), "1.23");
         assert_eq!(f(12345.6), "12346");
         assert_eq!(f(f64::INFINITY), "inf");
     }

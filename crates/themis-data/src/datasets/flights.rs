@@ -148,10 +148,10 @@ impl FlightsDataset {
             // Distance bucket from pseudo-geography plus noise.
             let geo = (STATE_POS[o] - STATE_POS[de]).abs() / 9.6; // 0..1
             let base = (geo * (TIME_BUCKETS - 2) as f64).round() as i64;
-            let dt = (base + rng.gen_range(-1..=1)).clamp(0, TIME_BUCKETS as i64 - 1) as u32;
+            let dt = (base + rng.gen_range(-1i64..=1)).clamp(0, TIME_BUCKETS as i64 - 1) as u32;
 
             // Elapsed time strongly correlated with distance (±1 bucket).
-            let jitter = [-1i64, 0, 0, 0, 1][rng.gen_range(0..5)];
+            let jitter = [-1i64, 0, 0, 0, 1][rng.gen_range(0..5usize)];
             let e = (dt as i64 + jitter).clamp(0, TIME_BUCKETS as i64 - 1) as u32;
 
             // Seasonal month; southern states skew slightly to winter.

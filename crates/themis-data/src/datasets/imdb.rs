@@ -145,7 +145,7 @@ impl ImdbDataset {
             let g = usize::from(rng.gen_bool(0.35)); // 0 = M, 1 = F
 
             // Actors are typically born ~2 buckets before their movies.
-            let b = (my as i64 - 2 + rng.gen_range(-2..=1)).clamp(0, YEAR_BUCKETS as i64 - 1);
+            let b = (my as i64 - 2 + rng.gen_range(-2i64..=1)).clamp(0, YEAR_BUCKETS as i64 - 1);
 
             // Ratings unimodal around 6, GB slightly higher, CA slightly
             // lower (MC↔RG correlation, the SR159 bias attribute).
@@ -166,7 +166,7 @@ impl ImdbDataset {
             };
 
             // Runtime grows with year and rating.
-            let rt = ((my as f64 * 0.45) + (rg as f64 * 0.35) + rng.gen_range(-1.5..=1.5))
+            let rt = ((my as f64 * 0.45) + (rg as f64 * 0.35) + rng.gen_range(-1.5f64..=1.5))
                 .round()
                 .clamp(0.0, RUNTIME_BUCKETS as f64 - 1.0) as u32;
 

@@ -29,12 +29,12 @@ fn main() {
         let region = rng.gen_range(0..4u32);
         // Southern region skews older; east richer.
         let age = match region {
-            1 => [0, 1, 1, 2, 2, 2][rng.gen_range(0..6)],
-            _ => [0, 0, 1, 1, 2][rng.gen_range(0..5)],
+            1 => [0, 1, 1, 2, 2, 2][rng.gen_range(0..6usize)],
+            _ => [0, 0, 1, 1, 2][rng.gen_range(0..5usize)],
         };
         let income = match region {
-            2 => [1, 1, 2, 2, 2][rng.gen_range(0..5)],
-            _ => [0, 0, 1, 1, 2][rng.gen_range(0..5)],
+            2 => [1, 1, 2, 2, 2][rng.gen_range(0..5usize)],
+            _ => [0, 0, 1, 1, 2][rng.gen_range(0..5usize)],
         };
         population.push_row(&[region, age, income]);
     }
@@ -52,7 +52,7 @@ fn main() {
         let groups = agg
             .groups()
             .iter()
-            .map(|(k, c)| (k.clone(), (c + rng.gen_range(-30.0..30.0)).max(0.0)))
+            .map(|(k, c)| (k.clone(), (c + rng.gen_range(-30.0f64..30.0)).max(0.0)))
             .collect();
         AggregateResult::from_groups(agg.attrs().to_vec(), groups)
     };
@@ -84,13 +84,13 @@ fn main() {
     let mut err_unif = 0.0;
     let mut err_themis = 0.0;
     let mut count = 0.0;
+    let attrs = [AttrId(0), AttrId(1)];
+    let survey_counts = survey.group_row_counts(&attrs);
     for region in 0..4u32 {
         for age in 0..3u32 {
-            let attrs = [AttrId(0), AttrId(1)];
             let vals = [region, age];
             let truth = population.point_count(&attrs, &vals);
-            let unif = survey.group_row_counts(&attrs).get(&vec![region, age]).copied().unwrap_or(0)
-                as f64
+            let unif = survey_counts.get(&vec![region, age]).copied().unwrap_or(0) as f64
                 * uniform_scale;
             let est = themis.point_query(&attrs, &vals);
             err_unif += percent_difference(truth, unif);

@@ -1,0 +1,150 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships a
+//! small but functional property-testing harness covering the subset Themis'
+//! test suites use: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), numeric-range strategies, regex-string
+//! strategies, `prop::collection::vec`, `any::<T>()`, `prop_map` /
+//! `prop_flat_map`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! per-test seed (so runs are deterministic), and failing inputs are not
+//! shrunk — instead, a failing property names its case index on stderr,
+//! and rerunning the test regenerates the identical inputs.
+
+pub mod collection;
+pub mod regex;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of `proptest::prelude::prop`: module-style access to the
+    /// strategy toolbox (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Runs each test case body over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __runner = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..config.cases {
+                let __guard = $crate::test_runner::CaseGuard::new(stringify!($name), __case);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __runner);)*
+                $body
+                drop(__guard);
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("bounds");
+        for _ in 0..500 {
+            let f = (-10.0f64..10.0).generate(&mut rng);
+            assert!((-10.0..10.0).contains(&f));
+            let n = (3usize..8).generate(&mut rng);
+            assert!((3..8).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut rng = crate::test_runner::TestRng::for_test("vec");
+        let strat = prop::collection::vec(0i32..5, 2..6);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()), "len = {}", v.len());
+            assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+
+    #[test]
+    fn regex_strategy_matches_simple_patterns() {
+        let mut rng = crate::test_runner::TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()), "len = {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "s = {s:?}");
+
+            let alt = "(SELECT|[0-9]{1,3}|\\*)".generate(&mut rng);
+            let ok = alt == "SELECT"
+                || alt == "*"
+                || (!alt.is_empty() && alt.chars().all(|c| c.is_ascii_digit()));
+            assert!(ok, "alt = {alt:?}");
+        }
+    }
+
+    #[test]
+    fn any_f64_covers_special_values() {
+        let mut rng = crate::test_runner::TestRng::for_test("f64-specials");
+        let strat = any::<f64>();
+        let draws: Vec<f64> = (0..2000).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|x| x.is_nan()), "no NaN in 2000 draws");
+        assert!(draws.iter().any(|x| x.is_infinite()), "no infinity in 2000 draws");
+        assert!(draws.contains(&0.0), "no zero in 2000 draws");
+        assert!(draws.iter().any(|x| x.is_finite() && x.abs() > 1e80), "no huge finite value");
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let mut rng = crate::test_runner::TestRng::for_test("flat_map");
+        let strat = (1usize..5)
+            .prop_flat_map(|n| prop::collection::vec(0u8..10, n..=n).prop_map(move |v| (n, v)));
+        for _ in 0..200 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_generates_and_runs(v in prop::collection::vec(-1.0f64..1.0, 1..10), flag in any::<bool>()) {
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|x| x.abs() <= 1.0), "flag draw was {flag}");
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Generation of strings matching a regex subset.
+//!
+//! Supports exactly the constructs Themis' property tests use: literals,
+//! `.`, character classes `[a-z0-9_]`, alternation groups `(a|bc|[0-9]{1,3})`,
+//! quantifiers `{m}`, `{m,n}`, `*`, `+`, `?`, and backslash escapes. Patterns
+//! outside this subset panic loudly rather than silently generating garbage.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// Concatenation of parts.
+    Seq(Vec<Node>),
+    /// One branch chosen uniformly.
+    Alt(Vec<Node>),
+    /// Inclusive character ranges, e.g. `[a-z0-9]` → [(a,z),(0,9)].
+    Class(Vec<(char, char)>),
+    /// Any printable character (`.`).
+    Dot,
+    Lit(char),
+    /// `node{min,max}` with inclusive max.
+    Repeat(Box<Node>, usize, usize),
+}
+
+const UNBOUNDED_MAX: usize = 8;
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser { chars: pattern.chars().peekable(), pattern }
+    }
+
+    fn fail(&self, msg: &str) -> ! {
+        panic!("proptest shim: unsupported regex {:?}: {msg}", self.pattern);
+    }
+
+    /// alt := seq ('|' seq)*
+    fn parse_alt(&mut self) -> Node {
+        let mut branches = vec![self.parse_seq()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            branches.push(self.parse_seq());
+        }
+        if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Node::Alt(branches)
+        }
+    }
+
+    /// seq := (atom quantifier?)*  — stops at '|' or ')'.
+    fn parse_seq(&mut self) -> Node {
+        let mut parts = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            parts.push(self.parse_quantifier(atom));
+        }
+        Node::Seq(parts)
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alt();
+                if self.chars.next() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                inner
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => match self.chars.next() {
+                Some('n') => Node::Lit('\n'),
+                Some('t') => Node::Lit('\t'),
+                Some('r') => Node::Lit('\r'),
+                Some('d') => Node::Class(vec![('0', '9')]),
+                Some('w') => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                Some('s') => Node::Class(vec![(' ', ' '), ('\t', '\t')]),
+                Some(c) if c.is_ascii_alphanumeric() => self.fail("unknown escape"),
+                Some(c) => Node::Lit(c),
+                None => self.fail("trailing backslash"),
+            },
+            Some('.') => Node::Dot,
+            Some(c) => Node::Lit(c),
+            None => self.fail("unexpected end of pattern"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        if self.chars.peek() == Some(&'^') {
+            self.fail("negated classes are not supported");
+        }
+        loop {
+            let lo = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => match self.chars.next() {
+                    // Shorthand classes expand to their ranges; they can't
+                    // anchor a `-` range, so continue directly.
+                    Some('d') => {
+                        ranges.push(('0', '9'));
+                        continue;
+                    }
+                    Some('w') => {
+                        ranges.extend([('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]);
+                        continue;
+                    }
+                    Some('s') => {
+                        ranges.extend([(' ', ' '), ('\t', '\t')]);
+                        continue;
+                    }
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some('r') => '\r',
+                    Some(c) if c.is_ascii_alphanumeric() => {
+                        self.fail("unknown escape in character class")
+                    }
+                    Some(c) => c,
+                    None => self.fail("trailing backslash"),
+                },
+                Some(c) => c,
+                None => self.fail("unclosed character class"),
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.peek() {
+                    // Trailing '-' is a literal, e.g. `[a-z-]`.
+                    Some(&']') | None => {
+                        ranges.push((lo, lo));
+                        ranges.push(('-', '-'));
+                    }
+                    Some(_) => {
+                        let hi = self.chars.next().unwrap();
+                        if hi < lo {
+                            self.fail("inverted class range");
+                        }
+                        ranges.push((lo, hi));
+                    }
+                }
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty character class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let min = self.parse_number();
+                let max = match self.chars.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        if self.chars.peek() == Some(&'}') {
+                            self.chars.next();
+                            return Node::Repeat(Box::new(atom), min, min + UNBOUNDED_MAX);
+                        }
+                        let max = self.parse_number();
+                        if self.chars.next() != Some('}') {
+                            self.fail("unclosed quantifier");
+                        }
+                        max
+                    }
+                    _ => self.fail("malformed quantifier"),
+                };
+                if max < min {
+                    self.fail("quantifier max below min");
+                }
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 1, UNBOUNDED_MAX)
+            }
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> usize {
+        let mut n = None;
+        while let Some(c) = self.chars.peek().and_then(|c| c.to_digit(10)) {
+            self.chars.next();
+            n = Some(n.unwrap_or(0) * 10 + c as usize);
+        }
+        n.unwrap_or_else(|| self.fail("expected number in quantifier"))
+    }
+}
+
+/// Characters emitted for `.`: printable ASCII plus a few multi-byte
+/// characters so byte-indexing bugs in parsers get exercised.
+const DOT_EXTRAS: [char; 6] = ['é', 'λ', '☃', '中', '\u{00a0}', '😀'];
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Seq(parts) => {
+            for p in parts {
+                generate_node(p, rng, out);
+            }
+        }
+        Node::Alt(branches) => {
+            let pick = rng.gen_range(0..branches.len());
+            generate_node(&branches[pick], rng, out);
+        }
+        Node::Class(ranges) => {
+            // Weight ranges by span so wide ranges are not starved.
+            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("class range straddles invalid codepoints"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!();
+        }
+        Node::Dot => {
+            if rng.gen_bool(0.06) {
+                out.push(DOT_EXTRAS[rng.gen_range(0..DOT_EXTRAS.len())]);
+            } else {
+                out.push(char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap());
+            }
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Repeat(inner, min, max) => {
+            let n = rng.gen_range(*min..=*max);
+            for _ in 0..n {
+                generate_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let ast = parser.parse_alt();
+    if parser.chars.next().is_some() {
+        parser.fail("trailing characters (unbalanced ')'?)");
+    }
+    let mut out = String::new();
+    generate_node(&ast, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("regex-internal")
+    }
+
+    #[test]
+    fn quoted_literal_alternatives() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("'[a-z]{0,4}'", &mut r);
+            assert!(s.starts_with('\'') && s.ends_with('\'') && s.len() >= 2, "s = {s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_metacharacters() {
+        let mut r = rng();
+        assert_eq!(generate_matching("\\(", &mut r), "(");
+        assert_eq!(generate_matching("\\*", &mut r), "*");
+        assert_eq!(generate_matching("<=", &mut r), "<=");
+    }
+
+    #[test]
+    fn class_shorthand_escapes_expand() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[\\d]{4}", &mut r);
+            assert!(s.len() == 4 && s.chars().all(|c| c.is_ascii_digit()), "s = {s:?}");
+            let w = generate_matching("[\\w-]{1,6}", &mut r);
+            assert!(
+                w.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+                "w = {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown escape in character class")]
+    fn unknown_class_escape_panics_loudly() {
+        generate_matching("[\\p]{2}", &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown escape")]
+    fn unknown_atom_escape_panics_loudly() {
+        generate_matching("\\w+\\b", &mut rng());
+    }
+
+    #[test]
+    fn dot_repeat_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching(".{0,120}", &mut r);
+            assert!(s.chars().count() <= 120);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Test configuration and the RNG handed to strategies.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the debug-mode suite quick
+        // while still exercising each property broadly. PROPTEST_CASES
+        // overrides, as in the real crate.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Names the failing case when a property panics. Generated values are not
+/// required to be `Debug`, but case generation is deterministic, so the test
+/// name + case index fully identify the failing inputs.
+pub struct CaseGuard {
+    test: &'static str,
+    case: u32,
+}
+
+impl CaseGuard {
+    pub fn new(test: &'static str, case: u32) -> Self {
+        CaseGuard { test, case }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: property '{}' failed on case {} \
+                 (generation is deterministic — rerun this test to reproduce)",
+                self.test, self.case
+            );
+        }
+    }
+}
+
+/// RNG used to generate test cases. Seeded from the test name so every test
+/// sees a distinct but reproducible stream.
+#[derive(Clone, Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

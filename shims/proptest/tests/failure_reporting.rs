@@ -1,0 +1,14 @@
+//! The failing-case reporter must fire exactly when a property panics.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+    #[test]
+    #[should_panic(expected = "deliberately")]
+    fn failing_property_panics(n in 0usize..100) {
+        if n > 0 {
+            panic!("deliberately failing on n = {n}");
+        }
+    }
+}
