@@ -419,7 +419,9 @@ impl Themis {
         Ok(out)
     }
 
-    /// Bind every FROM table of `query` to `relation` and execute.
+    /// Bind every FROM table of `query` to `relation` and execute on the
+    /// engine selected by `THEMIS_THREADS` (serial at 1 thread, the
+    /// morsel-driven parallel engine otherwise).
     fn run_on(
         &self,
         relation: &Relation,
@@ -429,7 +431,7 @@ impl Themis {
         for table in &query.from {
             catalog.register(table.name.clone(), relation.clone());
         }
-        themis_query::execute(&catalog, query)
+        themis_query::execute_auto(&catalog, query)
     }
 }
 

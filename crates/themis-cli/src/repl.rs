@@ -57,6 +57,7 @@ impl Session {
             Some("aggregate") => Outcome::Continue(self.cmd_aggregate(&parts[1..])),
             Some("population") => Outcome::Continue(self.cmd_population(&parts[1..])),
             Some("build") => Outcome::Continue(self.cmd_build()),
+            Some("threads") => Outcome::Continue(Self::cmd_threads(&parts[1..])),
             Some("status") => Outcome::Continue(self.cmd_status()),
             Some(other) => Outcome::Continue(format!("unknown command \\{other}; try \\help")),
             None => Outcome::Continue(String::new()),
@@ -212,6 +213,27 @@ impl Session {
         format!("model built. {report}")
     }
 
+    /// `\threads [<n>]` — show or set the query-engine thread count. Setting
+    /// `n` exports `THEMIS_THREADS`, which `run_sql` reads per query: 1
+    /// selects the serial reference engine, anything larger the
+    /// morsel-driven parallel engine.
+    fn cmd_threads(args: &[&str]) -> String {
+        match args {
+            [] => format!("query engine: {}", themis_query::exec_parallel::engine_description()),
+            [n] => match n.parse::<usize>() {
+                Ok(t) if t >= 1 => {
+                    std::env::set_var("THEMIS_THREADS", t.to_string());
+                    format!(
+                        "query engine: {}",
+                        themis_query::exec_parallel::engine_description()
+                    )
+                }
+                _ => "thread count must be a positive integer".into(),
+            },
+            _ => "usage: \\threads [<n>]".into(),
+        }
+    }
+
     fn cmd_status(&self) -> String {
         let mut out = String::new();
         match (&self.table_name, &self.sample) {
@@ -228,6 +250,10 @@ impl Session {
             Some(n) => out.push_str(&format!("population size: {n}\n")),
             None => out.push_str("population size: unset\n"),
         }
+        out.push_str(&format!(
+            "query engine: {}\n",
+            themis_query::exec_parallel::engine_description()
+        ));
         match &self.model {
             Some(m) => {
                 out.push_str("model: built\n");
@@ -262,6 +288,8 @@ commands:
                                                (rows: value[,value...],count)
   \\population <n>                              set the population size
   \\build                                       build the Themis model
+  \\threads [<n>]                               show or set query-engine threads
+                                               (1 = serial, >1 = morsel-parallel)
   \\status                                      show session state
   \\quit                                        exit
 anything else is executed as SQL against the model, e.g.
@@ -364,6 +392,37 @@ mod tests {
         assert!(status.contains("4 rows"));
         assert!(status.contains("aggregates: 1"));
         assert!(status.contains("model: built"));
+    }
+
+    #[test]
+    fn threads_command_switches_engines() {
+        // Engine-description assertions live in this one test because they
+        // read THEMIS_THREADS; concurrent tests never assert on it (both
+        // engines answer queries identically).
+        let prev = std::env::var("THEMIS_THREADS").ok();
+        let mut s = Session::new();
+        let Outcome::Continue(out) = s.handle("\\threads 4") else {
+            panic!()
+        };
+        assert!(out.contains("morsel-parallel (4 threads"), "{out}");
+        let Outcome::Continue(out) = s.handle("\\threads 1") else {
+            panic!()
+        };
+        assert!(out.contains("serial (1 thread)"), "{out}");
+        let Outcome::Continue(out) = s.handle("\\threads zero") else {
+            panic!()
+        };
+        assert!(out.contains("positive integer"), "{out}");
+        let Outcome::Continue(status) = s.handle("\\status") else {
+            panic!()
+        };
+        assert!(status.contains("query engine:"), "{status}");
+        // Restore the caller's value (CI pins THEMIS_THREADS per matrix
+        // leg; later tests in this binary must still see it).
+        match prev {
+            Some(v) => std::env::set_var("THEMIS_THREADS", v),
+            None => std::env::remove_var("THEMIS_THREADS"),
+        }
     }
 
     #[test]

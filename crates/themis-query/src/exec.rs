@@ -1,5 +1,13 @@
-//! Query execution: name resolution, predicate compilation, hash group-by,
-//! and hash self-join.
+//! Serial query execution: name resolution, predicate compilation, hash
+//! group-by, and hash self-join.
+//!
+//! This module is the **reference engine**: a straightforward single-threaded
+//! interpreter whose behaviour defines the semantics the morsel-driven
+//! parallel engine ([`crate::exec_parallel`]) must reproduce exactly. The
+//! query *planning* layer (name resolution, mask compilation, select
+//! compilation — [`plan_scan`] / [`plan_join`]) and the per-row aggregate
+//! *fold* ([`fold_row`]) are shared by both engines so they cannot drift
+//! apart; only the drive loop differs.
 
 use crate::catalog::Catalog;
 use crate::value::{QueryResult, Value};
@@ -37,12 +45,17 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Parse and execute a SQL string against a catalog.
+///
+/// Dispatches to the engine selected by `THEMIS_THREADS` (see
+/// [`crate::exec_parallel::execute_auto`]): the morsel-driven parallel
+/// engine by default, with this module's serial engine as the 1-thread
+/// fallback.
 pub fn run_sql(catalog: &Catalog, sql: &str) -> Result<QueryResult, ExecError> {
     let query = themis_sql::parse(sql).map_err(|e| ExecError::Parse(e.to_string()))?;
-    execute(catalog, &query)
+    crate::exec_parallel::execute_auto(catalog, &query)
 }
 
-/// Execute a parsed query.
+/// Execute a parsed query on the serial reference engine.
 pub fn execute(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecError> {
     let mut result = match query.from.len() {
         1 => execute_scan(catalog, query)?,
@@ -59,7 +72,7 @@ pub fn execute(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecErro
 }
 
 /// Sort the result rows by a named output column.
-fn apply_order_by(
+pub(crate) fn apply_order_by(
     result: &mut QueryResult,
     order: &themis_sql::OrderBy,
 ) -> Result<(), ExecError> {
@@ -88,9 +101,9 @@ fn apply_order_by(
 
 /// A column resolved to (table slot, attribute).
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Resolved {
-    table: usize,
-    attr: AttrId,
+pub(crate) struct Resolved {
+    pub(crate) table: usize,
+    pub(crate) attr: AttrId,
 }
 
 /// Resolve a column against the bound tables. The magic column `weight`
@@ -127,20 +140,28 @@ fn resolve(
     }
 }
 
-/// Numeric key of each domain value: the label parsed as a number when
+/// Numeric key of one domain value: the label parsed as a number when
 /// possible, else the value id. Used for range comparisons and AVG/SUM.
-fn numeric_keys(rel: &Relation, attr: AttrId) -> Vec<f64> {
+pub(crate) fn numeric_key(label: &str, id: usize) -> f64 {
+    label.parse::<f64>().unwrap_or(id as f64)
+}
+
+/// Numeric keys of every value of a domain, materialized for per-row
+/// aggregate lookups (SUM/AVG/MIN/MAX evaluate one of these per input row,
+/// so the table pays for itself; predicate compilation instead streams
+/// [`numeric_key`] straight off the label slice — see [`compile_mask`]).
+pub(crate) fn numeric_keys(rel: &Relation, attr: AttrId) -> Vec<f64> {
     rel.schema()
         .domain(attr)
         .labels()
         .iter()
         .enumerate()
-        .map(|(i, l)| l.parse::<f64>().unwrap_or(i as f64))
+        .map(|(i, l)| numeric_key(l, i))
         .collect()
 }
 
 /// Compile a non-join predicate into a per-value-id admission mask.
-fn compile_mask(
+pub(crate) fn compile_mask(
     rel: &Relation,
     attr: AttrId,
     op: Comparison,
@@ -167,10 +188,14 @@ fn compile_mask(
                 }
             }
         }
-        Literal::Num(x) => {
-            let keys = numeric_keys(rel, attr);
-            keys.iter().map(|&k| apply_cmp(op, k, *x)).collect()
-        }
+        // Stream the numeric key of each label directly rather than
+        // materializing a Vec<f64> per predicate.
+        Literal::Num(x) => domain
+            .labels()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| apply_cmp(op, numeric_key(l, i), *x))
+            .collect(),
     };
     Ok(mask)
 }
@@ -187,13 +212,12 @@ fn apply_cmp(op: Comparison, lhs: f64, rhs: f64) -> bool {
 }
 
 /// Compile an IN predicate to a mask.
-fn compile_in_mask(
+pub(crate) fn compile_in_mask(
     rel: &Relation,
     attr: AttrId,
     values: &[Literal],
 ) -> Result<Vec<bool>, ExecError> {
     let domain = rel.schema().domain(attr);
-    let keys = numeric_keys(rel, attr);
     let mut mask = vec![false; domain.size()];
     for v in values {
         match v {
@@ -203,8 +227,8 @@ fn compile_in_mask(
                 }
             }
             Literal::Num(x) => {
-                for (i, &k) in keys.iter().enumerate() {
-                    if k == *x {
+                for (i, l) in domain.labels().iter().enumerate() {
+                    if numeric_key(l, i) == *x {
                         mask[i] = true;
                     }
                 }
@@ -215,7 +239,7 @@ fn compile_in_mask(
 }
 
 /// One compiled aggregate.
-enum CompiledAgg {
+pub(crate) enum CompiledAgg {
     CountStar,
     /// SUM over the implicit weight column (≡ COUNT(*) in the open-world
     /// model).
@@ -226,14 +250,16 @@ enum CompiledAgg {
     Max(Resolved),
 }
 
-struct CompiledSelect {
-    group_cols: Vec<Resolved>,
-    group_names: Vec<String>,
-    aggs: Vec<CompiledAgg>,
-    agg_names: Vec<String>,
+/// The compiled SELECT list: grouping columns and aggregates with their
+/// output names.
+pub(crate) struct CompiledSelect {
+    pub(crate) group_cols: Vec<Resolved>,
+    pub(crate) group_names: Vec<String>,
+    pub(crate) aggs: Vec<CompiledAgg>,
+    pub(crate) agg_names: Vec<String>,
 }
 
-fn compile_select(
+pub(crate) fn compile_select(
     query: &Query,
     bindings: &[(&str, &Relation)],
 ) -> Result<CompiledSelect, ExecError> {
@@ -322,21 +348,33 @@ fn compile_select(
 
 /// Accumulator per group: total weight plus per-aggregate (weighted sum)
 /// state.
-struct Accum {
-    weight: f64,
-    sums: Vec<f64>,
-    /// Whether any row has been folded in (MIN/MAX need a first-value seed).
-    seen: bool,
+pub(crate) struct Accum {
+    pub(crate) weight: f64,
+    pub(crate) sums: Vec<f64>,
+    /// Whether any positive-weight row has been folded in (MIN/MAX need a
+    /// first-value seed and must ignore zero-weight rows).
+    pub(crate) seen: bool,
 }
 
-/// Shared aggregation driver over an iterator of joined rows.
-fn aggregate_rows(
+impl Accum {
+    /// A zeroed accumulator for `n_aggs` aggregates.
+    pub(crate) fn zero(n_aggs: usize) -> Self {
+        Accum {
+            weight: 0.0,
+            sums: vec![0.0; n_aggs],
+            seen: false,
+        }
+    }
+}
+
+/// Precompute the per-aggregate numeric-key tables ([`numeric_keys`]) used
+/// by SUM/AVG/MIN/MAX. Shared by both engines so each query computes them
+/// once (the parallel engine hands references to every morsel task).
+pub(crate) fn agg_numeric_tables(
     select: &CompiledSelect,
     bindings: &[(&str, &Relation)],
-    rows: impl Iterator<Item = (Vec<usize>, f64)>,
-) -> QueryResult {
-    // Precompute numeric keys for SUM/AVG columns.
-    let numeric: Vec<Option<Vec<f64>>> = select
+) -> Vec<Option<Vec<f64>>> {
+    select
         .aggs
         .iter()
         .map(|a| match a {
@@ -346,20 +384,77 @@ fn aggregate_rows(
             | CompiledAgg::Max(r) => Some(numeric_keys(bindings[r.table].1, r.attr)),
             _ => None,
         })
-        .collect();
+        .collect()
+}
 
+/// A mutable view of one group's accumulator state, independent of where it
+/// lives (a serial [`Accum`] or a slot in a parallel flat block).
+pub(crate) struct AccumRef<'a> {
+    pub(crate) weight: &'a mut f64,
+    pub(crate) sums: &'a mut [f64],
+    pub(crate) seen: &'a mut bool,
+}
+
+/// Fold one input row into an accumulator. `rows[t]` is the row index of
+/// table slot `t`. This is the single definition of per-row aggregate
+/// semantics — the serial and parallel engines both call it, so they agree
+/// bit-for-bit on every fold.
+pub(crate) fn fold_row(
+    select: &CompiledSelect,
+    bindings: &[(&str, &Relation)],
+    numeric: &[Option<Vec<f64>>],
+    acc: AccumRef<'_>,
+    rows: &[usize],
+    weight: f64,
+) {
+    let AccumRef {
+        weight: acc_weight,
+        sums: acc_sums,
+        seen: acc_seen,
+    } = acc;
+    *acc_weight += weight;
+    for (i, agg) in select.aggs.iter().enumerate() {
+        match agg {
+            CompiledAgg::CountStar | CompiledAgg::SumWeight => acc_sums[i] += weight,
+            CompiledAgg::Sum(r) | CompiledAgg::Avg(r) => {
+                let v = bindings[r.table].1.value(rows[r.table], r.attr);
+                acc_sums[i] += weight * numeric[i].as_ref().expect("precomputed")[v as usize];
+            }
+            CompiledAgg::Min(r) => {
+                if weight > 0.0 {
+                    let v = bindings[r.table].1.value(rows[r.table], r.attr);
+                    let key = numeric[i].as_ref().expect("precomputed")[v as usize];
+                    acc_sums[i] = if *acc_seen { acc_sums[i].min(key) } else { key };
+                }
+            }
+            CompiledAgg::Max(r) => {
+                if weight > 0.0 {
+                    let v = bindings[r.table].1.value(rows[r.table], r.attr);
+                    let key = numeric[i].as_ref().expect("precomputed")[v as usize];
+                    acc_sums[i] = if *acc_seen { acc_sums[i].max(key) } else { key };
+                }
+            }
+        }
+    }
+    // Only positive-weight rows seed MIN/MAX: a zero-weight row must not
+    // plant a stale 0.0 that a later min()/max() folds in.
+    if weight > 0.0 {
+        *acc_seen = true;
+    }
+}
+
+/// Shared aggregation driver over an iterator of joined rows.
+fn aggregate_rows(
+    select: &CompiledSelect,
+    bindings: &[(&str, &Relation)],
+    rows: impl Iterator<Item = (Vec<usize>, f64)>,
+) -> QueryResult {
+    let numeric = agg_numeric_tables(select, bindings);
     let mut groups: HashMap<Vec<u32>, Accum> = HashMap::new();
     // SQL semantics: an aggregate-only query over an empty input returns a
     // single all-zero row, not an empty result.
     if select.group_cols.is_empty() {
-        groups.insert(
-            Vec::new(),
-            Accum {
-                weight: 0.0,
-                sums: vec![0.0; select.aggs.len()],
-                seen: false,
-            },
-        );
+        groups.insert(Vec::new(), Accum::zero(select.aggs.len()));
     }
     for (row_idx, weight) in rows {
         let key: Vec<u32> = select
@@ -367,39 +462,32 @@ fn aggregate_rows(
             .iter()
             .map(|r| bindings[r.table].1.value(row_idx[r.table], r.attr))
             .collect();
-        let acc = groups.entry(key).or_insert_with(|| Accum {
-            weight: 0.0,
-            sums: vec![0.0; select.aggs.len()],
-            seen: false,
-        });
-        acc.weight += weight;
-        for (i, agg) in select.aggs.iter().enumerate() {
-            match agg {
-                CompiledAgg::CountStar | CompiledAgg::SumWeight => acc.sums[i] += weight,
-                CompiledAgg::Sum(r) | CompiledAgg::Avg(r) => {
-                    let v = bindings[r.table].1.value(row_idx[r.table], r.attr);
-                    acc.sums[i] +=
-                        weight * numeric[i].as_ref().expect("precomputed")[v as usize];
-                }
-                CompiledAgg::Min(r) => {
-                    if weight > 0.0 {
-                        let v = bindings[r.table].1.value(row_idx[r.table], r.attr);
-                        let key = numeric[i].as_ref().expect("precomputed")[v as usize];
-                        acc.sums[i] = if acc.seen { acc.sums[i].min(key) } else { key };
-                    }
-                }
-                CompiledAgg::Max(r) => {
-                    if weight > 0.0 {
-                        let v = bindings[r.table].1.value(row_idx[r.table], r.attr);
-                        let key = numeric[i].as_ref().expect("precomputed")[v as usize];
-                        acc.sums[i] = if acc.seen { acc.sums[i].max(key) } else { key };
-                    }
-                }
-            }
-        }
-        acc.seen = true;
+        let acc = groups
+            .entry(key)
+            .or_insert_with(|| Accum::zero(select.aggs.len()));
+        fold_row(
+            select,
+            bindings,
+            &numeric,
+            AccumRef {
+                weight: &mut acc.weight,
+                sums: &mut acc.sums,
+                seen: &mut acc.seen,
+            },
+            &row_idx,
+            weight,
+        );
     }
+    finalize_groups(select, bindings, groups)
+}
 
+/// Turn accumulated groups into the final sorted [`QueryResult`]. Shared by
+/// both engines so output formatting and row order are identical.
+pub(crate) fn finalize_groups(
+    select: &CompiledSelect,
+    bindings: &[(&str, &Relation)],
+    groups: impl IntoIterator<Item = (Vec<u32>, Accum)>,
+) -> QueryResult {
     let mut rows_out: Vec<Vec<Value>> = groups
         .into_iter()
         .map(|(key, acc)| {
@@ -460,7 +548,21 @@ fn aggregate_rows(
     }
 }
 
-fn execute_scan(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecError> {
+/// A compiled single-table scan: the bound relation, per-attribute admission
+/// masks, and the compiled SELECT. Built once per query and shared by both
+/// engines, so name-resolution and compilation errors are identical.
+pub(crate) struct ScanPlan<'a> {
+    pub(crate) rel: &'a Relation,
+    pub(crate) bindings: Vec<(&'a str, &'a Relation)>,
+    pub(crate) masks: Vec<(AttrId, Vec<bool>)>,
+    pub(crate) select: CompiledSelect,
+}
+
+/// Compile a single-table query into a [`ScanPlan`].
+pub(crate) fn plan_scan<'a>(
+    catalog: &'a Catalog,
+    query: &'a Query,
+) -> Result<ScanPlan<'a>, ExecError> {
     let table = &query.from[0];
     let rel = catalog
         .get(&table.name)
@@ -490,6 +592,21 @@ fn execute_scan(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecErr
     }
 
     let select = compile_select(query, &bindings)?;
+    Ok(ScanPlan {
+        rel,
+        bindings,
+        masks,
+        select,
+    })
+}
+
+fn execute_scan(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecError> {
+    let ScanPlan {
+        rel,
+        bindings,
+        masks,
+        select,
+    } = plan_scan(catalog, query)?;
     let weights = rel.weights();
     let rows = (0..rel.len()).filter_map(move |r| {
         for (attr, mask) in &masks {
@@ -502,7 +619,33 @@ fn execute_scan(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecErr
     Ok(aggregate_rows(&select, &bindings, rows))
 }
 
-fn execute_join(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecError> {
+/// A compiled two-table equi-join: both bound relations, the join-key column
+/// pairs (left side first), per-side admission masks, and the compiled
+/// SELECT. Shared by both engines.
+pub(crate) struct JoinPlan<'a> {
+    pub(crate) left: &'a Relation,
+    pub(crate) right: &'a Relation,
+    pub(crate) bindings: Vec<(&'a str, &'a Relation)>,
+    pub(crate) join_keys: Vec<(Resolved, Resolved)>,
+    pub(crate) masks: Vec<(Resolved, Vec<bool>)>,
+    pub(crate) select: CompiledSelect,
+}
+
+impl JoinPlan<'_> {
+    /// Whether `row` of table slot `table` passes every mask on that side.
+    pub(crate) fn passes(&self, table: usize, row: usize) -> bool {
+        self.masks
+            .iter()
+            .filter(|(r, _)| r.table == table)
+            .all(|(r, mask)| mask[self.bindings[table].1.value(row, r.attr) as usize])
+    }
+}
+
+/// Compile a two-table query into a [`JoinPlan`].
+pub(crate) fn plan_join<'a>(
+    catalog: &'a Catalog,
+    query: &'a Query,
+) -> Result<JoinPlan<'a>, ExecError> {
     let left_ref = &query.from[0];
     let right_ref = &query.from[1];
     let left = catalog
@@ -552,33 +695,42 @@ fn execute_join(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecErr
         ));
     }
 
-    let passes = |table: usize, row: usize| {
-        masks
-            .iter()
-            .filter(|(r, _)| r.table == table)
-            .all(|(r, mask)| mask[bindings[table].1.value(row, r.attr) as usize])
-    };
+    let select = compile_select(query, &bindings)?;
+    Ok(JoinPlan {
+        left,
+        right,
+        bindings,
+        join_keys,
+        masks,
+        select,
+    })
+}
+
+fn execute_join(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecError> {
+    let plan = plan_join(catalog, query)?;
+    let (left, right) = (plan.left, plan.right);
 
     // Build a hash table over the right side keyed by the join columns.
     let mut built: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
     for row in 0..right.len() {
-        if !passes(1, row) {
+        if !plan.passes(1, row) {
             continue;
         }
-        let key: Vec<u32> = join_keys
+        let key: Vec<u32> = plan
+            .join_keys
             .iter()
             .map(|(_, r)| right.value(row, r.attr))
             .collect();
         built.entry(key).or_default().push(row);
     }
 
-    let select = compile_select(query, &bindings)?;
     let mut joined: Vec<(Vec<usize>, f64)> = Vec::new();
     for lrow in 0..left.len() {
-        if !passes(0, lrow) {
+        if !plan.passes(0, lrow) {
             continue;
         }
-        let key: Vec<u32> = join_keys
+        let key: Vec<u32> = plan
+            .join_keys
             .iter()
             .map(|(l, _)| left.value(lrow, l.attr))
             .collect();
@@ -591,7 +743,7 @@ fn execute_join(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecErr
             }
         }
     }
-    Ok(aggregate_rows(&select, &bindings, joined.into_iter()))
+    Ok(aggregate_rows(&plan.select, &plan.bindings, joined.into_iter()))
 }
 
 #[cfg(test)]
@@ -806,6 +958,24 @@ mod tests {
         let r = run_sql(&c, "SELECT MIN(date) AS lo, MAX(date) AS hi FROM s").unwrap();
         let m = r.to_map();
         assert_eq!(m[&Vec::<String>::new()], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn min_not_seeded_by_leading_zero_weight_row() {
+        let mut c = Catalog::new();
+        let mut s = example_sample();
+        // First row has weight 0: MIN/MAX must take their seed from the
+        // first *positive*-weight row, not a stale 0.0.
+        // date ids: [0, 0, 1, 0] → labels "01","01","02","01".
+        s.set_weights(vec![0.0, 0.0, 3.0, 0.0]);
+        c.register("s", s);
+        // Call the serial engine directly — run_sql dispatches on
+        // THEMIS_THREADS and this test must pin the serial fold.
+        let query = themis_sql::parse("SELECT MIN(date) AS lo, MAX(date) AS hi FROM s").unwrap();
+        let r = execute(&c, &query).unwrap();
+        let m = r.to_map();
+        // Only the date=02 row counts.
+        assert_eq!(m[&Vec::<String>::new()], vec![2.0, 2.0]);
     }
 
     #[test]

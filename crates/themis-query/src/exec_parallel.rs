@@ -1,0 +1,705 @@
+//! Morsel-driven parallel query execution.
+//!
+//! The serial engine in [`crate::exec`] interprets one row at a time against
+//! hash tables keyed by `Vec<u32>`, allocating per row. This module drives
+//! the *same* compiled plans ([`crate::exec::plan_scan`] /
+//! [`crate::exec::plan_join`]) and the *same* per-row fold
+//! ([`crate::exec::fold_row`]) over fixed-size **morsels** — contiguous row
+//! ranges claimed dynamically by a scoped worker pool (`shims/rayon`). Each
+//! morsel fills a private accumulator block; blocks are merged **in morsel
+//! order**, so the result is deterministic for a given morsel size no
+//! matter how many threads run or in what order morsels finish.
+//!
+//! Two accumulator layouts keep the hot loop allocation-free:
+//!
+//! * **dense** — when the product of the grouping domains is at most
+//!   [`DENSE_GROUP_LIMIT`], group keys pack into a single array index
+//!   (mixed-radix over the domain sizes) and accumulators live in flat
+//!   `Vec<f64>` blocks;
+//! * **sparse** — otherwise, a `HashMap` from key to a slot in the same
+//!   flat block layout, creating slots in first-touch order.
+//!
+//! Joins are evaluated as **partitioned hash joins**: the build side is
+//! split into `threads` partitions by join-key hash, each partition built by
+//! one task (scanning in row order, so per-key match lists are ordered
+//! exactly as the serial engine's), then probe morsels look up the partition
+//! for each key. Determinism is unaffected by the partition count because
+//! partitioning only routes keys to tables.
+//!
+//! Floating-point caveat: merging morsel blocks associates additions at
+//! morsel boundaries differently from the serial left-to-right fold, so
+//! serial and parallel sums can differ by ~1 ulp per boundary (they are
+//! bit-identical when the input fits in one morsel, and for exactly
+//! representable weights). The differential test suite pins both engines to
+//! within `1e-9` of each other; results across *thread counts* are
+//! bit-identical by construction.
+
+use crate::catalog::Catalog;
+use crate::exec::{
+    agg_numeric_tables, apply_order_by, fold_row, plan_join, plan_scan, Accum, AccumRef,
+    CompiledAgg, CompiledSelect, ExecError, Resolved, ScanPlan,
+};
+use crate::value::QueryResult;
+use rayon::Pool;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use themis_data::Relation;
+use themis_sql::Query;
+
+/// Rows per morsel. Fixed (not derived from the thread count) so that the
+/// morsel decomposition — and therefore the merged floating-point result —
+/// is identical at every thread count.
+pub const DEFAULT_MORSEL_SIZE: usize = 2048;
+
+/// Largest packed group-key space evaluated with dense (flat-array)
+/// accumulators; bigger key spaces fall back to the sparse layout.
+const DENSE_GROUP_LIMIT: usize = 4096;
+
+/// Tuning knobs for the parallel engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelOptions {
+    /// Worker threads (1 ⇒ everything runs inline on the caller).
+    pub threads: usize,
+    /// Rows per morsel. Changing this changes how floating-point merges
+    /// associate; keep it fixed across runs you want to compare exactly.
+    pub morsel_size: usize,
+}
+
+impl Default for ParallelOptions {
+    /// Threads from `THEMIS_THREADS` (hardware threads when unset), default
+    /// morsel size.
+    fn default() -> Self {
+        ParallelOptions {
+            threads: rayon::env_threads(),
+            morsel_size: DEFAULT_MORSEL_SIZE,
+        }
+    }
+}
+
+impl ParallelOptions {
+    /// Explicit thread count, default morsel size.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelOptions {
+            threads: threads.max(1),
+            morsel_size: DEFAULT_MORSEL_SIZE,
+        }
+    }
+}
+
+/// One-line description of the engine [`crate::run_sql`] will dispatch to,
+/// for shells and status displays.
+pub fn engine_description() -> String {
+    let opts = ParallelOptions::default();
+    if opts.threads <= 1 {
+        "serial (1 thread)".to_string()
+    } else {
+        format!(
+            "morsel-parallel ({} threads, morsel size {})",
+            opts.threads, opts.morsel_size
+        )
+    }
+}
+
+/// Execute with the engine selected by `THEMIS_THREADS`: the serial
+/// reference engine at 1 thread, the morsel-driven engine otherwise.
+pub fn execute_auto(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecError> {
+    let opts = ParallelOptions::default();
+    if opts.threads <= 1 {
+        crate::exec::execute(catalog, query)
+    } else {
+        execute_parallel(catalog, query, &opts)
+    }
+}
+
+/// Parse and execute a SQL string on the parallel engine with explicit
+/// options.
+pub fn run_sql_parallel(
+    catalog: &Catalog,
+    sql: &str,
+    opts: &ParallelOptions,
+) -> Result<QueryResult, ExecError> {
+    let query = themis_sql::parse(sql).map_err(|e| ExecError::Parse(e.to_string()))?;
+    execute_parallel(catalog, &query, opts)
+}
+
+/// Execute a parsed query on the morsel-driven parallel engine.
+///
+/// Semantics (including every error) match [`crate::execute`]; aggregate
+/// values may differ from the serial engine by floating-point association
+/// at morsel boundaries only.
+pub fn execute_parallel(
+    catalog: &Catalog,
+    query: &Query,
+    opts: &ParallelOptions,
+) -> Result<QueryResult, ExecError> {
+    let mut result = match query.from.len() {
+        1 => scan_parallel(catalog, query, opts)?,
+        2 => join_parallel(catalog, query, opts)?,
+        n => return Err(ExecError::Unsupported(format!("{n} tables in FROM"))),
+    };
+    if let Some(order) = &query.order_by {
+        apply_order_by(&mut result, order)?;
+    }
+    if let Some(limit) = query.limit {
+        result.rows.truncate(limit);
+    }
+    Ok(result)
+}
+
+/// How group keys map to accumulator slots.
+enum KeyCodec {
+    /// Packed mixed-radix index into a flat table of `space` slots.
+    Dense { strides: Vec<usize>, space: usize },
+    /// Generic keys hashed to slots created in first-touch order.
+    Sparse,
+}
+
+impl KeyCodec {
+    /// Choose the layout for a compiled SELECT's grouping columns.
+    fn choose(select: &CompiledSelect, bindings: &[(&str, &Relation)]) -> KeyCodec {
+        let mut strides = Vec::with_capacity(select.group_cols.len());
+        let mut space: usize = 1;
+        for r in &select.group_cols {
+            let size = bindings[r.table].1.schema().domain(r.attr).size();
+            strides.push(space);
+            match space.checked_mul(size) {
+                Some(s) if s <= DENSE_GROUP_LIMIT => space = s,
+                _ => return KeyCodec::Sparse,
+            }
+        }
+        KeyCodec::Dense { strides, space }
+    }
+}
+
+/// Everything a morsel task needs to accumulate groups: the compiled select,
+/// bindings, precomputed numeric tables, and the key layout. Immutable and
+/// `Sync`, shared by reference across workers.
+struct GroupSpec<'a> {
+    select: &'a CompiledSelect,
+    bindings: &'a [(&'a str, &'a Relation)],
+    numeric: &'a [Option<Vec<f64>>],
+    codec: &'a KeyCodec,
+}
+
+impl GroupSpec<'_> {
+    fn n_aggs(&self) -> usize {
+        self.select.aggs.len()
+    }
+
+    /// Group values of one input row, in grouping-column order.
+    fn key_of(&self, rows: &[usize]) -> Vec<u32> {
+        self.select
+            .group_cols
+            .iter()
+            .map(|r| self.bindings[r.table].1.value(rows[r.table], r.attr))
+            .collect()
+    }
+
+    /// Fold one input row into a morsel's accumulator block.
+    fn fold(&self, g: &mut GroupBlock, rows: &[usize], weight: f64) {
+        let slot = match self.codec {
+            KeyCodec::Dense { strides, .. } => {
+                let mut idx = 0usize;
+                for (r, &stride) in self.select.group_cols.iter().zip(strides) {
+                    idx += self.bindings[r.table].1.value(rows[r.table], r.attr) as usize
+                        * stride;
+                }
+                g.occupied[idx] = true;
+                idx
+            }
+            KeyCodec::Sparse => g.sparse_slot(self.key_of(rows), self.n_aggs()),
+        };
+        let n = self.n_aggs();
+        fold_row(
+            self.select,
+            self.bindings,
+            self.numeric,
+            AccumRef {
+                weight: &mut g.weight[slot],
+                sums: &mut g.sums[slot * n..(slot + 1) * n],
+                seen: &mut g.seen[slot],
+            },
+            rows,
+            weight,
+        );
+    }
+
+    /// Merge `from` into `into`, slot by slot, preserving `from`'s slot
+    /// order (morsel-order merging makes the result thread-count
+    /// independent).
+    fn merge(&self, into: &mut GroupBlock, from: &GroupBlock) {
+        let n = self.n_aggs();
+        match self.codec {
+            KeyCodec::Dense { .. } => {
+                for idx in 0..from.weight.len() {
+                    if from.occupied[idx] {
+                        into.occupied[idx] = true;
+                        self.merge_slot(into, idx, from, idx, n);
+                    }
+                }
+            }
+            KeyCodec::Sparse => {
+                for (s, key) in from.keys.iter().enumerate() {
+                    let t = into.sparse_slot(key.clone(), n);
+                    self.merge_slot(into, t, from, s, n);
+                }
+            }
+        }
+    }
+
+    fn merge_slot(&self, into: &mut GroupBlock, t: usize, from: &GroupBlock, s: usize, n: usize) {
+        into.weight[t] += from.weight[s];
+        for (i, agg) in self.select.aggs.iter().enumerate() {
+            match agg {
+                CompiledAgg::CountStar
+                | CompiledAgg::SumWeight
+                | CompiledAgg::Sum(_)
+                | CompiledAgg::Avg(_) => into.sums[t * n + i] += from.sums[s * n + i],
+                CompiledAgg::Min(_) => {
+                    if from.seen[s] {
+                        into.sums[t * n + i] = if into.seen[t] {
+                            into.sums[t * n + i].min(from.sums[s * n + i])
+                        } else {
+                            from.sums[s * n + i]
+                        };
+                    }
+                }
+                CompiledAgg::Max(_) => {
+                    if from.seen[s] {
+                        into.sums[t * n + i] = if into.seen[t] {
+                            into.sums[t * n + i].max(from.sums[s * n + i])
+                        } else {
+                            from.sums[s * n + i]
+                        };
+                    }
+                }
+            }
+        }
+        into.seen[t] |= from.seen[s];
+    }
+
+    /// Decode a dense slot index back into group values.
+    fn decode(&self, idx: usize) -> Vec<u32> {
+        match self.codec {
+            KeyCodec::Dense { strides, .. } => self
+                .select
+                .group_cols
+                .iter()
+                .zip(strides)
+                .map(|(r, &stride)| {
+                    let size = self.bindings[r.table].1.schema().domain(r.attr).size();
+                    ((idx / stride) % size) as u32
+                })
+                .collect(),
+            KeyCodec::Sparse => unreachable!("decode is dense-only"),
+        }
+    }
+
+    /// Drain a merged block into `(key, Accum)` pairs for
+    /// [`crate::exec::finalize_groups`].
+    fn entries(&self, g: GroupBlock) -> Vec<(Vec<u32>, Accum)> {
+        let n = self.n_aggs();
+        match self.codec {
+            KeyCodec::Dense { .. } => (0..g.weight.len())
+                .filter(|&idx| g.occupied[idx])
+                .map(|idx| {
+                    (
+                        self.decode(idx),
+                        Accum {
+                            weight: g.weight[idx],
+                            sums: g.sums[idx * n..(idx + 1) * n].to_vec(),
+                            seen: g.seen[idx],
+                        },
+                    )
+                })
+                .collect(),
+            KeyCodec::Sparse => g
+                .keys
+                .iter()
+                .enumerate()
+                .map(|(s, key)| {
+                    (
+                        key.clone(),
+                        Accum {
+                            weight: g.weight[s],
+                            sums: g.sums[s * n..(s + 1) * n].to_vec(),
+                            seen: g.seen[s],
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One morsel's (or the merged) accumulator block: struct-of-arrays, one
+/// slot per group.
+struct GroupBlock {
+    /// Dense layout: which slots were ever touched (a zero-weight row still
+    /// creates its group, matching the serial engine).
+    occupied: Vec<bool>,
+    /// Sparse layout: key → slot, plus keys in slot-creation order.
+    map: HashMap<Vec<u32>, usize>,
+    keys: Vec<Vec<u32>>,
+    weight: Vec<f64>,
+    sums: Vec<f64>,
+    seen: Vec<bool>,
+}
+
+impl GroupBlock {
+    fn new(codec: &KeyCodec, n_aggs: usize) -> Self {
+        match codec {
+            KeyCodec::Dense { space, .. } => GroupBlock {
+                occupied: vec![false; *space],
+                map: HashMap::new(),
+                keys: Vec::new(),
+                weight: vec![0.0; *space],
+                sums: vec![0.0; space * n_aggs],
+                seen: vec![false; *space],
+            },
+            KeyCodec::Sparse => GroupBlock {
+                occupied: Vec::new(),
+                map: HashMap::new(),
+                keys: Vec::new(),
+                weight: Vec::new(),
+                sums: Vec::new(),
+                seen: Vec::new(),
+            },
+        }
+    }
+
+    /// Slot of `key` in the sparse layout, creating it on first touch.
+    fn sparse_slot(&mut self, key: Vec<u32>, n_aggs: usize) -> usize {
+        if let Some(&s) = self.map.get(&key) {
+            return s;
+        }
+        let s = self.keys.len();
+        self.map.insert(key.clone(), s);
+        self.keys.push(key);
+        self.weight.push(0.0);
+        self.sums.resize(self.sums.len() + n_aggs, 0.0);
+        self.seen.push(false);
+        s
+    }
+}
+
+/// Merge morsel blocks in morsel order into one block.
+fn merge_morsels(spec: &GroupSpec<'_>, morsels: Vec<GroupBlock>) -> GroupBlock {
+    let mut it = morsels.into_iter();
+    let mut acc = it
+        .next()
+        .unwrap_or_else(|| GroupBlock::new(spec.codec, spec.n_aggs()));
+    for m in it {
+        spec.merge(&mut acc, &m);
+    }
+    acc
+}
+
+/// Finish a merged block: guarantee the scalar zero-row and hand off to the
+/// shared result builder.
+fn finish(spec: &GroupSpec<'_>, mut block: GroupBlock) -> QueryResult {
+    if spec.select.group_cols.is_empty() {
+        // Aggregate-only queries return a single all-zero row over empty
+        // input. Group-free ⇒ key space 1 ⇒ always the dense layout.
+        block.occupied[0] = true;
+    }
+    crate::exec::finalize_groups(spec.select, spec.bindings, spec.entries(block))
+}
+
+fn scan_parallel(
+    catalog: &Catalog,
+    query: &Query,
+    opts: &ParallelOptions,
+) -> Result<QueryResult, ExecError> {
+    let ScanPlan {
+        rel,
+        bindings,
+        masks,
+        select,
+    } = plan_scan(catalog, query)?;
+    let numeric = agg_numeric_tables(&select, &bindings);
+    let codec = KeyCodec::choose(&select, &bindings);
+    let spec = GroupSpec {
+        select: &select,
+        bindings: &bindings,
+        numeric: &numeric,
+        codec: &codec,
+    };
+
+    // Evaluate predicates directly off the column slices.
+    let mask_cols: Vec<(&[u32], &[bool])> = masks
+        .iter()
+        .map(|(attr, mask)| (rel.column(*attr), mask.as_slice()))
+        .collect();
+    let weights = rel.weights();
+
+    let pool = Pool::new(opts.threads);
+    let morsels = pool.par_ranges(rel.len(), opts.morsel_size, |range| {
+        let mut block = GroupBlock::new(spec.codec, spec.n_aggs());
+        'rows: for r in range {
+            for (col, mask) in &mask_cols {
+                if !mask[col[r] as usize] {
+                    continue 'rows;
+                }
+            }
+            spec.fold(&mut block, &[r], weights[r]);
+        }
+        block
+    });
+    Ok(finish(&spec, merge_morsels(&spec, morsels)))
+}
+
+/// Stable partition index for a join key (`DefaultHasher` is deterministic
+/// within a process; the partition choice never affects results, only which
+/// build table holds a key).
+fn partition_of(key: &[u32], partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+fn join_parallel(
+    catalog: &Catalog,
+    query: &Query,
+    opts: &ParallelOptions,
+) -> Result<QueryResult, ExecError> {
+    let plan = plan_join(catalog, query)?;
+    let (left, right) = (plan.left, plan.right);
+    let numeric = agg_numeric_tables(&plan.select, &plan.bindings);
+    let codec = KeyCodec::choose(&plan.select, &plan.bindings);
+    let spec = GroupSpec {
+        select: &plan.select,
+        bindings: &plan.bindings,
+        numeric: &numeric,
+        codec: &codec,
+    };
+
+    let pool = Pool::new(opts.threads);
+    let partitions = pool.threads();
+
+    // Build phase, one scan of the right side total: morsels filter rows
+    // and route (key, row) pairs into per-partition buckets, then one task
+    // per partition folds its buckets into a hash table, visiting morsels
+    // in order. Buckets are appended in (morsel, row) order, so per-key
+    // match lists come out in ascending row order — exactly the order of
+    // the serial engine's single build loop.
+    let right_key = |row: usize| -> Vec<u32> {
+        plan.join_keys
+            .iter()
+            .map(|(_, r): &(Resolved, Resolved)| right.value(row, r.attr))
+            .collect()
+    };
+    type Bucket = Vec<(Vec<u32>, usize)>;
+    let bucketed: Vec<Vec<Bucket>> = pool.par_ranges(right.len(), opts.morsel_size, |range| {
+        let mut buckets: Vec<Bucket> = vec![Vec::new(); partitions];
+        for row in range {
+            if !plan.passes(1, row) {
+                continue;
+            }
+            let key = right_key(row);
+            buckets[partition_of(&key, partitions)].push((key, row));
+        }
+        buckets
+    });
+    let parts: Vec<HashMap<Vec<u32>, Vec<usize>>> = pool.par_indexed(partitions, |p| {
+        let mut table: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        for morsel in &bucketed {
+            for (key, row) in &morsel[p] {
+                // Clone the key only on first touch of a distinct value.
+                match table.get_mut(key) {
+                    Some(rows) => rows.push(*row),
+                    None => {
+                        table.insert(key.clone(), vec![*row]);
+                    }
+                }
+            }
+        }
+        table
+    });
+
+    // Probe phase: morsels over the left side.
+    let (lw, rw) = (left.weights(), right.weights());
+    let morsels = pool.par_ranges(left.len(), opts.morsel_size, |range| {
+        let mut block = GroupBlock::new(spec.codec, spec.n_aggs());
+        for lrow in range {
+            if !plan.passes(0, lrow) {
+                continue;
+            }
+            let key: Vec<u32> = plan
+                .join_keys
+                .iter()
+                .map(|(l, _)| left.value(lrow, l.attr))
+                .collect();
+            if let Some(matches) = parts[partition_of(&key, partitions)].get(&key) {
+                for &rrow in matches {
+                    spec.fold(&mut block, &[lrow, rrow], lw[lrow] * rw[rrow]);
+                }
+            }
+        }
+        block
+    });
+    Ok(finish(&spec, merge_morsels(&spec, morsels)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use themis_data::paper_example::{example_population, example_sample};
+    use themis_data::{Attribute, Domain, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("flights", example_population());
+        c.register("sample", example_sample());
+        c
+    }
+
+    /// Tiny morsels + more threads than morsels, to exercise merging.
+    fn opts() -> ParallelOptions {
+        ParallelOptions {
+            threads: 4,
+            morsel_size: 3,
+        }
+    }
+
+    fn run(c: &Catalog, sql: &str) -> QueryResult {
+        run_sql_parallel(c, sql, &opts()).unwrap()
+    }
+
+    #[test]
+    fn scan_matches_serial_engine() {
+        let c = catalog();
+        for sql in [
+            "SELECT COUNT(*) FROM flights",
+            "SELECT o_st, COUNT(*) FROM flights WHERE date = '01' GROUP BY o_st",
+            "SELECT o_st, MIN(date), MAX(date) FROM flights GROUP BY o_st",
+            "SELECT COUNT(*) FROM flights WHERE o_st IN ('FL', 'NY')",
+            "SELECT AVG(date) FROM flights WHERE date <= 1",
+            "SELECT o_st, COUNT(*) AS n FROM flights GROUP BY o_st ORDER BY n DESC LIMIT 1",
+        ] {
+            let query = themis_sql::parse(sql).unwrap();
+            let serial = crate::exec::execute(&c, &query).unwrap();
+            // Integer-valued weights ⇒ merges are exact ⇒ full equality.
+            assert_eq!(run(&c, sql), serial, "{sql}");
+        }
+    }
+
+    #[test]
+    fn join_matches_serial_engine() {
+        let c = catalog();
+        for sql in [
+            "SELECT COUNT(*) FROM flights t, flights s WHERE t.d_st = s.o_st",
+            "SELECT t.o_st, s.d_st, COUNT(*) FROM flights t, flights s \
+             WHERE t.d_st = s.o_st AND t.d_st IN ('NC') GROUP BY t.o_st, s.d_st",
+        ] {
+            let query = themis_sql::parse(sql).unwrap();
+            let serial = crate::exec::execute(&c, &query).unwrap();
+            assert_eq!(run(&c, sql), serial, "{sql}");
+        }
+    }
+
+    #[test]
+    fn scalar_query_over_empty_selection_returns_zero_row() {
+        let c = catalog();
+        let r = run(
+            &c,
+            "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NC'",
+        );
+        assert_eq!(r.scalar(), Some(0.0));
+    }
+
+    #[test]
+    fn sparse_layout_handles_large_key_spaces() {
+        // One grouping domain bigger than DENSE_GROUP_LIMIT forces the
+        // sparse accumulator path.
+        let schema = Schema::new(vec![Attribute::new(
+            "x",
+            Domain::indexed("x", DENSE_GROUP_LIMIT + 10),
+        )]);
+        let mut rel = Relation::new(schema);
+        for v in [0u32, 4100, 4100, 7, 0] {
+            rel.push_row(&[v]);
+        }
+        let mut c = Catalog::new();
+        c.register("t", rel);
+        let sql = "SELECT x, COUNT(*) FROM t GROUP BY x";
+        let query = themis_sql::parse(sql).unwrap();
+        let serial = crate::exec::execute(&c, &query).unwrap();
+        let parallel = run_sql_parallel(
+            &c,
+            sql,
+            &ParallelOptions {
+                threads: 4,
+                morsel_size: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel.rows.len(), 3);
+    }
+
+    #[test]
+    fn min_ignores_zero_weight_rows_across_morsels() {
+        let mut c = Catalog::new();
+        let mut s = example_sample();
+        // Zero-weight rows land in different morsels (morsel size 1).
+        s.set_weights(vec![0.0, 0.0, 3.0, 0.0]);
+        c.register("s", s);
+        let r = run_sql_parallel(
+            &c,
+            "SELECT MIN(date) AS lo, MAX(date) AS hi FROM s",
+            &ParallelOptions {
+                threads: 4,
+                morsel_size: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.to_map()[&Vec::<String>::new()], vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let c = catalog();
+        let sql = "SELECT o_st, COUNT(*), AVG(date) FROM flights GROUP BY o_st ORDER BY o_st";
+        let base = run_sql_parallel(&c, sql, &ParallelOptions::with_threads(1)).unwrap();
+        for threads in [2, 3, 8] {
+            let r = run_sql_parallel(&c, sql, &ParallelOptions::with_threads(threads)).unwrap();
+            assert_eq!(r, base, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn errors_match_serial_engine() {
+        let c = catalog();
+        for sql in [
+            "SELECT COUNT(*) FROM missing",
+            "SELECT COUNT(*) FROM flights WHERE nope = 1",
+            "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st ORDER BY nope",
+            "SELECT o_st FROM flights",
+            "SELECT COUNT(*) FROM flights t, flights s",
+        ] {
+            let query = themis_sql::parse(sql).unwrap();
+            let serial = crate::exec::execute(&c, &query).unwrap_err();
+            let parallel = execute_parallel(&c, &query, &opts()).unwrap_err();
+            assert_eq!(parallel, serial, "{sql}");
+        }
+    }
+
+    #[test]
+    fn engine_description_names_a_mode() {
+        let d = engine_description();
+        assert!(d.contains("serial") || d.contains("morsel-parallel"), "{d}");
+    }
+
+    #[test]
+    fn group_values_are_labels() {
+        let c = catalog();
+        let r = run(&c, "SELECT d_st, COUNT(*) FROM flights GROUP BY d_st");
+        for row in &r.rows {
+            assert!(matches!(&row[0], Value::Str(_)));
+            assert!(matches!(&row[1], Value::Num(_)));
+        }
+    }
+}

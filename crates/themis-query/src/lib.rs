@@ -12,10 +12,19 @@
 //! stands for `w` population tuples, so a joined pair stands for `w_l · w_r`
 //! pairs).
 
+//!
+//! Two engines share one planner: [`exec`] is the single-threaded reference
+//! engine, [`exec_parallel`] the morsel-driven parallel engine. [`run_sql`]
+//! dispatches between them based on `THEMIS_THREADS` (serial at 1 thread,
+//! parallel otherwise); the serial engine is the testing oracle the parallel
+//! engine is differentially checked against.
+
 pub mod catalog;
 pub mod exec;
+pub mod exec_parallel;
 pub mod value;
 
 pub use catalog::Catalog;
 pub use exec::{execute, run_sql, ExecError};
+pub use exec_parallel::{execute_auto, execute_parallel, run_sql_parallel, ParallelOptions};
 pub use value::{QueryResult, Value};

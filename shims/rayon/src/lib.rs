@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships a
+//! minimal data-parallelism layer covering what the Themis query engine
+//! needs: a [`Pool`] that runs closures over task indices, index ranges, or
+//! slice chunks on scoped OS threads, returning results **in task order**
+//! regardless of which thread finished first. Ordered results are what let
+//! the morsel-driven executor merge partial aggregates deterministically.
+//!
+//! Differences from real rayon: there is no global pool, no work stealing
+//! beyond a shared atomic task cursor, and no parallel iterator traits —
+//! callers pass explicit closures. Threads are spawned per call via
+//! [`std::thread::scope`], so borrowed (non-`'static`) data works; calls
+//! with one worker (or a single task) run inline without spawning.
+//!
+//! The default thread count honours the `THEMIS_THREADS` environment
+//! variable; unset, `0`, or unparsable values fall back to the number of
+//! hardware threads.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of hardware threads, with a floor of 1.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Thread count selected by `THEMIS_THREADS`, falling back to
+/// [`available_threads`] when the variable is unset, `0`, or not a number.
+pub fn env_threads() -> usize {
+    std::env::var("THEMIS_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(available_threads)
+}
+
+/// A fixed-width scoped thread pool.
+///
+/// The pool is a *width*, not a set of live threads: each `par_*` call
+/// spawns up to `threads` scoped workers that pull task indices from a
+/// shared cursor and exits when all tasks are done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Pool of exactly `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(i)` for every `i in 0..tasks` and return the results in index
+    /// order. Tasks are claimed dynamically, so uneven task costs balance
+    /// across workers. Runs inline when one worker (or ≤ 1 task) suffices.
+    ///
+    /// # Panics
+    /// Propagates the panic of any task.
+    pub fn par_indexed<R, F>(&self, tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(tasks);
+        if workers <= 1 {
+            return (0..tasks).map(f).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(tasks);
+        slots.resize_with(tasks, || None);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let f = &f;
+                    s.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks {
+                                break;
+                            }
+                            done.push((i, f(i)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                let done = match h.join() {
+                    Ok(done) => done,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
+                for (i, r) in done {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task index was claimed exactly once"))
+            .collect()
+    }
+
+    /// Split `0..n` into consecutive ranges of at most `chunk` items, run
+    /// `f` over each range in parallel, and return results in range order.
+    pub fn par_ranges<R, F>(&self, n: usize, chunk: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let chunk = chunk.max(1);
+        let tasks = n.div_ceil(chunk);
+        self.par_indexed(tasks, |i| {
+            let start = i * chunk;
+            f(start..(start + chunk).min(n))
+        })
+    }
+
+    /// `par_chunks`-style helper: run `f(chunk_index, chunk)` over
+    /// consecutive slice chunks of at most `chunk` items, results in chunk
+    /// order.
+    pub fn par_chunks<'d, T, R, F>(&self, data: &'d [T], chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &'d [T]) -> R + Sync,
+    {
+        let chunk = chunk.max(1);
+        self.par_ranges(data.len(), chunk, |r| f(r.start / chunk, &data[r]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = Pool::new(4);
+        // Make early tasks the slowest so out-of-order completion is likely.
+        let out = pool.par_indexed(32, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_ranges_partitions_exactly() {
+        let pool = Pool::new(3);
+        let ranges = pool.par_ranges(10, 4, |r| r);
+        assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
+        assert_eq!(pool.par_ranges(0, 4, |r| r), Vec::<Range<usize>>::new());
+    }
+
+    #[test]
+    fn par_chunks_sums_match_serial() {
+        let data: Vec<u64> = (0..1000).collect();
+        let pool = Pool::new(8);
+        let partials = pool.par_chunks(&data, 7, |_, c| c.iter().sum::<u64>());
+        assert_eq!(partials.len(), 1000usize.div_ceil(7));
+        assert_eq!(partials.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.par_indexed(5, |i| i), vec![0, 1, 2, 3, 4]);
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let pool = Pool::new(2);
+        let r = std::panic::catch_unwind(|| pool.par_indexed(8, |i| assert!(i != 3)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn env_threads_honours_variable() {
+        // This is the only test in this crate touching the variable, so the
+        // set/restore pair cannot race with a concurrent reader here.
+        let prev = std::env::var("THEMIS_THREADS").ok();
+        std::env::set_var("THEMIS_THREADS", "3");
+        assert_eq!(env_threads(), 3);
+        std::env::set_var("THEMIS_THREADS", "0");
+        assert_eq!(env_threads(), available_threads());
+        std::env::set_var("THEMIS_THREADS", "many");
+        assert_eq!(env_threads(), available_threads());
+        std::env::remove_var("THEMIS_THREADS");
+        assert_eq!(env_threads(), available_threads());
+        // Restore the caller's value (CI pins it per matrix leg).
+        if let Some(v) = prev {
+            std::env::set_var("THEMIS_THREADS", v);
+        }
+    }
+}

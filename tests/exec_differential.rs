@@ -1,0 +1,267 @@
+//! Differential testing of the morsel-driven parallel engine against the
+//! serial reference engine, plus cross-thread-count determinism.
+//!
+//! Policy: the serial engine (`themis_query::execute`) is the oracle. Every
+//! property generates a random catalog and a random query from the supported
+//! SQL subset (filters, IN, GROUP BY, ORDER BY/LIMIT, self-joins), runs both
+//! engines, and requires identical shape/labels/row order and aggregate
+//! agreement to 1e-9 (parallel merges associate float additions at morsel
+//! boundaries, so bit-equality is only guaranteed at matching fold orders).
+//! Run with `PROPTEST_CASES=500` (or more) for release gating.
+
+use proptest::prelude::*;
+use themis_data::{Attribute, Domain, Relation, Schema};
+use themis_query::{Catalog, ParallelOptions, QueryResult, Value};
+
+/// Domain sizes of the three test attributes `a`, `b`, `c`.
+const SIZES: [u32; 3] = [5, 4, 3];
+
+fn random_relation(rows: &[(u32, u32, u32, f64)]) -> Relation {
+    let schema = Schema::new(vec![
+        Attribute::new("a", Domain::indexed("a", SIZES[0] as usize)),
+        Attribute::new("b", Domain::indexed("b", SIZES[1] as usize)),
+        Attribute::new("c", Domain::indexed("c", SIZES[2] as usize)),
+    ]);
+    let mut rel = Relation::new(schema);
+    for &(a, b, c, w) in rows {
+        rel.push_row_weighted(&[a, b, c], w);
+    }
+    rel
+}
+
+/// Rows including occasional exact-zero weights (MIN/MAX must ignore them)
+/// and possibly no rows at all (scalar queries must return a zero row).
+fn rows_strategy() -> impl Strategy<Value = Vec<(u32, u32, u32, f64)>> {
+    prop::collection::vec(
+        (0u32..SIZES[0], 0u32..SIZES[1], 0u32..SIZES[2], 0.0f64..10.0)
+            .prop_map(|(a, b, c, w)| (a, b, c, if w < 1.0 { 0.0 } else { w })),
+        0..80,
+    )
+}
+
+/// A random single-table query over `t`, assembled from independently drawn
+/// clause choices. Always contains COUNT(*) aliased `n` so every query is a
+/// valid aggregate query.
+fn query_strategy() -> impl Strategy<Value = String> {
+    (0u32..5, 0u32..5, 1u32..16, 0u32..4, 0u32..16, 0u32..3).prop_map(
+        |(filter, k, in_mask, group, agg_mask, order)| {
+            let mut select = vec!["COUNT(*) AS n".to_string()];
+            for (bit, agg) in ["SUM(c)", "AVG(b)", "MIN(c)", "MAX(a)"].iter().enumerate() {
+                if agg_mask & (1 << bit) != 0 {
+                    select.push(agg.to_string());
+                }
+            }
+            let group_cols: &[&str] = match group {
+                1 => &["a"],
+                2 => &["a", "b"],
+                3 => &["b"],
+                _ => &[],
+            };
+            let mut sql = String::from("SELECT ");
+            if !group_cols.is_empty() {
+                sql.push_str(&group_cols.join(", "));
+                sql.push_str(", ");
+            }
+            sql.push_str(&select.join(", "));
+            sql.push_str(" FROM t");
+            match filter {
+                1 => sql.push_str(&format!(" WHERE a <= {}", k % SIZES[0])),
+                2 => {
+                    let vals: Vec<String> = (0..SIZES[1])
+                        .filter(|v| in_mask & (1 << v) != 0)
+                        .map(|v| format!("'{v}'"))
+                        .collect();
+                    if !vals.is_empty() {
+                        sql.push_str(&format!(" WHERE b IN ({})", vals.join(", ")));
+                    }
+                }
+                3 => sql.push_str(&format!(" WHERE c = '{}'", k % SIZES[2])),
+                4 => sql.push_str(&format!(" WHERE a <> {}", k % SIZES[0])),
+                _ => {}
+            }
+            if !group_cols.is_empty() {
+                sql.push_str(&format!(" GROUP BY {}", group_cols.join(", ")));
+            }
+            match order {
+                1 if !group_cols.is_empty() => {
+                    sql.push_str(&format!(" ORDER BY {} LIMIT 2", group_cols[0]));
+                }
+                2 => sql.push_str(" ORDER BY n DESC LIMIT 3"),
+                _ => {}
+            }
+            sql
+        },
+    )
+}
+
+/// Morsels far smaller than the row count, threads ≠ morsel count, so merge
+/// order and work stealing are genuinely exercised.
+fn test_opts() -> ParallelOptions {
+    ParallelOptions {
+        threads: 4,
+        morsel_size: 7,
+    }
+}
+
+/// Assert both engines produced the same result: identical columns, row
+/// order, and group labels; aggregates within 1e-9.
+fn assert_agree(sql: &str, serial: &QueryResult, parallel: &QueryResult) {
+    assert_eq!(serial.columns, parallel.columns, "{sql}");
+    assert_eq!(serial.group_arity, parallel.group_arity, "{sql}");
+    assert_eq!(serial.rows.len(), parallel.rows.len(), "{sql}");
+    for (i, (sr, pr)) in serial.rows.iter().zip(&parallel.rows).enumerate() {
+        assert_eq!(sr.len(), pr.len(), "{sql} row {i}");
+        for (sv, pv) in sr.iter().zip(pr) {
+            match (sv, pv) {
+                (Value::Str(s), Value::Str(p)) => assert_eq!(s, p, "{sql} row {i}"),
+                (Value::Num(s), Value::Num(p)) => {
+                    assert!((s - p).abs() <= 1e-9, "{sql} row {i}: {s} vs {p}")
+                }
+                _ => panic!("{sql} row {i}: cell type mismatch {sv:?} vs {pv:?}"),
+            }
+        }
+    }
+}
+
+fn run_both(catalog: &Catalog, sql: &str, opts: &ParallelOptions) {
+    let query = themis_sql::parse(sql).expect(sql);
+    let serial = themis_query::execute(catalog, &query).expect(sql);
+    let parallel = themis_query::execute_parallel(catalog, &query, opts).expect(sql);
+    assert_agree(sql, &serial, &parallel);
+}
+
+proptest! {
+    #[test]
+    fn random_scans_agree(rows in rows_strategy(), sql in query_strategy()) {
+        let mut c = Catalog::new();
+        c.register("t", random_relation(&rows));
+        run_both(&c, &sql, &test_opts());
+    }
+
+    #[test]
+    fn random_self_joins_agree(rows in rows_strategy(), shape in 0u32..4, k in 0u32..4) {
+        let mut c = Catalog::new();
+        c.register("t", random_relation(&rows));
+        let sql = match shape {
+            0 => "SELECT COUNT(*) AS n FROM t x, t y WHERE x.b = y.c".to_string(),
+            1 => "SELECT x.a, COUNT(*) AS n FROM t x, t y WHERE x.b = y.c GROUP BY x.a"
+                .to_string(),
+            2 => format!(
+                "SELECT x.a, COUNT(*) AS n, SUM(y.c) FROM t x, t y \
+                 WHERE x.b = y.c AND x.a <= {} GROUP BY x.a ORDER BY x.a",
+                k % SIZES[0]
+            ),
+            _ => "SELECT x.a, y.b, COUNT(*) AS n FROM t x, t y \
+                  WHERE x.c = y.c GROUP BY x.a, y.b ORDER BY n DESC LIMIT 4"
+                .to_string(),
+        };
+        run_both(&c, &sql, &test_opts());
+    }
+
+    #[test]
+    fn agreement_holds_across_morsel_sizes(rows in rows_strategy(), morsel in 1usize..32) {
+        let mut c = Catalog::new();
+        c.register("t", random_relation(&rows));
+        let opts = ParallelOptions { threads: 3, morsel_size: morsel };
+        run_both(&c, "SELECT a, COUNT(*) AS n, AVG(b), MIN(c) FROM t GROUP BY a", &opts);
+    }
+}
+
+/// A relation big enough to span many `DEFAULT_MORSEL_SIZE` morsels, with
+/// dyadic (exactly representable) weights so float sums are exact and
+/// results must be *identical* — not just close — across engines and thread
+/// counts.
+fn dyadic_relation(rows: usize) -> Relation {
+    let schema = Schema::new(vec![
+        Attribute::new("a", Domain::indexed("a", SIZES[0] as usize)),
+        Attribute::new("b", Domain::indexed("b", SIZES[1] as usize)),
+        Attribute::new("c", Domain::indexed("c", SIZES[2] as usize)),
+    ]);
+    let mut rel = Relation::new(schema);
+    for i in 0..rows {
+        let vals = [
+            (i * 7 + 3) as u32 % SIZES[0],
+            (i * 5 + 1) as u32 % SIZES[1],
+            (i * 11) as u32 % SIZES[2],
+        ];
+        // Weights in {0.0, 0.5, ..., 3.5}: sums associate exactly.
+        rel.push_row_weighted(&vals, (i % 8) as f64 * 0.5);
+    }
+    rel
+}
+
+/// Satellite: identical `QueryResult` (row order included) for
+/// `THEMIS_THREADS=1,2,8` via the public `run_sql` dispatcher, including a
+/// zero-row table and an all-rows-filtered query. One test owns the env
+/// variable; nothing else in this binary reads it.
+#[test]
+fn run_sql_is_deterministic_across_thread_counts() {
+    let mut catalog = Catalog::new();
+    catalog.register("t", dyadic_relation(5000));
+    catalog.register("empty", {
+        let schema = Schema::new(vec![Attribute::new("a", Domain::indexed("a", 3))]);
+        Relation::new(schema)
+    });
+    let queries = [
+        // Multi-morsel grouped scan with secondary ordering.
+        "SELECT a, b, COUNT(*) AS n, AVG(c), MIN(b), MAX(a) FROM t \
+         GROUP BY a, b ORDER BY n DESC LIMIT 10",
+        // Scalar aggregate over everything.
+        "SELECT COUNT(*), SUM(c) FROM t",
+        // Zero-row table: scalar must yield the single zero row...
+        "SELECT COUNT(*) AS n FROM empty",
+        // ...and a grouped query an empty result.
+        "SELECT a, COUNT(*) FROM empty GROUP BY a",
+        // All rows filtered out.
+        "SELECT COUNT(*) AS n FROM t WHERE a <= -1",
+        "SELECT a, COUNT(*) FROM t WHERE a <= -1 GROUP BY a",
+        // Self-join spanning morsels.
+        "SELECT x.a, COUNT(*) AS n FROM t x, t y WHERE x.b = y.c AND x.a <= 2 \
+         GROUP BY x.a ORDER BY x.a",
+    ];
+    // Restore the caller's THEMIS_THREADS afterwards — CI pins it per
+    // matrix leg and later tests in this process must still see that value.
+    let prev = std::env::var("THEMIS_THREADS").ok();
+    for sql in queries {
+        let mut results: Vec<(usize, QueryResult)> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            std::env::set_var("THEMIS_THREADS", threads.to_string());
+            results.push((threads, themis_query::run_sql(&catalog, sql).expect(sql)));
+        }
+        match &prev {
+            Some(v) => std::env::set_var("THEMIS_THREADS", v),
+            None => std::env::remove_var("THEMIS_THREADS"),
+        }
+        let (_, base) = &results[0];
+        for (threads, r) in &results[1..] {
+            assert_eq!(
+                r, base,
+                "{sql}: THEMIS_THREADS={threads} differs from THEMIS_THREADS=1"
+            );
+        }
+    }
+}
+
+/// The zero-row and all-filtered edge cases also agree under the explicit
+/// parallel API with tiny morsels (no env involvement).
+#[test]
+fn edge_cases_agree_with_tiny_morsels() {
+    let mut c = Catalog::new();
+    c.register("t", dyadic_relation(40));
+    c.register("empty", {
+        let schema = Schema::new(vec![Attribute::new("a", Domain::indexed("a", 3))]);
+        Relation::new(schema)
+    });
+    let opts = ParallelOptions {
+        threads: 8,
+        morsel_size: 1,
+    };
+    for sql in [
+        "SELECT COUNT(*) AS n FROM empty",
+        "SELECT a, COUNT(*) FROM empty GROUP BY a",
+        "SELECT COUNT(*) AS n, MIN(b), MAX(c) FROM t WHERE a <= -1",
+        "SELECT a, AVG(b) FROM t GROUP BY a ORDER BY a DESC",
+    ] {
+        run_both(&c, sql, &opts);
+    }
+}

@@ -6,6 +6,7 @@ use themis_aggregates::{AggregateResult, AggregateSet};
 use themis_core::{ReweightMethod, Themis, ThemisConfig};
 use themis_data::paper_example::{example_population, example_sample};
 use themis_data::AttrId;
+use themis_query::{Catalog, ExecError, ParallelOptions};
 use themis_reweight::IpfOptions;
 
 fn assert_all_finite(t: &Themis) {
@@ -133,6 +134,66 @@ fn duplicate_aggregates_are_harmless() {
     let t = Themis::build(example_sample(), set, 10.0, ThemisConfig::default());
     assert_all_finite(&t);
     assert!(t.ipf_report().unwrap().converged);
+}
+
+/// Every error path of the parallel engine must surface the *same*
+/// `ExecError` as the serial engine — the planner is shared, so a query that
+/// the serial oracle rejects must be rejected identically regardless of
+/// thread count or morsel size.
+#[test]
+fn parallel_engine_errors_match_serial() {
+    let mut catalog = Catalog::new();
+    catalog.register("flights", example_population());
+    type ErrorKind = fn(&ExecError) -> bool;
+    let cases: &[(&str, ErrorKind)] = &[
+        // Unknown column in a predicate.
+        ("SELECT COUNT(*) FROM flights WHERE nope = 1", |e| {
+            matches!(e, ExecError::UnknownColumn(_))
+        }),
+        // Bad ORDER BY target (not an output column).
+        (
+            "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st ORDER BY nope",
+            |e| matches!(e, ExecError::UnknownColumn(_)),
+        ),
+        // Unknown table.
+        ("SELECT COUNT(*) FROM missing", |e| {
+            matches!(e, ExecError::UnknownTable(_))
+        }),
+        // Unknown column in GROUP BY.
+        (
+            "SELECT nope, COUNT(*) FROM flights GROUP BY nope",
+            |e| matches!(e, ExecError::UnknownColumn(_)),
+        ),
+        // Aggregate-free query.
+        ("SELECT o_st FROM flights", |e| {
+            matches!(e, ExecError::Unsupported(_))
+        }),
+        // Cross product (two tables, no join condition).
+        ("SELECT COUNT(*) FROM flights t, flights s", |e| {
+            matches!(e, ExecError::Unsupported(_))
+        }),
+        // Unknown column on one side of a join.
+        (
+            "SELECT COUNT(*) FROM flights t, flights s WHERE t.nope = s.o_st",
+            |e| matches!(e, ExecError::UnknownColumn(_)),
+        ),
+    ];
+    for (sql, expected_kind) in cases {
+        let query = themis_sql::parse(sql).expect(sql);
+        let serial = themis_query::execute(&catalog, &query).unwrap_err();
+        assert!(expected_kind(&serial), "{sql}: serial gave {serial:?}");
+        for (threads, morsel_size) in [(2, 1), (4, 3), (8, 2048)] {
+            let opts = ParallelOptions {
+                threads,
+                morsel_size,
+            };
+            let parallel = themis_query::execute_parallel(&catalog, &query, &opts).unwrap_err();
+            assert_eq!(
+                parallel, serial,
+                "{sql}: parallel ({threads} threads) error differs"
+            );
+        }
+    }
 }
 
 #[test]
