@@ -1,0 +1,83 @@
+//! The error type of the session query API.
+//!
+//! Every fallible call on [`crate::ThemisSession`] (and on the model-level
+//! accessors that used to panic) returns a [`ThemisError`] — the public
+//! query surface is panic-free.
+
+use std::fmt;
+use themis_query::ExecError;
+
+/// Anything that can go wrong building or querying a Themis model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThemisError {
+    /// SQL parsing, planning, or execution failed.
+    Exec(ExecError),
+    /// A Bayesian-network operation was requested on a model built with
+    /// `bn_mode: None`.
+    NoBayesNet,
+    /// [`crate::Themis::build_multi`] was called with no samples.
+    NoSamples,
+    /// [`crate::Themis::build_multi`] received samples whose schemas differ;
+    /// `index` is the position of the first offending sample.
+    SchemaMismatch {
+        /// Index (into the input `Vec`) of the first sample whose schema
+        /// differs from sample 0's.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ThemisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThemisError::Exec(e) => write!(f, "{e}"),
+            ThemisError::NoBayesNet => {
+                write!(f, "model has no Bayesian network (built with bn_mode: None)")
+            }
+            ThemisError::NoSamples => write!(f, "build_multi needs at least one sample"),
+            ThemisError::SchemaMismatch { index } => {
+                write!(f, "sample {index} does not share sample 0's schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThemisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ThemisError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for ThemisError {
+    fn from(e: ExecError) -> Self {
+        ThemisError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(ThemisError, &str)> = vec![
+            (ThemisError::Exec(ExecError::UnknownTable("t".into())), "unknown table t"),
+            (ThemisError::NoBayesNet, "no Bayesian network"),
+            (ThemisError::NoSamples, "at least one sample"),
+            (ThemisError::SchemaMismatch { index: 2 }, "sample 2"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn exec_errors_convert_and_expose_a_source() {
+        let err: ThemisError = ExecError::Parse("bad".into()).into();
+        assert_eq!(err, ThemisError::Exec(ExecError::Parse("bad".into())));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(std::error::Error::source(&ThemisError::NoBayesNet).is_none());
+    }
+}

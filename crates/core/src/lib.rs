@@ -16,8 +16,16 @@
 //!   `themis-bn`) — able to answer queries about tuples that are *not* in
 //!   `S`, including when the sample's support differs from the population's.
 //!
+//! ## Querying: sessions, answers, routes
+//!
+//! Build a [`Themis`] model, then query it through a [`ThemisSession`]: the
+//! session owns an explicit [`EngineOptions`] (no environment variables),
+//! caches the K Bayesian-network replicates across queries, and stamps
+//! every [`Answer`] with the [`Route`] that produced it. [`ThemisSession::explain`]
+//! returns the routing decision without executing.
+//!
 //! ```
-//! use themis_core::{Themis, ThemisConfig};
+//! use themis_core::{Route, Themis, ThemisConfig, ThemisSession};
 //! use themis_aggregates::{AggregateResult, AggregateSet};
 //! use themis_data::paper_example::{example_population, example_sample};
 //! use themis_data::AttrId;
@@ -27,16 +35,31 @@
 //!     AggregateResult::compute(&population, &[AttrId(0)]),
 //!     AggregateResult::compute(&population, &[AttrId(1), AttrId(2)]),
 //! ]);
-//! let themis = Themis::build(example_sample(), aggregates, 10.0, ThemisConfig::default());
-//! // A point query over tuples missing from the sample still gets a
-//! // non-trivial open-world answer.
-//! let est = themis.point_query(&[AttrId(1), AttrId(2)], &[0, 2]);
-//! assert!(est > 0.0);
+//! let model = Themis::build(example_sample(), aggregates, 10.0, ThemisConfig::default());
+//! let session = ThemisSession::new(model);
+//!
+//! // A point query about a tuple missing from the sample routes to the
+//! // Bayesian network and still gets a non-trivial open-world answer.
+//! let sql = "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NY'";
+//! let answer = session.sql(sql).unwrap();
+//! assert_eq!(answer.route, Route::BayesNet { k_agreed: 0 });
+//! assert!(answer.scalar().unwrap() > 0.0);
+//! // ...and explain predicts that route without executing.
+//! assert_eq!(session.explain(sql).unwrap().route, answer.route.kind());
 //! ```
 
 pub mod baselines;
+pub mod error;
 pub mod metrics;
 pub mod model;
+pub mod route;
+pub mod session;
 
+pub use error::ThemisError;
 pub use metrics::{group_by_error, percent_difference};
 pub use model::{ReweightMethod, Themis, ThemisConfig};
+pub use route::{Explain, Route, RouteKind};
+pub use session::{Answer, ThemisSession};
+// Re-exported so session users configure the engine without importing
+// themis-query directly.
+pub use themis_query::EngineOptions;

@@ -1,18 +1,17 @@
-//! The Themis model `M(Γ, S)` and hybrid query evaluator (§3, §4.3).
+//! The Themis model `M(Γ, S)`: building, reweighting, and the model-level
+//! estimators (§3). SQL answering with routing and provenance lives on
+//! [`crate::ThemisSession`]; the routing internals in [`crate::route`].
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use crate::error::ThemisError;
+use crate::route;
 use std::collections::HashMap;
+use std::sync::Arc;
 use themis_aggregates::AggregateSet;
-use themis_bn::{
-    learn, point_probability, BayesianNetwork, LearnMode, LearnOptions,
-};
+use themis_bn::{learn, point_probability, BayesianNetwork, LearnMode, LearnOptions};
 use themis_data::{AttrId, GroupKey, Relation};
-use themis_query::{Catalog, QueryResult, Value};
 use themis_reweight::{
     ipf_weights, linreg_weights, uniform_weights, IpfOptions, IpfReport, LinRegOptions,
 };
-use themis_sql::Query;
 
 /// Which sample-reweighting technique the model uses (§4.1).
 #[derive(Debug, Clone)]
@@ -61,7 +60,8 @@ impl Default for ThemisConfig {
 /// Bayesian network of the population.
 #[derive(Debug, Clone)]
 pub struct Themis {
-    sample: Relation,
+    /// Shared so query paths can bind it into catalogs by pointer bump.
+    sample: Arc<Relation>,
     aggregates: AggregateSet,
     population_size: f64,
     bn: Option<BayesianNetwork>,
@@ -97,7 +97,7 @@ impl Themis {
             .map(|mode| learn(&sample, &aggregates, population_size, mode, &config.bn_options));
 
         Self {
-            sample,
+            sample: Arc::new(sample),
             aggregates,
             population_size,
             bn,
@@ -113,32 +113,42 @@ impl Themis {
     /// tuples individually, so differently-biased sources coexist) and the
     /// model is built as usual.
     ///
-    /// # Panics
-    /// Panics if `samples` is empty or the schemas differ.
+    /// # Errors
+    /// [`ThemisError::NoSamples`] if `samples` is empty;
+    /// [`ThemisError::SchemaMismatch`] if the schemas differ.
     pub fn build_multi(
         samples: Vec<Relation>,
         aggregates: AggregateSet,
         population_size: f64,
         config: ThemisConfig,
-    ) -> Self {
+    ) -> Result<Self, ThemisError> {
         let mut iter = samples.into_iter();
-        let mut union = iter.next().expect("at least one sample");
-        for s in iter {
-            assert_eq!(
-                union.schema(),
-                s.schema(),
-                "all samples must share a schema"
-            );
+        let mut union = iter.next().ok_or(ThemisError::NoSamples)?;
+        for (i, s) in iter.enumerate() {
+            if union.schema() != s.schema() {
+                return Err(ThemisError::SchemaMismatch { index: i + 1 });
+            }
             for (row, _) in s.iter_rows() {
                 union.push_row(&row);
             }
         }
-        Self::build(union, aggregates, population_size, config)
+        Ok(Self::build(union, aggregates, population_size, config))
     }
 
     /// The reweighted sample.
     pub fn reweighted_sample(&self) -> &Relation {
         &self.sample
+    }
+
+    /// The reweighted sample as its shared handle — what sessions bind into
+    /// per-query catalogs without cloning row data.
+    pub fn sample_arc(&self) -> &Arc<Relation> {
+        &self.sample
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &ThemisConfig {
+        &self.config
     }
 
     /// The learned Bayesian network, if any.
@@ -234,204 +244,36 @@ impl Themis {
 
     /// Point query answered by BN inference only.
     ///
-    /// # Panics
-    /// Panics if the model was built without a BN.
-    pub fn point_query_bn(&self, attrs: &[AttrId], values: &[u32]) -> f64 {
-        let bn = self.bn.as_ref().expect("model has no Bayesian network");
-        self.population_size * point_probability(bn, attrs, values)
+    /// # Errors
+    /// [`ThemisError::NoBayesNet`] if the model was built without a BN.
+    pub fn point_query_bn(&self, attrs: &[AttrId], values: &[u32]) -> Result<f64, ThemisError> {
+        let bn = self.bn.as_ref().ok_or(ThemisError::NoBayesNet)?;
+        Ok(self.population_size * point_probability(bn, attrs, values))
     }
 
     /// Hybrid `GROUP BY attrs, COUNT(*)` (§4.3): all groups from the
     /// reweighted sample, unioned with groups that appear in every one of
     /// the K BN sample answers but not in the sample answer.
+    ///
+    /// This simulates the K replicates afresh per call; a
+    /// [`crate::ThemisSession`] caches them across queries instead.
     pub fn group_by(&self, attrs: &[AttrId]) -> HashMap<GroupKey, f64> {
-        let mut answer = self.sample.group_counts(attrs);
-        if let Some(bn) = &self.bn {
-            let mut rng = SmallRng::seed_from_u64(self.config.seed);
-            let size = self.config.bn_sample_size.unwrap_or(self.sample.len());
-            let bn_answer = themis_bn::answer_group_by(
-                bn,
-                attrs,
-                self.config.k_samples,
-                size,
-                self.population_size,
-                &mut rng,
-            );
-            for (group, count) in bn_answer {
-                answer.entry(group).or_insert(count);
-            }
-        }
-        answer
+        route::hybrid_group_by(&self.sample, attrs, &route::simulate_replicates(self)).0
     }
 
     /// `GROUP BY` answered by the BN alone (§4.2.4).
     ///
-    /// # Panics
-    /// Panics if the model was built without a BN.
-    pub fn group_by_bn(&self, attrs: &[AttrId]) -> HashMap<GroupKey, f64> {
-        let bn = self.bn.as_ref().expect("model has no Bayesian network");
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let size = self.config.bn_sample_size.unwrap_or(self.sample.len());
-        themis_bn::answer_group_by(
-            bn,
-            attrs,
-            self.config.k_samples,
-            size,
-            self.population_size,
-            &mut rng,
-        )
-    }
-
-    /// Run a SQL query hybridly: evaluate over the reweighted sample, and
-    /// for `GROUP BY` results union in groups that every BN replicate
-    /// produces but the sample misses (values averaged over replicates).
-    ///
-    /// The table name(s) in the query's FROM clause are bound to the
-    /// reweighted sample (self-joins bind both sides to it).
-    pub fn sql(&self, sql: &str) -> Result<QueryResult, themis_query::ExecError> {
-        let query = themis_sql::parse(sql)
-            .map_err(|e| themis_query::ExecError::Parse(e.to_string()))?;
-        let sample_result = self.run_on(&self.sample, &query)?;
-        let Some(bn) = &self.bn else {
-            return Ok(sample_result);
-        };
-        if sample_result.group_arity == 0 {
-            return Ok(sample_result);
-        }
-
-        // K replicate answers; a group must appear in all of them.
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let size = self.config.bn_sample_size.unwrap_or(self.sample.len());
-        let replicates = themis_bn::sampling::forward_samples(
-            bn,
-            self.config.k_samples,
-            size,
-            self.population_size,
-            &mut rng,
-        );
-        let mut agreed: Option<HashMap<Vec<String>, Vec<f64>>> = None;
-        for replicate in &replicates {
-            let result = self.run_on(replicate, &query)?;
-            let m = result.to_map();
-            agreed = Some(match agreed {
-                None => m,
-                Some(prev) => prev
-                    .into_iter()
-                    .filter_map(|(k, mut acc)| {
-                        m.get(&k).map(|vals| {
-                            for (a, v) in acc.iter_mut().zip(vals) {
-                                *a += v;
-                            }
-                            (k, acc)
-                        })
-                    })
-                    .collect(),
-            });
-        }
-        let mut merged = sample_result;
-        let existing = merged.to_map();
-        if let Some(agreed) = agreed {
-            let k = self.config.k_samples as f64;
-            for (group, sums) in agreed {
-                if existing.contains_key(&group) {
-                    continue;
-                }
-                let mut row: Vec<Value> = group.into_iter().map(Value::Str).collect();
-                row.extend(sums.into_iter().map(|s| Value::Num(s / k)));
-                merged.rows.push(row);
-            }
-        }
-        Ok(merged)
-    }
-
-    /// SQL over the reweighted sample only (no BN union) — the behaviour of
-    /// the pure reweighting baselines.
-    pub fn sql_sample_only(&self, sql: &str) -> Result<QueryResult, themis_query::ExecError> {
-        let query = themis_sql::parse(sql)
-            .map_err(|e| themis_query::ExecError::Parse(e.to_string()))?;
-        self.run_on(&self.sample, &query)
-    }
-
-    /// SQL answered by the BN alone (§4.2.4 generalized to arbitrary
-    /// queries): the query runs on each of the K scaled replicates; groups
-    /// present in *all* replicates are returned with averaged values.
-    ///
-    /// # Panics
-    /// Panics if the model was built without a BN.
-    pub fn sql_bn_only(&self, sql: &str) -> Result<QueryResult, themis_query::ExecError> {
-        let bn = self.bn.as_ref().expect("model has no Bayesian network");
-        let query = themis_sql::parse(sql)
-            .map_err(|e| themis_query::ExecError::Parse(e.to_string()))?;
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
-        let size = self.config.bn_sample_size.unwrap_or(self.sample.len());
-        let replicates = themis_bn::sampling::forward_samples(
-            bn,
-            self.config.k_samples,
-            size,
-            self.population_size,
-            &mut rng,
-        );
-        let mut template: Option<QueryResult> = None;
-        let mut agreed: Option<HashMap<Vec<String>, Vec<f64>>> = None;
-        for replicate in &replicates {
-            let result = self.run_on(replicate, &query)?;
-            let m = result.to_map();
-            if template.is_none() {
-                template = Some(result);
-            }
-            agreed = Some(match agreed {
-                None => m,
-                Some(prev) => prev
-                    .into_iter()
-                    .filter_map(|(k, mut acc)| {
-                        m.get(&k).map(|vals| {
-                            for (a, v) in acc.iter_mut().zip(vals) {
-                                *a += v;
-                            }
-                            (k, acc)
-                        })
-                    })
-                    .collect(),
-            });
-        }
-        let mut out = template.expect("k > 0 replicates");
-        let k = self.config.k_samples as f64;
-        out.rows = agreed
-            .expect("k > 0 replicates")
-            .into_iter()
-            .map(|(group, sums)| {
-                let mut row: Vec<Value> = group.into_iter().map(Value::Str).collect();
-                row.extend(sums.into_iter().map(|s| Value::Num(s / k)));
-                row
-            })
-            .collect();
-        out.rows.sort_by(|a, b| {
-            let key = |r: &Vec<Value>| {
-                r.iter()
-                    .filter_map(|v| match v {
-                        Value::Str(s) => Some(s.clone()),
-                        Value::Num(_) => None,
-                    })
-                    .collect::<Vec<_>>()
-            };
-            key(a).cmp(&key(b))
-        });
-        Ok(out)
-    }
-
-    /// Bind every FROM table of `query` to `relation` and execute on the
-    /// engine selected by `THEMIS_THREADS` (serial at 1 thread, the
-    /// morsel-driven parallel engine otherwise).
-    fn run_on(
+    /// # Errors
+    /// [`ThemisError::NoBayesNet`] if the model was built without a BN.
+    pub fn group_by_bn(
         &self,
-        relation: &Relation,
-        query: &Query,
-    ) -> Result<QueryResult, themis_query::ExecError> {
-        let mut catalog = Catalog::new();
-        for table in &query.from {
-            catalog.register(table.name.clone(), relation.clone());
+        attrs: &[AttrId],
+    ) -> Result<HashMap<GroupKey, f64>, ThemisError> {
+        if self.bn.is_none() {
+            return Err(ThemisError::NoBayesNet);
         }
-        themis_query::execute_auto(&catalog, query)
+        Ok(route::group_consensus(&route::simulate_replicates(self), attrs)
+            .unwrap_or_default())
     }
 }
 
@@ -501,26 +343,29 @@ mod tests {
     }
 
     #[test]
-    fn sql_hybrid_adds_open_world_groups() {
+    fn group_by_bn_requires_a_network() {
         let (_, t) = build(ThemisConfig {
-            bn_sample_size: Some(4_000),
+            bn_mode: None,
             ..ThemisConfig::default()
         });
-        let sample_only = t
-            .sql_sample_only("SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st")
-            .unwrap();
-        let hybrid = t
-            .sql("SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st")
-            .unwrap();
-        assert!(hybrid.rows.len() >= sample_only.rows.len());
+        assert_eq!(
+            t.group_by_bn(&[AttrId(1)]),
+            Err(ThemisError::NoBayesNet)
+        );
+        let (_, t) = build(ThemisConfig::default());
+        assert!(!t.group_by_bn(&[AttrId(1)]).unwrap().is_empty());
     }
 
     #[test]
-    fn scalar_sql_matches_reweighted_sample() {
-        let (_, t) = build(ThemisConfig::default());
-        let r = t.sql("SELECT COUNT(*) FROM flights WHERE date = '01'").unwrap();
-        let direct = t.reweighted_sample().point_count(&[AttrId(0)], &[0]);
-        assert!((r.scalar().unwrap() - direct).abs() < 1e-9);
+    fn point_query_bn_requires_a_network() {
+        let (_, t) = build(ThemisConfig {
+            bn_mode: None,
+            ..ThemisConfig::default()
+        });
+        assert_eq!(
+            t.point_query_bn(&[AttrId(0)], &[0]),
+            Err(ThemisError::NoBayesNet)
+        );
     }
 
     #[test]
@@ -575,7 +420,8 @@ mod tests {
         let mut s2 = Relation::new(p.schema().clone());
         s2.push_row_labels(&["02", "NC", "NY"]);
         s2.push_row_labels(&["02", "NY", "NY"]);
-        let t = Themis::build_multi(vec![s1, s2], aggregates, 10.0, ThemisConfig::default());
+        let t = Themis::build_multi(vec![s1, s2], aggregates, 10.0, ThemisConfig::default())
+            .expect("matching schemas");
         assert_eq!(t.reweighted_sample().len(), 4);
         // Both dates answerable from the union (each single-source sample
         // covers only one date); IPF can recover at most the mass of the
@@ -589,19 +435,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "share a schema")]
-    fn multi_sample_rejects_mixed_schemas() {
+    fn multi_sample_rejects_mixed_schemas_and_empty_input() {
         let other = themis_data::Schema::new(vec![themis_data::Attribute::new(
             "x",
             themis_data::Domain::indexed("x", 2),
         )]);
         let mut s2 = Relation::new(other);
         s2.push_row(&[0]);
-        Themis::build_multi(
+        let err = Themis::build_multi(
             vec![example_sample(), s2],
             AggregateSet::new(),
             10.0,
             ThemisConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ThemisError::SchemaMismatch { index: 1 });
+        assert!(err.to_string().contains("sample 1"));
+        assert_eq!(
+            Themis::build_multi(Vec::new(), AggregateSet::new(), 10.0, ThemisConfig::default())
+                .unwrap_err(),
+            ThemisError::NoSamples
         );
     }
 }

@@ -1,0 +1,603 @@
+//! Query routing (§4.3): decide which debiasing component answers a query,
+//! and the single replicate-agreement merge every BN-backed answer path
+//! shares.
+//!
+//! The paper's central claim is that neither debiasing technique dominates:
+//! heavy hitters present in the sample are best answered by the reweighted
+//! sample, tuples *missing* from the sample need Bayesian-network inference,
+//! and open-world `GROUP BY` needs the union of both. This module makes
+//! that decision explicit and observable: `decide` maps a parsed query to
+//! a decision before anything executes (that is what
+//! `ThemisSession::explain` surfaces), execution stamps the resulting
+//! [`Route`] onto every [`crate::Answer`], and the three formerly duplicated
+//! replicate-merge loops (`sql`, `sql_bn_only`, `group_by`) all funnel
+//! through one `intersect_into` agreement step.
+
+use crate::model::Themis;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+use themis_bn::point_probability;
+use themis_data::{AttrId, GroupKey, Relation};
+use themis_query::{
+    cmp_group_prefix, Catalog, EngineOptions, ExecError, QueryResult, Value,
+};
+use themis_sql::{AggFunc, Comparison, Literal, Predicate, Query, SelectItem};
+
+/// Which debiasing component answered (or would answer) a query, without
+/// the per-execution detail carried by [`Route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKind {
+    /// The reweighted sample (`COUNT(*)` ≡ `SUM(weight)`).
+    Sample,
+    /// The learned Bayesian network.
+    BayesNet,
+    /// Sample groups unioned with BN-replicate consensus groups.
+    Hybrid,
+}
+
+impl fmt::Display for RouteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteKind::Sample => write!(f, "Sample"),
+            RouteKind::BayesNet => write!(f, "BayesNet"),
+            RouteKind::Hybrid => write!(f, "Hybrid"),
+        }
+    }
+}
+
+/// The provenance of an executed answer: which component produced it, with
+/// the execution-time detail the paper reports (§4.2.4, §4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// Answered entirely by the reweighted sample.
+    Sample,
+    /// Answered by the Bayesian network. `k_agreed` is the number of
+    /// forward-sample replicates whose agreement produced the answer; `0`
+    /// means direct inference (`n · Pr(X = v)`), which uses the exact joint
+    /// probability and no replicates.
+    BayesNet {
+        /// Replicates that had to agree (0 ⇒ direct inference).
+        k_agreed: usize,
+    },
+    /// Open-world union: every group of the reweighted-sample answer, plus
+    /// the BN-consensus groups the sample missed.
+    Hybrid {
+        /// Groups contributed by the reweighted sample.
+        sample_groups: usize,
+        /// Groups added from the BN replicate consensus.
+        bn_groups_added: usize,
+    },
+}
+
+impl Route {
+    /// The route without its execution detail (what `explain` can predict
+    /// before running the query).
+    pub fn kind(&self) -> RouteKind {
+        match self {
+            Route::Sample => RouteKind::Sample,
+            Route::BayesNet { .. } => RouteKind::BayesNet,
+            Route::Hybrid { .. } => RouteKind::Hybrid,
+        }
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Route::Sample => write!(f, "Sample"),
+            Route::BayesNet { k_agreed: 0 } => write!(f, "BayesNet (direct inference)"),
+            Route::BayesNet { k_agreed } => {
+                write!(f, "BayesNet ({k_agreed} replicates agreed)")
+            }
+            Route::Hybrid {
+                sample_groups,
+                bn_groups_added,
+            } => write!(
+                f,
+                "Hybrid ({sample_groups} sample groups, {bn_groups_added} BN groups added)"
+            ),
+        }
+    }
+}
+
+/// The routing decision for a query, *without executing it* — returned by
+/// `ThemisSession::explain`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explain {
+    /// The route the query will take when executed.
+    pub route: RouteKind,
+    /// Human-readable justification of the decision.
+    pub reason: String,
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "route: {} — {}", self.route, self.reason)
+    }
+}
+
+/// Internal routing decision, carrying what execution needs.
+pub(crate) enum Decision {
+    /// Run on the reweighted sample.
+    Sample { reason: String },
+    /// A point query about a tuple absent from the sample: answer by direct
+    /// BN inference, `n · Pr(attrs = values)`.
+    BnPoint {
+        attrs: Vec<AttrId>,
+        values: Vec<u32>,
+        /// Output column name, mirroring what the engine would produce.
+        column: String,
+        reason: String,
+    },
+    /// Grouped query: sample answer unioned with BN replicate consensus.
+    Hybrid { reason: String },
+}
+
+impl Decision {
+    pub(crate) fn explain(&self) -> Explain {
+        let (route, reason) = match self {
+            Decision::Sample { reason } => (RouteKind::Sample, reason),
+            Decision::BnPoint { reason, .. } => (RouteKind::BayesNet, reason),
+            Decision::Hybrid { reason } => (RouteKind::Hybrid, reason),
+        };
+        Explain {
+            route,
+            reason: reason.clone(),
+        }
+    }
+}
+
+/// Whether the query produces grouped output (explicit `GROUP BY`, or the
+/// paper's Table 5 shorthand of bare columns in the SELECT list).
+fn is_grouped(query: &Query) -> bool {
+    !query.group_by.is_empty()
+        || query
+            .select
+            .iter()
+            .any(|item| matches!(item, SelectItem::Column(_)))
+}
+
+/// A scalar count query pinned to one tuple: `SELECT COUNT(*) FROM t WHERE
+/// a = 'x' AND b = 'y' ...` — the SQL spelling of the paper's point query.
+struct PointShape {
+    attrs: Vec<AttrId>,
+    values: Vec<u32>,
+    column: String,
+}
+
+/// Recognize a point-shaped query against the sample's schema. Returns
+/// `None` for anything the point router should not touch (ranges, joins,
+/// unknown labels, non-count aggregates, ...): those run on the sample, so
+/// planner errors surface exactly as they would have.
+fn point_shape(sample: &Relation, query: &Query) -> Option<PointShape> {
+    if query.from.len() != 1
+        || query.order_by.is_some()
+        || query.limit.is_some()
+        || !query.group_by.is_empty()
+    {
+        return None;
+    }
+    let schema = sample.schema();
+    // Any table qualifier must name the single FROM binding; a stray
+    // qualifier means the engine would reject the query, and the point
+    // router must not answer SQL the engine rejects.
+    let binding = query.from[0].binding();
+    let qualifier_ok =
+        |col: &themis_sql::ColumnRef| col.table.as_deref().is_none_or(|t| t == binding);
+    // Exactly one aggregate, and it must be a (weighted) count.
+    let [item] = &query.select[..] else {
+        return None;
+    };
+    if let SelectItem::Aggregate { arg: Some(c), .. } = item {
+        if !qualifier_ok(c) {
+            return None;
+        }
+    }
+    let column = match item {
+        SelectItem::Aggregate {
+            func: AggFunc::Count,
+            arg,
+            alias,
+        } => alias.clone().unwrap_or_else(|| match arg {
+            Some(c) => format!("{}({c})", AggFunc::Count.name()),
+            None => format!("{}(*)", AggFunc::Count.name()),
+        }),
+        SelectItem::Aggregate {
+            func: AggFunc::Sum,
+            arg: Some(c),
+            alias,
+        } if c.column.eq_ignore_ascii_case("weight") && schema.attr_id(&c.column).is_none() => {
+            alias
+                .clone()
+                .unwrap_or_else(|| format!("{}({c})", AggFunc::Sum.name()))
+        }
+        _ => return None,
+    };
+    // Every predicate must pin one distinct attribute to one in-domain
+    // label. (A label outside the domain cannot be represented by the BN
+    // either — the sample route answers 0 for it, which is correct.)
+    let mut attrs = Vec::with_capacity(query.predicates.len());
+    let mut values = Vec::with_capacity(query.predicates.len());
+    for p in &query.predicates {
+        let Predicate::Compare {
+            col,
+            op: Comparison::Eq,
+            value: Literal::Str(s),
+        } = p
+        else {
+            return None;
+        };
+        if !qualifier_ok(col) {
+            return None;
+        }
+        let attr = schema.attr_id(&col.column)?;
+        if attrs.contains(&attr) {
+            return None;
+        }
+        let id = schema.domain(attr).id_of(s)?;
+        attrs.push(attr);
+        values.push(id);
+    }
+    if attrs.is_empty() {
+        // A bare `SELECT COUNT(*)` is the total count — the reweighted
+        // sample's Σ w(t) is the debiased answer.
+        return None;
+    }
+    Some(PointShape {
+        attrs,
+        values,
+        column,
+    })
+}
+
+/// Route a parsed query (§4.3). This is pure decision logic — nothing
+/// executes — so `ThemisSession::explain` and the execution path cannot
+/// disagree: both call this exact function.
+pub(crate) fn decide(model: &Themis, query: &Query) -> Decision {
+    if model.bayesian_network().is_none() {
+        return Decision::Sample {
+            reason: "model has no Bayesian network; every query answers from the reweighted \
+                     sample"
+                .into(),
+        };
+    }
+    if is_grouped(query) {
+        return Decision::Hybrid {
+            reason: format!(
+                "grouped query: reweighted-sample groups unioned with groups agreed by all {} \
+                 BN replicates",
+                model.config().k_samples
+            ),
+        };
+    }
+    let sample = model.reweighted_sample();
+    if let Some(point) = point_shape(sample, query) {
+        let described: Vec<String> = point
+            .attrs
+            .iter()
+            .zip(&point.values)
+            .map(|(&a, &v)| {
+                format!(
+                    "{} = '{}'",
+                    sample.schema().attr(a).name(),
+                    sample.schema().domain(a).label(v)
+                )
+            })
+            .collect();
+        let described = described.join(", ");
+        if sample.contains_point(&point.attrs, &point.values) {
+            return Decision::Sample {
+                reason: format!(
+                    "point query ({described}) hits the sample; answered by SUM(weight)"
+                ),
+            };
+        }
+        return Decision::BnPoint {
+            reason: format!(
+                "point query ({described}) misses the sample; answered by n · Pr(...) from \
+                 the Bayesian network"
+            ),
+            attrs: point.attrs,
+            values: point.values,
+            column: point.column,
+        };
+    }
+    Decision::Sample {
+        reason: "scalar aggregate (no grouping, not a single-tuple point query); answered \
+                 from the reweighted sample"
+            .into(),
+    }
+}
+
+/// Bind every FROM table of `query` to `relation` — an `Arc` bump per
+/// binding, never a data clone — and execute on the morsel engine.
+pub(crate) fn run_on(
+    relation: &Arc<Relation>,
+    query: &Query,
+    opts: &EngineOptions,
+) -> Result<QueryResult, ExecError> {
+    let mut catalog = Catalog::new();
+    for table in &query.from {
+        catalog.register(table.name.clone(), Arc::clone(relation));
+    }
+    themis_query::execute_parallel(&catalog, query, opts)
+}
+
+/// Draw the model's K forward-sample replicates (§4.2.4), each scaled to
+/// the population size. Deterministic in the model's seed, so every call —
+/// and every session — sees identical replicates.
+pub(crate) fn simulate_replicates(model: &Themis) -> Vec<Arc<Relation>> {
+    let Some(bn) = model.bayesian_network() else {
+        return Vec::new();
+    };
+    let config = model.config();
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let size = config
+        .bn_sample_size
+        .unwrap_or(model.reweighted_sample().len());
+    themis_bn::sampling::forward_samples(
+        bn,
+        config.k_samples,
+        size,
+        model.population_size(),
+        &mut rng,
+    )
+    .into_iter()
+    .map(Arc::new)
+    .collect()
+}
+
+/// The one replicate-agreement step behind every K-replicate answer (the
+/// hybrid SQL union, BN-only SQL, and attribute-level `GROUP BY`): after
+/// folding all K maps through this, a group survives only if present in
+/// *every* replicate, with its values combined by `add`.
+pub(crate) fn intersect_into<K: Eq + Hash, V>(
+    acc: &mut Option<HashMap<K, V>>,
+    next: HashMap<K, V>,
+    mut add: impl FnMut(&mut V, V),
+) {
+    match acc {
+        None => *acc = Some(next),
+        Some(prev) => {
+            prev.retain(|k, _| next.contains_key(k));
+            for (k, v) in next {
+                if let Some(slot) = prev.get_mut(&k) {
+                    add(slot, v);
+                }
+            }
+        }
+    }
+}
+
+/// Groups agreed by all replicates for a SQL query, with per-aggregate
+/// value *sums* (callers divide by K to average). Also hands back the first
+/// replicate's result as a column/shape template. `None` when there are no
+/// replicates.
+struct Consensus {
+    template: QueryResult,
+    groups: HashMap<Vec<String>, Vec<f64>>,
+}
+
+fn replicate_consensus(
+    replicates: &[Arc<Relation>],
+    query: &Query,
+    opts: &EngineOptions,
+) -> Result<Option<Consensus>, ExecError> {
+    let mut template: Option<QueryResult> = None;
+    let mut agreed: Option<HashMap<Vec<String>, Vec<f64>>> = None;
+    for replicate in replicates {
+        let result = run_on(replicate, query, opts)?;
+        let m = result.to_map();
+        if template.is_none() {
+            template = Some(result);
+        }
+        intersect_into(&mut agreed, m, |acc, vals| {
+            for (a, v) in acc.iter_mut().zip(vals) {
+                *a += v;
+            }
+        });
+    }
+    Ok(template.map(|template| Consensus {
+        template,
+        groups: agreed.unwrap_or_default(),
+    }))
+}
+
+/// Turn a consensus group into an output row (labels, then K-averaged
+/// aggregate values).
+fn consensus_row(group: Vec<String>, sums: Vec<f64>, k: f64) -> Vec<Value> {
+    let mut row: Vec<Value> = group.into_iter().map(Value::Str).collect();
+    row.extend(sums.into_iter().map(|s| Value::Num(s / k)));
+    row
+}
+
+/// The query with `ORDER BY` / `LIMIT` stripped: merge paths must union
+/// *complete* group sets — truncating inputs first would both lose sample
+/// groups (letting BN consensus values shadow real sample answers) and
+/// make the consensus depend on per-replicate row ranking.
+fn without_order_limit(query: &Query) -> Query {
+    let mut inner = query.clone();
+    inner.order_by = None;
+    inner.limit = None;
+    inner
+}
+
+/// Re-impose the *original* query's ordering on merged rows: sort by the
+/// borrowed group prefix for determinism (consensus groups come out of a
+/// hash map), then apply `ORDER BY` / `LIMIT` if the query had them.
+fn finish_merged(result: &mut QueryResult, query: &Query) -> Result<(), ExecError> {
+    let arity = result.group_arity;
+    result.rows.sort_by(|a, b| cmp_group_prefix(a, b, arity));
+    if let Some(order) = &query.order_by {
+        themis_query::apply_order_by(result, order)?;
+    }
+    if let Some(limit) = query.limit {
+        result.rows.truncate(limit);
+    }
+    Ok(())
+}
+
+/// Hybrid SQL (§4.3): the reweighted-sample answer, unioned with the
+/// BN-consensus groups the sample missed. The union happens over the
+/// *untruncated* group sets; `ORDER BY` / `LIMIT` apply to the merged
+/// result, so a LIMIT ranks sample and BN groups together instead of
+/// letting consensus values shadow sample groups the limit cut.
+pub(crate) fn hybrid_sql(
+    sample: &Arc<Relation>,
+    query: &Query,
+    opts: &EngineOptions,
+    replicates: &[Arc<Relation>],
+) -> Result<(QueryResult, Route), ExecError> {
+    let inner = without_order_limit(query);
+    let mut merged = run_on(sample, &inner, opts)?;
+    let sample_groups = merged.rows.len();
+    let mut bn_groups_added = 0;
+    if let Some(consensus) = replicate_consensus(replicates, &inner, opts)? {
+        let existing: HashSet<Vec<String>> = merged.to_map().into_keys().collect();
+        let k = replicates.len() as f64;
+        for (group, sums) in consensus.groups {
+            if existing.contains(&group) {
+                continue;
+            }
+            merged.rows.push(consensus_row(group, sums, k));
+            bn_groups_added += 1;
+        }
+    }
+    finish_merged(&mut merged, query)?;
+    Ok((
+        merged,
+        Route::Hybrid {
+            sample_groups,
+            bn_groups_added,
+        },
+    ))
+}
+
+/// BN-only SQL (§4.2.4 generalized): the query runs on each replicate;
+/// groups present in all of them are returned with averaged values, with
+/// the query's `ORDER BY` / `LIMIT` applied to the merged result.
+pub(crate) fn bn_only_sql(
+    query: &Query,
+    opts: &EngineOptions,
+    replicates: &[Arc<Relation>],
+) -> Result<QueryResult, ExecError> {
+    let inner = without_order_limit(query);
+    let Some(consensus) = replicate_consensus(replicates, &inner, opts)? else {
+        return Err(ExecError::Unsupported(
+            "k_samples = 0: no BN replicates to answer from".into(),
+        ));
+    };
+    let k = replicates.len() as f64;
+    let mut out = consensus.template;
+    out.rows = consensus
+        .groups
+        .into_iter()
+        .map(|(group, sums)| consensus_row(group, sums, k))
+        .collect();
+    finish_merged(&mut out, query)?;
+    Ok(out)
+}
+
+/// BN-consensus counts for an attribute-level `GROUP BY` (K-averaged), or
+/// `None` without replicates.
+pub(crate) fn group_consensus(
+    replicates: &[Arc<Relation>],
+    attrs: &[AttrId],
+) -> Option<HashMap<GroupKey, f64>> {
+    if replicates.is_empty() {
+        return None;
+    }
+    let mut agreed: Option<HashMap<GroupKey, f64>> = None;
+    for replicate in replicates {
+        intersect_into(&mut agreed, replicate.group_counts(attrs), |a, v| *a += v);
+    }
+    let k = replicates.len() as f64;
+    agreed.map(|m| m.into_iter().map(|(g, sum)| (g, sum / k)).collect())
+}
+
+/// Hybrid attribute-level `GROUP BY` (§4.3): sample groups keep their
+/// reweighted counts; BN-consensus groups fill in what the sample missed.
+pub(crate) fn hybrid_group_by(
+    sample: &Relation,
+    attrs: &[AttrId],
+    replicates: &[Arc<Relation>],
+) -> (HashMap<GroupKey, f64>, Route) {
+    let mut answer = sample.group_counts(attrs);
+    let sample_groups = answer.len();
+    let mut bn_groups_added = 0;
+    if let Some(consensus) = group_consensus(replicates, attrs) {
+        for (group, count) in consensus {
+            answer.entry(group).or_insert_with(|| {
+                bn_groups_added += 1;
+                count
+            });
+        }
+    }
+    (
+        answer,
+        Route::Hybrid {
+            sample_groups,
+            bn_groups_added,
+        },
+    )
+}
+
+/// Direct BN point inference as a scalar result: `n · Pr(attrs = values)`,
+/// under the column name the engine would have produced.
+pub(crate) fn bn_point_result(
+    model: &Themis,
+    attrs: &[AttrId],
+    values: &[u32],
+    column: String,
+) -> QueryResult {
+    let bn = model
+        .bayesian_network()
+        .expect("BnPoint decision implies a BN");
+    let est = model.population_size() * point_probability(bn, attrs, values);
+    QueryResult {
+        columns: vec![column],
+        rows: vec![vec![Value::Num(est)]],
+        group_arity: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_keeps_only_groups_present_everywhere() {
+        let mut acc: Option<HashMap<&str, f64>> = None;
+        intersect_into(&mut acc, [("a", 1.0), ("b", 2.0)].into(), |x, v| *x += v);
+        intersect_into(&mut acc, [("a", 3.0), ("c", 9.0)].into(), |x, v| *x += v);
+        intersect_into(&mut acc, [("a", 5.0), ("b", 1.0)].into(), |x, v| *x += v);
+        let m = acc.unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m["a"], 9.0);
+    }
+
+    #[test]
+    fn intersect_starts_from_the_first_map() {
+        let mut acc: Option<HashMap<u8, f64>> = None;
+        intersect_into(&mut acc, HashMap::from([(1u8, 4.0)]), |x, v| *x += v);
+        assert_eq!(acc.unwrap()[&1], 4.0);
+    }
+
+    #[test]
+    fn route_kinds_and_display() {
+        let hybrid = Route::Hybrid {
+            sample_groups: 3,
+            bn_groups_added: 2,
+        };
+        assert_eq!(hybrid.kind(), RouteKind::Hybrid);
+        assert_eq!(Route::Sample.kind(), RouteKind::Sample);
+        assert_eq!(Route::BayesNet { k_agreed: 10 }.kind(), RouteKind::BayesNet);
+        assert!(hybrid.to_string().contains("3 sample groups"));
+        assert!(Route::BayesNet { k_agreed: 0 }.to_string().contains("direct inference"));
+        assert!(Route::BayesNet { k_agreed: 7 }.to_string().contains("7 replicates"));
+    }
+}

@@ -1,0 +1,516 @@
+//! The session query API: explicit engine configuration, answer
+//! provenance, and cached BN replicates.
+//!
+//! A [`ThemisSession`] owns a built [`Themis`] model plus an
+//! [`EngineOptions`], and is the intended way to *query* a model:
+//!
+//! * every answer is an [`Answer`] — the result plus the [`Route`] that
+//!   produced it and the wall-clock time it took;
+//! * [`ThemisSession::explain`] returns the routing decision without
+//!   executing (and, by construction, cannot disagree with the route an
+//!   actual execution takes: both call the same decision function);
+//! * the K forward-sample BN replicates (§4.2.4) are simulated **once** per
+//!   session and reused by every hybrid / BN-only query instead of being
+//!   re-simulated per call;
+//! * query setup never deep-clones a relation: the reweighted sample and
+//!   each cached replicate live behind [`Arc`], and binding them into a
+//!   per-query catalog is a pointer bump.
+
+use crate::error::ThemisError;
+use crate::model::Themis;
+use crate::route::{self, Decision, Explain, Route};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+use themis_data::{AttrId, GroupKey, Relation};
+use themis_query::{EngineOptions, ExecError, QueryResult, Value};
+use themis_sql::Query;
+use std::collections::HashMap;
+
+/// A query result with its provenance: which debiasing component answered
+/// ([`Route`]) and how long the query took.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// The result rows.
+    pub result: QueryResult,
+    /// Which component produced the answer (§4.3 routing).
+    pub route: Route,
+    /// Wall-clock time the query took, from parse to merged result.
+    pub elapsed: Duration,
+}
+
+impl Answer {
+    /// The single value of a scalar result (no groups, one aggregate);
+    /// `None` if the shape doesn't match. Forwards to
+    /// [`QueryResult::scalar`].
+    pub fn scalar(&self) -> Option<f64> {
+        self.result.scalar()
+    }
+}
+
+/// A query session over a built [`Themis`] model. See the module docs.
+#[derive(Debug)]
+pub struct ThemisSession {
+    model: Themis,
+    engine: EngineOptions,
+    /// Lazily simulated, then reused by every query in this session. The
+    /// simulation is deterministic in the model's seed, so caching changes
+    /// latency, never answers.
+    replicates: OnceLock<Vec<Arc<Relation>>>,
+}
+
+impl ThemisSession {
+    /// Session with default engine options (hardware threads).
+    pub fn new(model: Themis) -> Self {
+        Self::with_engine(model, EngineOptions::default())
+    }
+
+    /// Session with explicit engine options.
+    pub fn with_engine(model: Themis, engine: EngineOptions) -> Self {
+        ThemisSession {
+            model,
+            engine,
+            replicates: OnceLock::new(),
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &Themis {
+        &self.model
+    }
+
+    /// Consume the session, handing the model back.
+    pub fn into_model(self) -> Themis {
+        self.model
+    }
+
+    /// The engine configuration queries run with.
+    pub fn engine(&self) -> &EngineOptions {
+        &self.engine
+    }
+
+    /// Swap the engine configuration. The replicate cache is unaffected —
+    /// replicates are model state, not engine state.
+    pub fn set_engine(&mut self, engine: EngineOptions) {
+        self.engine = engine;
+    }
+
+    /// The cached K forward-sample replicates (empty without a BN).
+    fn replicates(&self) -> &[Arc<Relation>] {
+        self.replicates
+            .get_or_init(|| route::simulate_replicates(&self.model))
+    }
+
+    fn parse(sql: &str) -> Result<Query, ThemisError> {
+        themis_sql::parse(sql)
+            .map_err(|e| ThemisError::Exec(ExecError::Parse(e.to_string())))
+    }
+
+    /// Run a SQL query with §4.3 routing: in-sample point queries and plain
+    /// scalar aggregates answer from the reweighted sample, missing-tuple
+    /// point queries fall back to direct BN inference, and grouped queries
+    /// take the hybrid union of sample groups and BN-replicate consensus
+    /// groups. The FROM table name(s) are bound to the reweighted sample.
+    pub fn sql(&self, sql: &str) -> Result<Answer, ThemisError> {
+        let start = Instant::now();
+        let query = Self::parse(sql)?;
+        let (result, route) = match route::decide(&self.model, &query) {
+            Decision::Sample { .. } => (
+                route::run_on(self.model.sample_arc(), &query, &self.engine)?,
+                Route::Sample,
+            ),
+            Decision::BnPoint {
+                attrs,
+                values,
+                column,
+                ..
+            } => (
+                route::bn_point_result(&self.model, &attrs, &values, column),
+                Route::BayesNet { k_agreed: 0 },
+            ),
+            Decision::Hybrid { .. } => route::hybrid_sql(
+                self.model.sample_arc(),
+                &query,
+                &self.engine,
+                self.replicates(),
+            )?,
+        };
+        Ok(Answer {
+            result,
+            route,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// The routing decision for `sql`, without executing it.
+    pub fn explain(&self, sql: &str) -> Result<Explain, ThemisError> {
+        let query = Self::parse(sql)?;
+        Ok(route::decide(&self.model, &query).explain())
+    }
+
+    /// SQL over the reweighted sample only (no routing, no BN) — the
+    /// behaviour of the pure reweighting baselines.
+    pub fn sql_sample_only(&self, sql: &str) -> Result<Answer, ThemisError> {
+        let start = Instant::now();
+        let query = Self::parse(sql)?;
+        let result = route::run_on(self.model.sample_arc(), &query, &self.engine)?;
+        Ok(Answer {
+            result,
+            route: Route::Sample,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// SQL answered by the BN alone (§4.2.4 generalized): the query runs on
+    /// each cached replicate; groups present in *all* replicates are
+    /// returned with averaged values.
+    pub fn sql_bn_only(&self, sql: &str) -> Result<Answer, ThemisError> {
+        let start = Instant::now();
+        if self.model.bayesian_network().is_none() {
+            return Err(ThemisError::NoBayesNet);
+        }
+        let query = Self::parse(sql)?;
+        let result = route::bn_only_sql(&query, &self.engine, self.replicates())?;
+        let k_agreed = self.replicates().len();
+        Ok(Answer {
+            result,
+            route: Route::BayesNet { k_agreed },
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Hybrid point query (§4.3) as an [`Answer`]: if the tuple exists in
+    /// the sample, `SUM(weight)` answers; otherwise direct BN inference
+    /// (`n · Pr`), or 0 without a BN.
+    pub fn point_query(&self, attrs: &[AttrId], values: &[u32]) -> Answer {
+        let start = Instant::now();
+        let sample = self.model.reweighted_sample();
+        let (est, route) = if sample.contains_point(attrs, values) {
+            (self.model.point_query_sample(attrs, values), Route::Sample)
+        } else if self.model.bayesian_network().is_some() {
+            (
+                self.model
+                    .point_query_bn(attrs, values)
+                    .expect("checked: model has a BN"),
+                Route::BayesNet { k_agreed: 0 },
+            )
+        } else {
+            (0.0, Route::Sample)
+        };
+        Answer {
+            result: QueryResult {
+                columns: vec!["COUNT(*)".into()],
+                rows: vec![vec![Value::Num(est)]],
+                group_arity: 0,
+            },
+            route,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Hybrid `GROUP BY attrs, COUNT(*)` over the cached replicates,
+    /// returning the group counts plus the route that produced them.
+    pub fn group_by(&self, attrs: &[AttrId]) -> (HashMap<GroupKey, f64>, Route) {
+        route::hybrid_group_by(self.model.reweighted_sample(), attrs, self.replicates())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ThemisConfig;
+    use crate::route::RouteKind;
+    use themis_aggregates::{AggregateResult, AggregateSet};
+    use themis_data::paper_example::{example_population, example_sample};
+
+    fn paper_session(config: ThemisConfig) -> ThemisSession {
+        let p = example_population();
+        let aggregates = AggregateSet::from_results(vec![
+            AggregateResult::compute(&p, &[AttrId(0)]),
+            AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]),
+        ]);
+        ThemisSession::new(Themis::build(example_sample(), aggregates, 10.0, config))
+    }
+
+    fn open_world_session() -> ThemisSession {
+        paper_session(ThemisConfig {
+            bn_sample_size: Some(4_000),
+            ..ThemisConfig::default()
+        })
+    }
+
+    #[test]
+    fn in_sample_point_query_routes_to_sample_and_explain_agrees() {
+        let s = open_world_session();
+        // NC→NY is in the sample.
+        let sql = "SELECT COUNT(*) FROM flights WHERE o_st = 'NC' AND d_st = 'NY'";
+        let answer = s.sql(sql).unwrap();
+        assert_eq!(answer.route, Route::Sample);
+        assert_eq!(s.explain(sql).unwrap().route, answer.route.kind());
+        // Same value the sample-only path computes.
+        let direct = s.model().point_query_sample(&[AttrId(1), AttrId(2)], &[1, 2]);
+        assert!((answer.scalar().unwrap() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_tuple_point_query_routes_to_bn_and_explain_agrees() {
+        let s = open_world_session();
+        // FL→NY exists in the population but not in the sample.
+        let sql = "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NY'";
+        assert_eq!(s.explain(sql).unwrap().route, RouteKind::BayesNet);
+        let answer = s.sql(sql).unwrap();
+        assert_eq!(answer.route, Route::BayesNet { k_agreed: 0 });
+        let est = answer.scalar().unwrap();
+        assert!(est > 0.0, "open-world estimate must be positive, got {est}");
+        // Agrees with the model-level hybrid point query.
+        let direct = s.model().point_query(&[AttrId(1), AttrId(2)], &[0, 2]);
+        assert!((est - direct).abs() < 1e-12);
+        // And the aliased spelling keeps its alias as the column name.
+        let aliased = s
+            .sql("SELECT COUNT(*) AS n FROM flights WHERE o_st = 'FL' AND d_st = 'NY'")
+            .unwrap();
+        assert_eq!(aliased.result.columns, vec!["n"]);
+    }
+
+    #[test]
+    fn open_world_group_by_routes_hybrid_with_added_groups() {
+        let s = open_world_session();
+        let sql = "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st";
+        assert_eq!(s.explain(sql).unwrap().route, RouteKind::Hybrid);
+        let answer = s.sql(sql).unwrap();
+        let Route::Hybrid {
+            sample_groups,
+            bn_groups_added,
+        } = answer.route
+        else {
+            panic!("expected hybrid route, got {:?}", answer.route);
+        };
+        assert_eq!(
+            sample_groups,
+            s.sql_sample_only(sql).unwrap().result.rows.len()
+        );
+        assert!(
+            bn_groups_added > 0,
+            "BN must add open-world groups on the paper example"
+        );
+        assert_eq!(answer.result.rows.len(), sample_groups + bn_groups_added);
+        // Merged output stays sorted by the group prefix.
+        let rows = &answer.result.rows;
+        for w in rows.windows(2) {
+            assert_ne!(
+                themis_query::cmp_group_prefix(&w[0], &w[1], answer.result.group_arity),
+                std::cmp::Ordering::Greater,
+                "rows out of order"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_aggregates_route_to_sample() {
+        let s = open_world_session();
+        let sql = "SELECT COUNT(*) FROM flights WHERE date <= 1";
+        assert_eq!(s.explain(sql).unwrap().route, RouteKind::Sample);
+        assert_eq!(s.sql(sql).unwrap().route, Route::Sample);
+        // An unknown label cannot be a BN point: sample answers 0.
+        let sql = "SELECT COUNT(*) FROM flights WHERE o_st = 'ZZ'";
+        assert_eq!(s.explain(sql).unwrap().route, RouteKind::Sample);
+        assert_eq!(s.sql(sql).unwrap().scalar(), Some(0.0));
+    }
+
+    #[test]
+    fn without_bn_everything_routes_to_sample() {
+        let s = paper_session(ThemisConfig {
+            bn_mode: None,
+            ..ThemisConfig::default()
+        });
+        for sql in [
+            "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NY'",
+            "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st",
+        ] {
+            assert_eq!(s.explain(sql).unwrap().route, RouteKind::Sample, "{sql}");
+            assert_eq!(s.sql(sql).unwrap().route, Route::Sample, "{sql}");
+        }
+        assert!(matches!(
+            s.sql_bn_only("SELECT COUNT(*) FROM flights"),
+            Err(ThemisError::NoBayesNet)
+        ));
+    }
+
+    #[test]
+    fn bn_only_sql_reports_replicate_agreement() {
+        let s = open_world_session();
+        let answer = s
+            .sql_bn_only("SELECT o_st, COUNT(*) FROM flights GROUP BY o_st")
+            .unwrap();
+        assert_eq!(answer.route, Route::BayesNet { k_agreed: 10 });
+        assert!(!answer.result.rows.is_empty());
+    }
+
+    #[test]
+    fn parse_and_exec_errors_are_themis_errors_not_panics() {
+        let s = open_world_session();
+        assert!(matches!(
+            s.sql("SELEKT nope"),
+            Err(ThemisError::Exec(ExecError::Parse(_)))
+        ));
+        assert!(matches!(
+            s.sql("SELECT COUNT(*) FROM flights WHERE nope = 1"),
+            Err(ThemisError::Exec(ExecError::UnknownColumn(_)))
+        ));
+        assert!(matches!(
+            s.explain("SELEKT nope"),
+            Err(ThemisError::Exec(ExecError::Parse(_)))
+        ));
+    }
+
+    #[test]
+    fn replicates_are_simulated_once_and_reused() {
+        let s = open_world_session();
+        s.sql("SELECT o_st, COUNT(*) FROM flights GROUP BY o_st").unwrap();
+        let first: Vec<*const Relation> = s
+            .replicates()
+            .iter()
+            .map(Arc::as_ptr)
+            .collect();
+        s.sql("SELECT d_st, COUNT(*) FROM flights GROUP BY d_st").unwrap();
+        let second: Vec<*const Relation> = s
+            .replicates()
+            .iter()
+            .map(Arc::as_ptr)
+            .collect();
+        assert_eq!(first, second, "cache must hand back the same replicates");
+        assert_eq!(first.len(), 10, "default K");
+    }
+
+    #[test]
+    fn session_group_by_matches_model_group_by() {
+        let s = open_world_session();
+        let attrs = [AttrId(1), AttrId(2)];
+        let (groups, route) = s.group_by(&attrs);
+        assert_eq!(groups, s.model().group_by(&attrs));
+        let Route::Hybrid { sample_groups, .. } = route else {
+            panic!("hybrid expected");
+        };
+        assert_eq!(
+            sample_groups,
+            s.model().reweighted_sample().group_counts(&attrs).len()
+        );
+    }
+
+    #[test]
+    fn queries_never_deep_clone_the_sample() {
+        let s = open_world_session();
+        let sample = Arc::clone(s.model().sample_arc());
+        let before = Arc::strong_count(&sample);
+        s.sql("SELECT o_st, COUNT(*) FROM flights GROUP BY o_st").unwrap();
+        s.sql("SELECT COUNT(*) FROM flights t, flights s WHERE t.d_st = s.o_st")
+            .unwrap();
+        s.sql_sample_only("SELECT COUNT(*) FROM flights").unwrap();
+        // Per-query catalogs take Arc bumps and release them; nothing holds
+        // (or copied) the sample afterwards.
+        assert_eq!(Arc::strong_count(&sample), before);
+        // The same holds for every cached replicate across repeated queries.
+        let replicate = Arc::clone(&s.replicates()[0]);
+        let before = Arc::strong_count(&replicate);
+        s.sql("SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st")
+            .unwrap();
+        assert_eq!(Arc::strong_count(&replicate), before);
+    }
+
+    #[test]
+    fn point_query_answers_carry_routes() {
+        let s = open_world_session();
+        let attrs = [AttrId(1), AttrId(2)];
+        assert_eq!(s.point_query(&attrs, &[1, 2]).route, Route::Sample);
+        assert_eq!(
+            s.point_query(&attrs, &[0, 2]).route,
+            Route::BayesNet { k_agreed: 0 }
+        );
+        let no_bn = paper_session(ThemisConfig {
+            bn_mode: None,
+            ..ThemisConfig::default()
+        });
+        let answer = no_bn.point_query(&attrs, &[0, 2]);
+        assert_eq!(answer.route, Route::Sample);
+        assert_eq!(answer.scalar(), Some(0.0));
+    }
+
+    #[test]
+    fn bogus_table_qualifiers_never_route_to_the_bn() {
+        let s = open_world_session();
+        // FL→NY misses the sample, but the qualifier names no FROM binding:
+        // the engine must reject this identically to the in-sample case,
+        // instead of the point router silently answering it.
+        for sql in [
+            "SELECT COUNT(*) FROM flights WHERE bogus.o_st = 'FL' AND bogus.d_st = 'NY'",
+            "SELECT COUNT(*) FROM flights WHERE bogus.o_st = 'NC' AND bogus.d_st = 'NY'",
+        ] {
+            assert!(
+                matches!(
+                    s.sql(sql),
+                    Err(ThemisError::Exec(ExecError::UnknownColumn(_)))
+                ),
+                "{sql}"
+            );
+        }
+        // A qualifier that names the FROM alias still point-routes.
+        let ok = s
+            .sql("SELECT COUNT(*) FROM flights f WHERE f.o_st = 'FL' AND f.d_st = 'NY'")
+            .unwrap();
+        assert_eq!(ok.route, Route::BayesNet { k_agreed: 0 });
+    }
+
+    #[test]
+    fn hybrid_limit_ranks_merged_groups_without_shadowing_sample_counts() {
+        let s = open_world_session();
+        let full_sql = "SELECT o_st, d_st, COUNT(*) AS n FROM flights GROUP BY o_st, d_st";
+        let limited_sql = format!("{full_sql} ORDER BY n DESC LIMIT 2");
+        let full = s.sql(full_sql).unwrap();
+        let limited = s.sql(&limited_sql).unwrap();
+        // The route metadata reflects the *untruncated* union...
+        assert_eq!(limited.route, full.route);
+        // ...and the limited rows are exactly the top of the merged result,
+        // so every surviving group keeps the value the full answer gave it
+        // (a sample group cut by LIMIT is never re-added with a BN value).
+        assert_eq!(limited.result.rows.len(), 2);
+        let full_map = full.result.to_map();
+        for (group, vals) in limited.result.to_map() {
+            assert_eq!(full_map[&group], vals, "group {group:?}");
+        }
+    }
+
+    #[test]
+    fn bn_only_sql_honours_order_by_and_limit() {
+        let s = open_world_session();
+        let answer = s
+            .sql_bn_only("SELECT o_st, COUNT(*) AS n FROM flights GROUP BY o_st ORDER BY n DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(answer.result.rows.len(), 2);
+        let ns: Vec<f64> = answer
+            .result
+            .rows
+            .iter()
+            .map(|row| match row[1] {
+                Value::Num(v) => v,
+                _ => panic!("aggregate cell"),
+            })
+            .collect();
+        assert!(ns[0] >= ns[1], "rows must be ordered by n DESC: {ns:?}");
+        // And the unknown-ORDER-BY error still surfaces like the engine's.
+        assert!(matches!(
+            s.sql_bn_only("SELECT o_st, COUNT(*) FROM flights GROUP BY o_st ORDER BY nope"),
+            Err(ThemisError::Exec(ExecError::UnknownColumn(_)))
+        ));
+    }
+
+    #[test]
+    fn engine_options_are_session_state() {
+        let mut s = open_world_session();
+        s.set_engine(EngineOptions {
+            threads: 2,
+            morsel_rows: 64,
+        });
+        assert_eq!(s.engine().threads, 2);
+        let a = s.sql("SELECT o_st, COUNT(*) FROM flights GROUP BY o_st").unwrap();
+        assert!(!a.result.rows.is_empty());
+    }
+}

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use themis_data::datasets::flights::{FlightsConfig, FlightsDataset};
-use themis_query::Catalog;
+use themis_query::{Catalog, EngineOptions};
 
 fn bench_engine(c: &mut Criterion) {
     let dataset = FlightsDataset::generate(FlightsConfig {
@@ -29,9 +29,10 @@ fn bench_engine(c: &mut Criterion) {
             "SELECT origin_state, AVG(elapsed_time) FROM F WHERE distance <= 5 GROUP BY origin_state",
         ),
     ];
+    let opts = EngineOptions::default();
     for (name, sql) in cases {
         group.bench_with_input(BenchmarkId::new("scan", name), &sql, |b, sql| {
-            b.iter(|| black_box(themis_query::run_sql(&catalog, sql).unwrap()))
+            b.iter(|| black_box(themis_query::run_sql(&catalog, sql, &opts).unwrap()))
         });
     }
 
@@ -48,6 +49,7 @@ fn bench_engine(c: &mut Criterion) {
                     "SELECT t.origin_state, COUNT(*) FROM F t, F s \
                      WHERE t.dest_state = s.origin_state AND t.dest_state IN ('CO', 'MN') \
                      GROUP BY t.origin_state",
+                    &EngineOptions::default(),
                 )
                 .unwrap(),
             )

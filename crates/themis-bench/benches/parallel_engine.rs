@@ -13,7 +13,7 @@
 use std::time::Instant;
 use themis_bench::report;
 use themis_data::datasets::flights::{FlightsConfig, FlightsDataset};
-use themis_query::{execute, execute_parallel, Catalog, ParallelOptions, QueryResult};
+use themis_query::{execute, execute_parallel, Catalog, EngineOptions, QueryResult};
 use themis_sql::Query;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -46,7 +46,7 @@ fn close(a: &QueryResult, b: &QueryResult) -> bool {
 fn main() {
     report::banner(
         "parallel-engine",
-        "serial interpreter vs morsel-driven parallel engine (THEMIS_THREADS sweep)",
+        "serial interpreter vs morsel-driven parallel engine (EngineOptions thread sweep)",
     );
     let n = 300_000;
     let dataset = FlightsDataset::generate(FlightsConfig {
@@ -96,7 +96,7 @@ fn main() {
 
         let mut cells = vec![name.to_string(), report::f(serial_s * 1e3)];
         for threads in THREAD_COUNTS {
-            let opts = ParallelOptions::with_threads(threads);
+            let opts = EngineOptions::with_threads(threads);
             let result = execute_parallel(cat, &query, &opts).expect(sql);
             assert!(
                 close(&oracle, &result),

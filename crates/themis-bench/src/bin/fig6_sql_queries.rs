@@ -12,10 +12,10 @@ use std::collections::HashMap;
 use themis_bench::report::{banner, f, table};
 use themis_bench::setup::{flights_setup, Scale};
 use themis_core::metrics::percent_difference;
-use themis_core::{ReweightMethod, Themis, ThemisConfig};
+use themis_core::{ReweightMethod, Themis, ThemisConfig, ThemisSession};
 use themis_data::datasets::flights::{FlightsConfig, FlightsDataset};
 use themis_data::Relation;
-use themis_query::{Catalog, QueryResult};
+use themis_query::{Catalog, EngineOptions, QueryResult};
 
 const QUERIES: [(&str, &str); 6] = [
     ("Q1", "SELECT origin_state, AVG(elapsed_time) FROM F GROUP BY origin_state"),
@@ -54,7 +54,7 @@ fn result_error(truth: &QueryResult, est: &QueryResult) -> f64 {
 fn truth_result(population: &Relation, sql: &str) -> QueryResult {
     let mut catalog = Catalog::new();
     catalog.register("F", population.clone());
-    themis_query::run_sql(&catalog, sql).expect("population query")
+    themis_query::run_sql(&catalog, sql, &EngineOptions::default()).expect("population query")
 }
 
 fn main() {
@@ -81,7 +81,7 @@ fn main() {
     for (bias_name, bias) in [("C", 1.0), ("SC", 0.98)] {
         let sample = dataset.sample_corners_with_bias(bias, &mut rng);
 
-        let aqp = Themis::build(
+        let aqp = ThemisSession::new(Themis::build(
             sample.clone(),
             aggregates.clone(),
             n,
@@ -90,8 +90,8 @@ fn main() {
                 bn_mode: None,
                 ..ThemisConfig::default()
             },
-        );
-        let ipf = Themis::build(
+        ));
+        let ipf = ThemisSession::new(Themis::build(
             sample.clone(),
             aggregates.clone(),
             n,
@@ -99,8 +99,10 @@ fn main() {
                 bn_mode: None,
                 ..ThemisConfig::default()
             },
-        );
-        let hybrid = Themis::build(
+        ));
+        // One session per model: the BN replicates are simulated once and
+        // shared by the BB and Hybrid rows of every query.
+        let hybrid = ThemisSession::new(Themis::build(
             sample.clone(),
             aggregates.clone(),
             n,
@@ -108,15 +110,15 @@ fn main() {
                 bn_sample_size: Some(bn_size),
                 ..ThemisConfig::default()
             },
-        );
+        ));
 
         for (qname, sql) in QUERIES {
             let truth = truth_result(&setup.population, sql);
             let errors: HashMap<&str, f64> = [
-                ("AQP", result_error(&truth, &aqp.sql_sample_only(sql).expect("aqp"))),
-                ("IPF", result_error(&truth, &ipf.sql_sample_only(sql).expect("ipf"))),
-                ("BB", result_error(&truth, &hybrid.sql_bn_only(sql).expect("bb"))),
-                ("Hybrid", result_error(&truth, &hybrid.sql(sql).expect("hybrid"))),
+                ("AQP", result_error(&truth, &aqp.sql_sample_only(sql).expect("aqp").result)),
+                ("IPF", result_error(&truth, &ipf.sql_sample_only(sql).expect("ipf").result)),
+                ("BB", result_error(&truth, &hybrid.sql_bn_only(sql).expect("bb").result)),
+                ("Hybrid", result_error(&truth, &hybrid.sql(sql).expect("hybrid").result)),
             ]
             .into_iter()
             .collect();
@@ -164,7 +166,7 @@ fn k_sweep() {
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     for k in [1usize, 3, 5, 10, 20] {
-        let model = Themis::build(
+        let model = ThemisSession::new(Themis::build(
             sample.clone(),
             aggregates.clone(),
             n,
@@ -173,8 +175,8 @@ fn k_sweep() {
                 bn_sample_size: Some(scale.bn_sample_size),
                 ..ThemisConfig::default()
             },
-        );
-        let answer = model.sql_bn_only(sql).expect("bn answer").to_map();
+        ));
+        let answer = model.sql_bn_only(sql).expect("bn answer").result.to_map();
         let phantoms = answer.keys().filter(|g| !truth.contains_key(*g)).count();
         let missed = truth.keys().filter(|g| !answer.contains_key(*g)).count();
         rows.push(vec![

@@ -84,7 +84,9 @@ pub fn answer_point(model: &Themis, method: Method, query: &PointQuery) -> f64 {
         Method::Aqp | Method::LinReg | Method::Ipf => {
             model.point_query_sample(&query.attrs, &query.values)
         }
-        Method::Bn(_) => model.point_query_bn(&query.attrs, &query.values),
+        Method::Bn(_) => model
+            .point_query_bn(&query.attrs, &query.values)
+            .expect("BN methods build a BN"),
         Method::Hybrid => model.point_query(&query.attrs, &query.values),
     }
 }

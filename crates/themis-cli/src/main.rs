@@ -15,12 +15,29 @@
 //! parsed as SQL against the built model.
 
 use std::io::{BufRead, Write};
+use themis_core::EngineOptions;
 
 mod repl;
 
+/// Engine options seeded from `THEMIS_THREADS` — this binary is the only
+/// interactive surface that honours the variable, and it does so by parsing
+/// it *into* [`EngineOptions`] once at startup. Library crates never read
+/// the environment; `\threads <n>` adjusts the options afterwards.
+fn engine_from_env() -> EngineOptions {
+    let mut opts = EngineOptions::default();
+    if let Some(threads) = std::env::var("THEMIS_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+    {
+        opts.threads = threads;
+    }
+    opts
+}
+
 fn main() {
     let stdin = std::io::stdin();
-    let mut session = repl::Session::new();
+    let mut session = repl::Session::with_engine(engine_from_env());
     println!("Themis open-world SQL shell — \\help for commands, \\quit to exit");
     loop {
         print!("themis> ");

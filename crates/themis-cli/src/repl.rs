@@ -1,8 +1,16 @@
 //! REPL session state and command handling, separated from I/O so it can be
 //! unit tested.
+//!
+//! The shell wraps a [`ThemisSession`]: `\build` constructs it from the
+//! loaded sample + aggregates, SQL lines run through `session.sql` (so every
+//! answer carries its [`Route`]), `\explain` shows the routing decision
+//! without executing, and `\route` recalls the provenance of the last
+//! answer. Engine configuration is explicit [`EngineOptions`] owned by the
+//! shell — `main` seeds it from `THEMIS_THREADS` once at startup, and
+//! `\threads` mutates it; no library code ever reads the environment.
 
 use themis_aggregates::{AggregateResult, AggregateSet};
-use themis_core::{Themis, ThemisConfig};
+use themis_core::{EngineOptions, Route, Themis, ThemisConfig, ThemisSession};
 use themis_data::ingest::{ingest_csv, ColumnSpec};
 use themis_data::{AttrId, Relation};
 
@@ -15,25 +23,35 @@ pub enum Outcome {
     Quit,
 }
 
-/// Shell state: the loaded sample, registered aggregates, and the built
-/// model.
+/// Shell state: the loaded sample, registered aggregates, the engine
+/// configuration, and the built query session.
 pub struct Session {
     table_name: Option<String>,
     sample: Option<Relation>,
     aggregates: AggregateSet,
     population_size: Option<f64>,
-    model: Option<Themis>,
+    engine: EngineOptions,
+    model: Option<ThemisSession>,
+    last_route: Option<Route>,
 }
 
 impl Session {
-    /// Fresh session.
+    /// Fresh session with default engine options.
     pub fn new() -> Self {
+        Self::with_engine(EngineOptions::default())
+    }
+
+    /// Fresh session with explicit engine options (`main` passes the
+    /// `THEMIS_THREADS`-seeded options here).
+    pub fn with_engine(engine: EngineOptions) -> Self {
         Self {
             table_name: None,
             sample: None,
             aggregates: AggregateSet::new(),
             population_size: None,
+            engine,
             model: None,
+            last_route: None,
         }
     }
 
@@ -57,7 +75,14 @@ impl Session {
             Some("aggregate") => Outcome::Continue(self.cmd_aggregate(&parts[1..])),
             Some("population") => Outcome::Continue(self.cmd_population(&parts[1..])),
             Some("build") => Outcome::Continue(self.cmd_build()),
-            Some("threads") => Outcome::Continue(Self::cmd_threads(&parts[1..])),
+            Some("threads") => Outcome::Continue(self.cmd_threads(&parts[1..])),
+            Some("explain") => {
+                // Re-split from the raw command so the SQL keeps its
+                // original spacing.
+                let sql = cmd.strip_prefix("explain").unwrap_or("").trim();
+                Outcome::Continue(self.cmd_explain(sql))
+            }
+            Some("route") => Outcome::Continue(self.cmd_route()),
             Some("status") => Outcome::Continue(self.cmd_status()),
             Some(other) => Outcome::Continue(format!("unknown command \\{other}; try \\help")),
             None => Outcome::Continue(String::new()),
@@ -209,28 +234,51 @@ impl Session {
                 )
             })
             .unwrap_or_default();
-        self.model = Some(model);
+        self.model = Some(ThemisSession::with_engine(model, self.engine.clone()));
+        self.last_route = None;
         format!("model built. {report}")
     }
 
-    /// `\threads [<n>]` — show or set the query-engine thread count. Setting
-    /// `n` exports `THEMIS_THREADS`, which `run_sql` reads per query: 1
-    /// selects the serial reference engine, anything larger the
-    /// morsel-driven parallel engine.
-    fn cmd_threads(args: &[&str]) -> String {
+    /// `\threads [<n>]` — show or set the query-engine thread count in this
+    /// shell's [`EngineOptions`] (the running session, if any, is updated in
+    /// place).
+    fn cmd_threads(&mut self, args: &[&str]) -> String {
         match args {
-            [] => format!("query engine: {}", themis_query::exec_parallel::engine_description()),
+            [] => format!("query engine: {}", self.engine.describe()),
             [n] => match n.parse::<usize>() {
                 Ok(t) if t >= 1 => {
-                    std::env::set_var("THEMIS_THREADS", t.to_string());
-                    format!(
-                        "query engine: {}",
-                        themis_query::exec_parallel::engine_description()
-                    )
+                    self.engine.threads = t;
+                    if let Some(session) = &mut self.model {
+                        session.set_engine(self.engine.clone());
+                    }
+                    format!("query engine: {}", self.engine.describe())
                 }
                 _ => "thread count must be a positive integer".into(),
             },
             _ => "usage: \\threads [<n>]".into(),
+        }
+    }
+
+    /// `\explain <sql>` — show where the query would be routed, without
+    /// executing it.
+    fn cmd_explain(&self, sql: &str) -> String {
+        if sql.is_empty() {
+            return "usage: \\explain <sql>".into();
+        }
+        let Some(session) = &self.model else {
+            return "build the model first (\\build)".into();
+        };
+        match session.explain(sql) {
+            Ok(explain) => explain.to_string(),
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
+    /// `\route` — the provenance of the last executed query.
+    fn cmd_route(&self) -> String {
+        match &self.last_route {
+            Some(route) => format!("last query answered by: {route}"),
+            None => "no query executed yet".into(),
         }
     }
 
@@ -250,14 +298,14 @@ impl Session {
             Some(n) => out.push_str(&format!("population size: {n}\n")),
             None => out.push_str("population size: unset\n"),
         }
-        out.push_str(&format!(
-            "query engine: {}\n",
-            themis_query::exec_parallel::engine_description()
-        ));
+        out.push_str(&format!("query engine: {}\n", self.engine.describe()));
+        if let Some(route) = &self.last_route {
+            out.push_str(&format!("last route: {route}\n"));
+        }
         match &self.model {
-            Some(m) => {
+            Some(s) => {
                 out.push_str("model: built\n");
-                out.push_str(&m.describe());
+                out.push_str(&s.model().describe());
             }
             None => out.push_str("model: not built"),
         }
@@ -265,11 +313,19 @@ impl Session {
     }
 
     fn sql(&mut self, sql: &str) -> String {
-        let Some(model) = &self.model else {
+        let Some(session) = &self.model else {
             return "build the model first (\\build)".into();
         };
-        match model.sql(sql) {
-            Ok(result) => result.to_string(),
+        match session.sql(sql) {
+            Ok(answer) => {
+                let footer = format!(
+                    "-- {} [{:.1} ms]",
+                    answer.route,
+                    answer.elapsed.as_secs_f64() * 1e3
+                );
+                self.last_route = Some(answer.route.clone());
+                format!("{}{footer}", answer.result)
+            }
             Err(e) => format!("error: {e}"),
         }
     }
@@ -289,7 +345,9 @@ commands:
   \\population <n>                              set the population size
   \\build                                       build the Themis model
   \\threads [<n>]                               show or set query-engine threads
-                                               (1 = serial, >1 = morsel-parallel)
+  \\explain <sql>                               show where a query would route
+                                               (Sample / BayesNet / Hybrid)
+  \\route                                       provenance of the last answer
   \\status                                      show session state
   \\quit                                        exit
 anything else is executed as SQL against the model, e.g.
@@ -335,6 +393,8 @@ mod tests {
         };
         assert!(text.contains("CA"), "{text}");
         assert!(text.contains("NY"), "{text}");
+        // Every answer is stamped with its provenance.
+        assert!(text.contains("-- Hybrid ("), "{text}");
         // NY is underrepresented in the sample (1 of 4 rows) but the
         // aggregate says it is 70% of the population: the debiased count
         // must exceed CA's.
@@ -375,7 +435,7 @@ mod tests {
         assert_eq!(s.handle("\\quit"), Outcome::Quit);
         assert!(matches!(
             s.handle("\\help"),
-            Outcome::Continue(ref m) if m.contains("\\load")
+            Outcome::Continue(ref m) if m.contains("\\explain")
         ));
         assert!(matches!(
             s.handle("\\nonsense"),
@@ -392,37 +452,89 @@ mod tests {
         assert!(status.contains("4 rows"));
         assert!(status.contains("aggregates: 1"));
         assert!(status.contains("model: built"));
+        assert!(status.contains("query engine: morsel-driven"), "{status}");
     }
 
     #[test]
-    fn threads_command_switches_engines() {
-        // Engine-description assertions live in this one test because they
-        // read THEMIS_THREADS; concurrent tests never assert on it (both
-        // engines answer queries identically).
-        let prev = std::env::var("THEMIS_THREADS").ok();
+    fn threads_command_updates_engine_options() {
         let mut s = Session::new();
         let Outcome::Continue(out) = s.handle("\\threads 4") else {
             panic!()
         };
-        assert!(out.contains("morsel-parallel (4 threads"), "{out}");
+        assert!(out.contains("4 threads"), "{out}");
+        assert_eq!(s.engine.threads, 4);
         let Outcome::Continue(out) = s.handle("\\threads 1") else {
             panic!()
         };
-        assert!(out.contains("serial (1 thread)"), "{out}");
+        assert!(out.contains("1 thread,"), "{out}");
         let Outcome::Continue(out) = s.handle("\\threads zero") else {
             panic!()
         };
         assert!(out.contains("positive integer"), "{out}");
-        let Outcome::Continue(status) = s.handle("\\status") else {
+        // A built session picks the new options up immediately.
+        let mut s = full_session();
+        s.handle("\\threads 3");
+        assert_eq!(s.model.as_ref().unwrap().engine().threads, 3);
+    }
+
+    #[test]
+    fn explain_shows_sample_route_for_in_sample_point_query() {
+        let mut s = full_session();
+        let Outcome::Continue(out) = s.handle("\\explain SELECT COUNT(*) FROM flights WHERE state = 'CA'") else {
             panic!()
         };
-        assert!(status.contains("query engine:"), "{status}");
-        // Restore the caller's value (CI pins THEMIS_THREADS per matrix
-        // leg; later tests in this binary must still see it).
-        match prev {
-            Some(v) => std::env::set_var("THEMIS_THREADS", v),
-            None => std::env::remove_var("THEMIS_THREADS"),
-        }
+        assert!(out.contains("route: Sample"), "{out}");
+        assert!(out.contains("hits the sample"), "{out}");
+    }
+
+    #[test]
+    fn explain_shows_hybrid_route_for_group_by() {
+        let mut s = full_session();
+        let Outcome::Continue(out) =
+            s.handle("\\explain SELECT state, COUNT(*) FROM flights GROUP BY state")
+        else {
+            panic!()
+        };
+        assert!(out.contains("route: Hybrid"), "{out}");
+        assert!(out.contains("BN replicates"), "{out}");
+        // The executed query takes the route explain promised.
+        let Outcome::Continue(answer) = s.handle("SELECT state, COUNT(*) FROM flights GROUP BY state")
+        else {
+            panic!()
+        };
+        assert!(answer.contains("-- Hybrid ("), "{answer}");
+        let Outcome::Continue(route) = s.handle("\\route") else {
+            panic!()
+        };
+        assert!(route.contains("Hybrid"), "{route}");
+    }
+
+    #[test]
+    fn explain_without_model_is_an_error_message() {
+        let mut s = Session::new();
+        let Outcome::Continue(out) = s.handle("\\explain SELECT COUNT(*) FROM flights") else {
+            panic!()
+        };
+        assert!(out.contains("\\build"), "{out}");
+        // And with a model but unparsable SQL, the error surfaces cleanly.
+        let mut s = full_session();
+        let Outcome::Continue(out) = s.handle("\\explain SELEKT nope") else {
+            panic!()
+        };
+        assert!(out.contains("error:"), "{out}");
+        let Outcome::Continue(out) = s.handle("\\explain") else {
+            panic!()
+        };
+        assert!(out.contains("usage"), "{out}");
+    }
+
+    #[test]
+    fn route_before_any_query_says_so() {
+        let mut s = full_session();
+        let Outcome::Continue(out) = s.handle("\\route") else {
+            panic!()
+        };
+        assert!(out.contains("no query executed yet"), "{out}");
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! interpreter whose behaviour defines the semantics the morsel-driven
 //! parallel engine ([`crate::exec_parallel`]) must reproduce exactly. The
 //! query *planning* layer (name resolution, mask compilation, select
-//! compilation — [`plan_scan`] / [`plan_join`]) and the per-row aggregate
-//! *fold* ([`fold_row`]) are shared by both engines so they cannot drift
+//! compilation — `plan_scan` / `plan_join`) and the per-row aggregate
+//! *fold* (`fold_row`) are shared by both engines so they cannot drift
 //! apart; only the drive loop differs.
 
 use crate::catalog::Catalog;
@@ -44,15 +44,20 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// Parse and execute a SQL string against a catalog.
+/// Parse and execute a SQL string against a catalog on the morsel-driven
+/// engine configured by `opts`.
 ///
-/// Dispatches to the engine selected by `THEMIS_THREADS` (see
-/// [`crate::exec_parallel::execute_auto`]): the morsel-driven parallel
-/// engine by default, with this module's serial engine as the 1-thread
-/// fallback.
-pub fn run_sql(catalog: &Catalog, sql: &str) -> Result<QueryResult, ExecError> {
+/// This is the production entry point: at `threads: 1` the morsels run
+/// inline on the caller, and for a fixed `morsel_rows` the result is
+/// bit-identical at every thread count. This module's serial interpreter
+/// ([`execute`]) stays available as the differential-testing oracle.
+pub fn run_sql(
+    catalog: &Catalog,
+    sql: &str,
+    opts: &crate::exec_parallel::EngineOptions,
+) -> Result<QueryResult, ExecError> {
     let query = themis_sql::parse(sql).map_err(|e| ExecError::Parse(e.to_string()))?;
-    crate::exec_parallel::execute_auto(catalog, &query)
+    crate::exec_parallel::execute_parallel(catalog, &query, opts)
 }
 
 /// Execute a parsed query on the serial reference engine.
@@ -71,8 +76,10 @@ pub fn execute(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecErro
     Ok(result)
 }
 
-/// Sort the result rows by a named output column.
-pub(crate) fn apply_order_by(
+/// Sort the result rows by a named output column (the engines call this for
+/// `ORDER BY`; the hybrid query router re-applies it after unioning BN
+/// groups into an ordered result).
+pub fn apply_order_by(
     result: &mut QueryResult,
     order: &themis_sql::OrderBy,
 ) -> Result<(), ExecError> {
@@ -751,6 +758,14 @@ mod tests {
     use super::*;
     use themis_data::paper_example::{example_population, example_sample};
 
+    /// These are semantics tests for the serial reference engine, so run
+    /// straight through [`execute`] (shadows the crate-level `run_sql`,
+    /// which drives the morsel engine).
+    fn run_sql(catalog: &Catalog, sql: &str) -> Result<QueryResult, ExecError> {
+        let query = themis_sql::parse(sql).map_err(|e| ExecError::Parse(e.to_string()))?;
+        execute(catalog, &query)
+    }
+
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
         c.register("flights", example_population());
@@ -969,10 +984,7 @@ mod tests {
         // date ids: [0, 0, 1, 0] → labels "01","01","02","01".
         s.set_weights(vec![0.0, 0.0, 3.0, 0.0]);
         c.register("s", s);
-        // Call the serial engine directly — run_sql dispatches on
-        // THEMIS_THREADS and this test must pin the serial fold.
-        let query = themis_sql::parse("SELECT MIN(date) AS lo, MAX(date) AS hi FROM s").unwrap();
-        let r = execute(&c, &query).unwrap();
+        let r = run_sql(&c, "SELECT MIN(date) AS lo, MAX(date) AS hi FROM s").unwrap();
         let m = r.to_map();
         // Only the date=02 row counts.
         assert_eq!(m[&Vec::<String>::new()], vec![2.0, 2.0]);

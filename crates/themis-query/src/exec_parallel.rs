@@ -2,9 +2,9 @@
 //!
 //! The serial engine in [`crate::exec`] interprets one row at a time against
 //! hash tables keyed by `Vec<u32>`, allocating per row. This module drives
-//! the *same* compiled plans ([`crate::exec::plan_scan`] /
-//! [`crate::exec::plan_join`]) and the *same* per-row fold
-//! ([`crate::exec::fold_row`]) over fixed-size **morsels** — contiguous row
+//! the *same* compiled plans (`plan_scan` / `plan_join` in
+//! [`crate::exec`]) and the *same* per-row fold (`fold_row`) over
+//! fixed-size **morsels** — contiguous row
 //! ranges claimed dynamically by a scoped worker pool (`shims/rayon`). Each
 //! morsel fills a private accumulator block; blocks are merged **in morsel
 //! order**, so the result is deterministic for a given morsel size no
@@ -13,7 +13,7 @@
 //! Two accumulator layouts keep the hot loop allocation-free:
 //!
 //! * **dense** — when the product of the grouping domains is at most
-//!   [`DENSE_GROUP_LIMIT`], group keys pack into a single array index
+//!   `DENSE_GROUP_LIMIT` (4096), group keys pack into a single array index
 //!   (mixed-radix over the domain sizes) and accumulators live in flat
 //!   `Vec<f64>` blocks;
 //! * **sparse** — otherwise, a `HashMap` from key to a slot in the same
@@ -50,77 +50,58 @@ use themis_sql::Query;
 /// Rows per morsel. Fixed (not derived from the thread count) so that the
 /// morsel decomposition — and therefore the merged floating-point result —
 /// is identical at every thread count.
-pub const DEFAULT_MORSEL_SIZE: usize = 2048;
+pub const DEFAULT_MORSEL_ROWS: usize = 2048;
 
 /// Largest packed group-key space evaluated with dense (flat-array)
 /// accumulators; bigger key spaces fall back to the sparse layout.
 const DENSE_GROUP_LIMIT: usize = 4096;
 
-/// Tuning knobs for the parallel engine.
+/// Explicit engine configuration, threaded through [`crate::run_sql`] and
+/// [`execute_parallel`] by every caller.
+///
+/// Library code never reads environment variables: a session (or any other
+/// caller) owns its `EngineOptions`. Binaries that honour a thread-count
+/// environment variable (the CLI shell) parse it *into* this struct at
+/// their own edge.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParallelOptions {
-    /// Worker threads (1 ⇒ everything runs inline on the caller).
+pub struct EngineOptions {
+    /// Worker threads (1 ⇒ every morsel runs inline on the caller; results
+    /// are bit-identical at every thread count for a fixed `morsel_rows`).
     pub threads: usize,
     /// Rows per morsel. Changing this changes how floating-point merges
     /// associate; keep it fixed across runs you want to compare exactly.
-    pub morsel_size: usize,
+    pub morsel_rows: usize,
 }
 
-impl Default for ParallelOptions {
-    /// Threads from `THEMIS_THREADS` (hardware threads when unset), default
-    /// morsel size.
+impl Default for EngineOptions {
+    /// Hardware threads, default morsel size.
     fn default() -> Self {
-        ParallelOptions {
-            threads: rayon::env_threads(),
-            morsel_size: DEFAULT_MORSEL_SIZE,
+        EngineOptions {
+            threads: rayon::available_threads(),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }
     }
 }
 
-impl ParallelOptions {
+impl EngineOptions {
     /// Explicit thread count, default morsel size.
     pub fn with_threads(threads: usize) -> Self {
-        ParallelOptions {
+        EngineOptions {
             threads: threads.max(1),
-            morsel_size: DEFAULT_MORSEL_SIZE,
+            ..EngineOptions::default()
         }
     }
-}
 
-/// One-line description of the engine [`crate::run_sql`] will dispatch to,
-/// for shells and status displays.
-pub fn engine_description() -> String {
-    let opts = ParallelOptions::default();
-    if opts.threads <= 1 {
-        "serial (1 thread)".to_string()
-    } else {
+    /// One-line description of the configured engine, for shells and status
+    /// displays.
+    pub fn describe(&self) -> String {
         format!(
-            "morsel-parallel ({} threads, morsel size {})",
-            opts.threads, opts.morsel_size
+            "morsel-driven ({} thread{}, {} rows/morsel)",
+            self.threads.max(1),
+            if self.threads.max(1) == 1 { "" } else { "s" },
+            self.morsel_rows.max(1)
         )
     }
-}
-
-/// Execute with the engine selected by `THEMIS_THREADS`: the serial
-/// reference engine at 1 thread, the morsel-driven engine otherwise.
-pub fn execute_auto(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecError> {
-    let opts = ParallelOptions::default();
-    if opts.threads <= 1 {
-        crate::exec::execute(catalog, query)
-    } else {
-        execute_parallel(catalog, query, &opts)
-    }
-}
-
-/// Parse and execute a SQL string on the parallel engine with explicit
-/// options.
-pub fn run_sql_parallel(
-    catalog: &Catalog,
-    sql: &str,
-    opts: &ParallelOptions,
-) -> Result<QueryResult, ExecError> {
-    let query = themis_sql::parse(sql).map_err(|e| ExecError::Parse(e.to_string()))?;
-    execute_parallel(catalog, &query, opts)
 }
 
 /// Execute a parsed query on the morsel-driven parallel engine.
@@ -131,7 +112,7 @@ pub fn run_sql_parallel(
 pub fn execute_parallel(
     catalog: &Catalog,
     query: &Query,
-    opts: &ParallelOptions,
+    opts: &EngineOptions,
 ) -> Result<QueryResult, ExecError> {
     let mut result = match query.from.len() {
         1 => scan_parallel(catalog, query, opts)?,
@@ -410,7 +391,7 @@ fn finish(spec: &GroupSpec<'_>, mut block: GroupBlock) -> QueryResult {
 fn scan_parallel(
     catalog: &Catalog,
     query: &Query,
-    opts: &ParallelOptions,
+    opts: &EngineOptions,
 ) -> Result<QueryResult, ExecError> {
     let ScanPlan {
         rel,
@@ -435,7 +416,7 @@ fn scan_parallel(
     let weights = rel.weights();
 
     let pool = Pool::new(opts.threads);
-    let morsels = pool.par_ranges(rel.len(), opts.morsel_size, |range| {
+    let morsels = pool.par_ranges(rel.len(), opts.morsel_rows, |range| {
         let mut block = GroupBlock::new(spec.codec, spec.n_aggs());
         'rows: for r in range {
             for (col, mask) in &mask_cols {
@@ -462,7 +443,7 @@ fn partition_of(key: &[u32], partitions: usize) -> usize {
 fn join_parallel(
     catalog: &Catalog,
     query: &Query,
-    opts: &ParallelOptions,
+    opts: &EngineOptions,
 ) -> Result<QueryResult, ExecError> {
     let plan = plan_join(catalog, query)?;
     let (left, right) = (plan.left, plan.right);
@@ -491,7 +472,7 @@ fn join_parallel(
             .collect()
     };
     type Bucket = Vec<(Vec<u32>, usize)>;
-    let bucketed: Vec<Vec<Bucket>> = pool.par_ranges(right.len(), opts.morsel_size, |range| {
+    let bucketed: Vec<Vec<Bucket>> = pool.par_ranges(right.len(), opts.morsel_rows, |range| {
         let mut buckets: Vec<Bucket> = vec![Vec::new(); partitions];
         for row in range {
             if !plan.passes(1, row) {
@@ -520,7 +501,7 @@ fn join_parallel(
 
     // Probe phase: morsels over the left side.
     let (lw, rw) = (left.weights(), right.weights());
-    let morsels = pool.par_ranges(left.len(), opts.morsel_size, |range| {
+    let morsels = pool.par_ranges(left.len(), opts.morsel_rows, |range| {
         let mut block = GroupBlock::new(spec.codec, spec.n_aggs());
         for lrow in range {
             if !plan.passes(0, lrow) {
@@ -557,15 +538,15 @@ mod tests {
     }
 
     /// Tiny morsels + more threads than morsels, to exercise merging.
-    fn opts() -> ParallelOptions {
-        ParallelOptions {
+    fn opts() -> EngineOptions {
+        EngineOptions {
             threads: 4,
-            morsel_size: 3,
+            morsel_rows: 3,
         }
     }
 
     fn run(c: &Catalog, sql: &str) -> QueryResult {
-        run_sql_parallel(c, sql, &opts()).unwrap()
+        crate::run_sql(c, sql, &opts()).unwrap()
     }
 
     #[test]
@@ -627,12 +608,12 @@ mod tests {
         let sql = "SELECT x, COUNT(*) FROM t GROUP BY x";
         let query = themis_sql::parse(sql).unwrap();
         let serial = crate::exec::execute(&c, &query).unwrap();
-        let parallel = run_sql_parallel(
+        let parallel = crate::run_sql(
             &c,
             sql,
-            &ParallelOptions {
+            &EngineOptions {
                 threads: 4,
-                morsel_size: 2,
+                morsel_rows: 2,
             },
         )
         .unwrap();
@@ -647,12 +628,12 @@ mod tests {
         // Zero-weight rows land in different morsels (morsel size 1).
         s.set_weights(vec![0.0, 0.0, 3.0, 0.0]);
         c.register("s", s);
-        let r = run_sql_parallel(
+        let r = crate::run_sql(
             &c,
             "SELECT MIN(date) AS lo, MAX(date) AS hi FROM s",
-            &ParallelOptions {
+            &EngineOptions {
                 threads: 4,
-                morsel_size: 1,
+                morsel_rows: 1,
             },
         )
         .unwrap();
@@ -663,9 +644,9 @@ mod tests {
     fn results_identical_across_thread_counts() {
         let c = catalog();
         let sql = "SELECT o_st, COUNT(*), AVG(date) FROM flights GROUP BY o_st ORDER BY o_st";
-        let base = run_sql_parallel(&c, sql, &ParallelOptions::with_threads(1)).unwrap();
+        let base = crate::run_sql(&c, sql, &EngineOptions::with_threads(1)).unwrap();
         for threads in [2, 3, 8] {
-            let r = run_sql_parallel(&c, sql, &ParallelOptions::with_threads(threads)).unwrap();
+            let r = crate::run_sql(&c, sql, &EngineOptions::with_threads(threads)).unwrap();
             assert_eq!(r, base, "threads = {threads}");
         }
     }
@@ -688,9 +669,11 @@ mod tests {
     }
 
     #[test]
-    fn engine_description_names_a_mode() {
-        let d = engine_description();
-        assert!(d.contains("serial") || d.contains("morsel-parallel"), "{d}");
+    fn engine_description_names_the_configuration() {
+        let d = EngineOptions::with_threads(1).describe();
+        assert!(d.contains("1 thread,"), "{d}");
+        let d = EngineOptions { threads: 4, morsel_rows: 512 }.describe();
+        assert!(d.contains("4 threads") && d.contains("512 rows/morsel"), "{d}");
     }
 
     #[test]

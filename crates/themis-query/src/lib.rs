@@ -11,13 +11,27 @@
 //! row weight being the *product* of the input weights (each sample tuple
 //! stands for `w` population tuples, so a joined pair stands for `w_l · w_r`
 //! pairs).
-
 //!
-//! Two engines share one planner: [`exec`] is the single-threaded reference
-//! engine, [`exec_parallel`] the morsel-driven parallel engine. [`run_sql`]
-//! dispatches between them based on `THEMIS_THREADS` (serial at 1 thread,
-//! parallel otherwise); the serial engine is the testing oracle the parallel
-//! engine is differentially checked against.
+//! ## Engine selection is explicit
+//!
+//! Two engines share one planner. The **morsel-driven engine**
+//! ([`execute_parallel`], reached via [`run_sql`]) is the production path;
+//! it takes an explicit [`EngineOptions`] — `{ threads, morsel_rows }` —
+//! from the caller, runs morsels inline at `threads: 1`, and produces
+//! bit-identical results at every thread count for a fixed `morsel_rows`.
+//! The **serial interpreter** ([`execute`]) is the reference oracle the
+//! morsel engine is differentially tested against.
+//!
+//! No code in this crate reads environment variables. Binaries that want an
+//! environment-driven thread count (the CLI shell) parse it themselves and
+//! pass the resulting `EngineOptions` down.
+//!
+//! ## Catalogs share relations
+//!
+//! [`Catalog`] stores tables behind [`std::sync::Arc`], so binding the same
+//! relation under several names (a model's reweighted sample bound to every
+//! FROM table of a self-join, say) is a pointer bump per binding — query
+//! setup never deep-clones row data.
 
 pub mod catalog;
 pub mod exec;
@@ -25,6 +39,6 @@ pub mod exec_parallel;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use exec::{execute, run_sql, ExecError};
-pub use exec_parallel::{execute_auto, execute_parallel, run_sql_parallel, ParallelOptions};
-pub use value::{QueryResult, Value};
+pub use exec::{apply_order_by, execute, run_sql, ExecError};
+pub use exec_parallel::{execute_parallel, EngineOptions, DEFAULT_MORSEL_ROWS};
+pub use value::{cmp_group_prefix, QueryResult, Value};

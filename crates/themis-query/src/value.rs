@@ -12,6 +12,37 @@ pub enum Value {
     Num(f64),
 }
 
+impl Value {
+    /// Total order over cells, comparing **borrowed** contents (no clones):
+    /// labels lexicographically, numbers by value (NaN compares equal to
+    /// everything numeric), and — should mixed types ever meet in one
+    /// column — numbers before labels.
+    pub fn cmp_cell(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a.as_str().cmp(b.as_str()),
+            (Value::Num(a), Value::Num(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Value::Num(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Num(_)) => Ordering::Greater,
+        }
+    }
+}
+
+/// Compare two result rows by their leading `arity` cells (the group-by
+/// prefix), borrowed — the comparator never clones a label and never drops
+/// a cell from the sort key, whatever its type.
+pub fn cmp_group_prefix(a: &[Value], b: &[Value], arity: usize) -> std::cmp::Ordering {
+    let a = &a[..arity.min(a.len())];
+    let b = &b[..arity.min(b.len())];
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.cmp_cell(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -121,5 +152,26 @@ mod tests {
         let text = result().to_string();
         assert!(text.contains("state | count"));
         assert!(text.contains("CA | 10.0000"));
+    }
+
+    #[test]
+    fn group_prefix_comparison_orders_labels_and_numbers() {
+        use std::cmp::Ordering;
+        let a = vec![Value::Str("CA".into()), Value::Num(99.0)];
+        let b = vec![Value::Str("NY".into()), Value::Num(1.0)];
+        // Only the 1-cell group prefix participates: CA < NY regardless of
+        // the aggregate cells.
+        assert_eq!(cmp_group_prefix(&a, &b, 1), Ordering::Less);
+        assert_eq!(cmp_group_prefix(&b, &a, 1), Ordering::Greater);
+        assert_eq!(cmp_group_prefix(&a, &a, 1), Ordering::Equal);
+        // Numeric cells are compared by value, not dropped from the key.
+        let x = vec![Value::Num(2.0), Value::Num(0.0)];
+        let y = vec![Value::Num(10.0), Value::Num(0.0)];
+        assert_eq!(cmp_group_prefix(&x, &y, 1), Ordering::Less);
+        // Mixed cell types still produce a total order (numbers first).
+        assert_eq!(
+            cmp_group_prefix(&[Value::Num(5.0)], &[Value::Str("0".into())], 1),
+            Ordering::Less
+        );
     }
 }

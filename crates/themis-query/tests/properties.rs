@@ -3,7 +3,15 @@
 
 use proptest::prelude::*;
 use themis_data::{Attribute, Domain, Relation, Schema};
-use themis_query::{Catalog, Value};
+use themis_query::{Catalog, EngineOptions, Value};
+
+/// Small morsels + a few threads so merging is genuinely exercised.
+fn opts() -> EngineOptions {
+    EngineOptions {
+        threads: 3,
+        morsel_rows: 7,
+    }
+}
 
 fn random_relation(rows: &[(u32, u32, f64)]) -> Relation {
     let schema = Schema::new(vec![
@@ -28,7 +36,7 @@ proptest! {
         let total = rel.total_weight();
         let mut c = Catalog::new();
         c.register("t", rel);
-        let r = themis_query::run_sql(&c, "SELECT COUNT(*) FROM t").unwrap();
+        let r = themis_query::run_sql(&c, "SELECT COUNT(*) FROM t", &opts()).unwrap();
         prop_assert!((r.scalar().unwrap() - total).abs() < 1e-9);
     }
 
@@ -42,7 +50,7 @@ proptest! {
         }
         let mut c = Catalog::new();
         c.register("t", rel);
-        let r = themis_query::run_sql(&c, "SELECT a, COUNT(*) FROM t GROUP BY a").unwrap();
+        let r = themis_query::run_sql(&c, "SELECT a, COUNT(*) FROM t GROUP BY a", &opts()).unwrap();
         let m = r.to_map();
         for (a, &e) in expected.iter().enumerate() {
             let key = vec![a.to_string()];
@@ -64,7 +72,7 @@ proptest! {
         let mut c = Catalog::new();
         c.register("t", rel);
         let sql = format!("SELECT COUNT(*) FROM t WHERE a <= {cut}");
-        let r = themis_query::run_sql(&c, &sql).unwrap();
+        let r = themis_query::run_sql(&c, &sql, &opts()).unwrap();
         prop_assert!((r.scalar().unwrap() - expected).abs() < 1e-9);
     }
 
@@ -75,7 +83,7 @@ proptest! {
         let vsum: f64 = rows.iter().map(|&(_, b, w)| w * b as f64).sum();
         let mut c = Catalog::new();
         c.register("t", rel);
-        let r = themis_query::run_sql(&c, "SELECT AVG(b) FROM t").unwrap();
+        let r = themis_query::run_sql(&c, "SELECT AVG(b) FROM t", &opts()).unwrap();
         prop_assert!((r.scalar().unwrap() - vsum / wsum).abs() < 1e-9);
     }
 
@@ -93,7 +101,7 @@ proptest! {
         let expected: f64 = (0..3).map(|v| by_b[v] * by_a[v]).sum();
         let mut c = Catalog::new();
         c.register("t", rel);
-        let r = themis_query::run_sql(&c, "SELECT COUNT(*) FROM t x, t y WHERE x.b = y.a").unwrap();
+        let r = themis_query::run_sql(&c, "SELECT COUNT(*) FROM t x, t y WHERE x.b = y.a", &opts()).unwrap();
         prop_assert!((r.scalar().unwrap() - expected).abs() < 1e-6);
     }
 
@@ -102,7 +110,7 @@ proptest! {
         let rel = random_relation(&rows);
         let mut c = Catalog::new();
         c.register("t", rel);
-        let r = themis_query::run_sql(&c, "SELECT b, COUNT(*) FROM t GROUP BY b").unwrap();
+        let r = themis_query::run_sql(&c, "SELECT b, COUNT(*) FROM t GROUP BY b", &opts()).unwrap();
         for row in &r.rows {
             prop_assert!(matches!(&row[0], Value::Str(_)));
             prop_assert!(matches!(&row[1], Value::Num(_)));

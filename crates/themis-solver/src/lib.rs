@@ -5,8 +5,8 @@
 //! the workspace has no heavyweight numeric dependencies.
 //!
 //! * [`matrix`] — dense row-major matrices and basic BLAS-level ops,
-//! * [`lstsq`](crate::lstsq) — Householder-QR least squares with a ridge fallback,
-//! * [`nnls`](crate::nnls) — Lawson–Hanson non-negative least squares (used by the
+//! * [`mod@lstsq`] — Householder-QR least squares with a ridge fallback,
+//! * [`mod@nnls`] — Lawson–Hanson non-negative least squares (used by the
 //!   constrained linear-regression reweighter, §4.1.1 of the paper),
 //! * [`simplex`] — Euclidean projection onto the probability simplex,
 //! * [`constrained`] — projected-gradient / augmented-Lagrangian maximum

@@ -8,7 +8,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use themis_aggregates::{AggregateResult, AggregateSet};
-use themis_core::{percent_difference, ReweightMethod, Themis, ThemisConfig};
+use themis_core::{percent_difference, ReweightMethod, Themis, ThemisConfig, ThemisSession};
 use themis_data::datasets::flights::{FlightsConfig, FlightsDataset};
 use themis_examples::fmt_count;
 
@@ -75,12 +75,14 @@ fn main() {
         themis_total / states.len() as f64
     );
 
-    // The same analysis in SQL.
+    // The same analysis in SQL, through a session: the answer carries the
+    // route that produced it (an open-world GROUP BY goes hybrid).
+    let session = ThemisSession::new(themis);
     let sql = "SELECT origin_state, COUNT(*) FROM flights \
                WHERE distance <= 0 GROUP BY origin_state";
-    let result = themis.sql(sql).expect("valid SQL");
-    println!("\n{sql};\n(first rows)\n");
-    for row in result.rows.iter().take(5) {
+    let answer = session.sql(sql).expect("valid SQL");
+    println!("\n{sql};\n(first rows; route: {})\n", answer.route);
+    for row in answer.result.rows.iter().take(5) {
         let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
         println!("  {}", cells.join(" | "));
     }

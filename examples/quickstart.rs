@@ -10,7 +10,7 @@
 //! population — including a query about a tuple the sample never saw.
 
 use themis_aggregates::{AggregateResult, AggregateSet};
-use themis_core::{Themis, ThemisConfig};
+use themis_core::{Themis, ThemisConfig, ThemisSession};
 use themis_data::paper_example::{example_population, example_sample};
 use themis_data::AttrId;
 
@@ -25,27 +25,32 @@ fn main() {
         AggregateResult::compute(&population, &[AttrId(1), AttrId(2)]), // Γ2: origins × dests
     ]);
 
-    // 1. Insert the sample and the aggregates; build the model.
+    // 1. Insert the sample and the aggregates; build the model and open a
+    //    query session over it.
     let sample = example_sample();
     println!("sample: {} tuples, population: {} tuples\n", sample.len(), n);
-    let themis = Themis::build(sample, aggregates, n, ThemisConfig::default());
+    let session = ThemisSession::new(Themis::build(sample, aggregates, n, ThemisConfig::default()));
 
-    // 2. Ask open-world point queries.
+    // 2. Ask open-world point queries; each answer names the component that
+    //    produced it (the reweighted sample vs the Bayesian network).
     let queries = [
         ("flights on date 01", vec![AttrId(0)], vec![0u32]),
         ("flights NC -> NY", vec![AttrId(1), AttrId(2)], vec![1, 2]),
         ("flights FL -> NY (NOT in the sample!)", vec![AttrId(1), AttrId(2)], vec![0, 2]),
     ];
-    println!("{:<42} {:>6} {:>8}", "query", "true", "Themis");
+    println!("{:<42} {:>6} {:>8}  route", "query", "true", "Themis");
     for (label, attrs, values) in queries {
         let truth = population.point_count(&attrs, &values);
-        let est = themis.point_query(&attrs, &values);
-        println!("{label:<42} {truth:>6.1} {est:>8.2}");
+        let answer = session.point_query(&attrs, &values);
+        let est = answer.scalar().expect("point answers are scalar");
+        println!("{label:<42} {truth:>6.1} {est:>8.2}  {}", answer.route);
     }
 
-    // 3. SQL works too (COUNT(*) is evaluated as SUM(weight)).
-    let result = themis
-        .sql("SELECT o_st, COUNT(*) FROM flights GROUP BY o_st")
-        .expect("valid SQL");
-    println!("\nSELECT o_st, COUNT(*) FROM flights GROUP BY o_st;\n{result}");
+    // 3. SQL works too (COUNT(*) is evaluated as SUM(weight)), and
+    //    `explain` shows the routing decision before anything runs.
+    let sql = "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st";
+    let explain = session.explain(sql).expect("valid SQL");
+    println!("\n{explain}");
+    let answer = session.sql(sql).expect("valid SQL");
+    println!("\n{sql};\n{}-- {}", answer.result, answer.route);
 }

@@ -10,96 +10,16 @@
 //! Run with `PROPTEST_CASES=500` (or more) for release gating.
 
 use proptest::prelude::*;
-use themis_data::{Attribute, Domain, Relation, Schema};
-use themis_query::{Catalog, ParallelOptions, QueryResult, Value};
-
-/// Domain sizes of the three test attributes `a`, `b`, `c`.
-const SIZES: [u32; 3] = [5, 4, 3];
-
-fn random_relation(rows: &[(u32, u32, u32, f64)]) -> Relation {
-    let schema = Schema::new(vec![
-        Attribute::new("a", Domain::indexed("a", SIZES[0] as usize)),
-        Attribute::new("b", Domain::indexed("b", SIZES[1] as usize)),
-        Attribute::new("c", Domain::indexed("c", SIZES[2] as usize)),
-    ]);
-    let mut rel = Relation::new(schema);
-    for &(a, b, c, w) in rows {
-        rel.push_row_weighted(&[a, b, c], w);
-    }
-    rel
-}
-
-/// Rows including occasional exact-zero weights (MIN/MAX must ignore them)
-/// and possibly no rows at all (scalar queries must return a zero row).
-fn rows_strategy() -> impl Strategy<Value = Vec<(u32, u32, u32, f64)>> {
-    prop::collection::vec(
-        (0u32..SIZES[0], 0u32..SIZES[1], 0u32..SIZES[2], 0.0f64..10.0)
-            .prop_map(|(a, b, c, w)| (a, b, c, if w < 1.0 { 0.0 } else { w })),
-        0..80,
-    )
-}
-
-/// A random single-table query over `t`, assembled from independently drawn
-/// clause choices. Always contains COUNT(*) aliased `n` so every query is a
-/// valid aggregate query.
-fn query_strategy() -> impl Strategy<Value = String> {
-    (0u32..5, 0u32..5, 1u32..16, 0u32..4, 0u32..16, 0u32..3).prop_map(
-        |(filter, k, in_mask, group, agg_mask, order)| {
-            let mut select = vec!["COUNT(*) AS n".to_string()];
-            for (bit, agg) in ["SUM(c)", "AVG(b)", "MIN(c)", "MAX(a)"].iter().enumerate() {
-                if agg_mask & (1 << bit) != 0 {
-                    select.push(agg.to_string());
-                }
-            }
-            let group_cols: &[&str] = match group {
-                1 => &["a"],
-                2 => &["a", "b"],
-                3 => &["b"],
-                _ => &[],
-            };
-            let mut sql = String::from("SELECT ");
-            if !group_cols.is_empty() {
-                sql.push_str(&group_cols.join(", "));
-                sql.push_str(", ");
-            }
-            sql.push_str(&select.join(", "));
-            sql.push_str(" FROM t");
-            match filter {
-                1 => sql.push_str(&format!(" WHERE a <= {}", k % SIZES[0])),
-                2 => {
-                    let vals: Vec<String> = (0..SIZES[1])
-                        .filter(|v| in_mask & (1 << v) != 0)
-                        .map(|v| format!("'{v}'"))
-                        .collect();
-                    if !vals.is_empty() {
-                        sql.push_str(&format!(" WHERE b IN ({})", vals.join(", ")));
-                    }
-                }
-                3 => sql.push_str(&format!(" WHERE c = '{}'", k % SIZES[2])),
-                4 => sql.push_str(&format!(" WHERE a <> {}", k % SIZES[0])),
-                _ => {}
-            }
-            if !group_cols.is_empty() {
-                sql.push_str(&format!(" GROUP BY {}", group_cols.join(", ")));
-            }
-            match order {
-                1 if !group_cols.is_empty() => {
-                    sql.push_str(&format!(" ORDER BY {} LIMIT 2", group_cols[0]));
-                }
-                2 => sql.push_str(" ORDER BY n DESC LIMIT 3"),
-                _ => {}
-            }
-            sql
-        },
-    )
-}
+use themis_data::Relation;
+use themis_query::{Catalog, EngineOptions, QueryResult, Value};
+use themis_tests::querygen::{query_strategy, random_relation, rows_strategy, test_schema, SIZES};
 
 /// Morsels far smaller than the row count, threads ≠ morsel count, so merge
 /// order and work stealing are genuinely exercised.
-fn test_opts() -> ParallelOptions {
-    ParallelOptions {
+fn test_opts() -> EngineOptions {
+    EngineOptions {
         threads: 4,
-        morsel_size: 7,
+        morsel_rows: 7,
     }
 }
 
@@ -123,7 +43,7 @@ fn assert_agree(sql: &str, serial: &QueryResult, parallel: &QueryResult) {
     }
 }
 
-fn run_both(catalog: &Catalog, sql: &str, opts: &ParallelOptions) {
+fn run_both(catalog: &Catalog, sql: &str, opts: &EngineOptions) {
     let query = themis_sql::parse(sql).expect(sql);
     let serial = themis_query::execute(catalog, &query).expect(sql);
     let parallel = themis_query::execute_parallel(catalog, &query, opts).expect(sql);
@@ -162,7 +82,7 @@ proptest! {
     fn agreement_holds_across_morsel_sizes(rows in rows_strategy(), morsel in 1usize..32) {
         let mut c = Catalog::new();
         c.register("t", random_relation(&rows));
-        let opts = ParallelOptions { threads: 3, morsel_size: morsel };
+        let opts = EngineOptions { threads: 3, morsel_rows: morsel };
         run_both(&c, "SELECT a, COUNT(*) AS n, AVG(b), MIN(c) FROM t GROUP BY a", &opts);
     }
 }
@@ -172,12 +92,7 @@ proptest! {
 /// results must be *identical* — not just close — across engines and thread
 /// counts.
 fn dyadic_relation(rows: usize) -> Relation {
-    let schema = Schema::new(vec![
-        Attribute::new("a", Domain::indexed("a", SIZES[0] as usize)),
-        Attribute::new("b", Domain::indexed("b", SIZES[1] as usize)),
-        Attribute::new("c", Domain::indexed("c", SIZES[2] as usize)),
-    ]);
-    let mut rel = Relation::new(schema);
+    let mut rel = Relation::new(test_schema());
     for i in 0..rows {
         let vals = [
             (i * 7 + 3) as u32 % SIZES[0],
@@ -190,18 +105,15 @@ fn dyadic_relation(rows: usize) -> Relation {
     rel
 }
 
-/// Satellite: identical `QueryResult` (row order included) for
-/// `THEMIS_THREADS=1,2,8` via the public `run_sql` dispatcher, including a
-/// zero-row table and an all-rows-filtered query. One test owns the env
-/// variable; nothing else in this binary reads it.
+/// Identical `QueryResult` (row order included) for explicit
+/// `EngineOptions` thread counts 1, 2, and 8 via the public `run_sql`
+/// entry, including a zero-row table and an all-rows-filtered query. No
+/// environment variables involved: the engine is configured per call.
 #[test]
 fn run_sql_is_deterministic_across_thread_counts() {
     let mut catalog = Catalog::new();
     catalog.register("t", dyadic_relation(5000));
-    catalog.register("empty", {
-        let schema = Schema::new(vec![Attribute::new("a", Domain::indexed("a", 3))]);
-        Relation::new(schema)
-    });
+    catalog.register("empty", Relation::new(test_schema()));
     let queries = [
         // Multi-morsel grouped scan with secondary ordering.
         "SELECT a, b, COUNT(*) AS n, AVG(c), MIN(b), MAX(a) FROM t \
@@ -219,24 +131,17 @@ fn run_sql_is_deterministic_across_thread_counts() {
         "SELECT x.a, COUNT(*) AS n FROM t x, t y WHERE x.b = y.c AND x.a <= 2 \
          GROUP BY x.a ORDER BY x.a",
     ];
-    // Restore the caller's THEMIS_THREADS afterwards — CI pins it per
-    // matrix leg and later tests in this process must still see that value.
-    let prev = std::env::var("THEMIS_THREADS").ok();
     for sql in queries {
         let mut results: Vec<(usize, QueryResult)> = Vec::new();
         for threads in [1usize, 2, 8] {
-            std::env::set_var("THEMIS_THREADS", threads.to_string());
-            results.push((threads, themis_query::run_sql(&catalog, sql).expect(sql)));
-        }
-        match &prev {
-            Some(v) => std::env::set_var("THEMIS_THREADS", v),
-            None => std::env::remove_var("THEMIS_THREADS"),
+            let opts = EngineOptions::with_threads(threads);
+            results.push((threads, themis_query::run_sql(&catalog, sql, &opts).expect(sql)));
         }
         let (_, base) = &results[0];
         for (threads, r) in &results[1..] {
             assert_eq!(
                 r, base,
-                "{sql}: THEMIS_THREADS={threads} differs from THEMIS_THREADS=1"
+                "{sql}: threads = {threads} differs from threads = 1"
             );
         }
     }
@@ -248,13 +153,10 @@ fn run_sql_is_deterministic_across_thread_counts() {
 fn edge_cases_agree_with_tiny_morsels() {
     let mut c = Catalog::new();
     c.register("t", dyadic_relation(40));
-    c.register("empty", {
-        let schema = Schema::new(vec![Attribute::new("a", Domain::indexed("a", 3))]);
-        Relation::new(schema)
-    });
-    let opts = ParallelOptions {
+    c.register("empty", Relation::new(test_schema()));
+    let opts = EngineOptions {
         threads: 8,
-        morsel_size: 1,
+        morsel_rows: 1,
     };
     for sql in [
         "SELECT COUNT(*) AS n FROM empty",

@@ -6,7 +6,7 @@ use themis_aggregates::{AggregateResult, AggregateSet};
 use themis_core::{ReweightMethod, Themis, ThemisConfig};
 use themis_data::paper_example::{example_population, example_sample};
 use themis_data::AttrId;
-use themis_query::{Catalog, ExecError, ParallelOptions};
+use themis_query::{Catalog, EngineOptions, ExecError};
 use themis_reweight::IpfOptions;
 
 fn assert_all_finite(t: &Themis) {
@@ -182,10 +182,10 @@ fn parallel_engine_errors_match_serial() {
         let query = themis_sql::parse(sql).expect(sql);
         let serial = themis_query::execute(&catalog, &query).unwrap_err();
         assert!(expected_kind(&serial), "{sql}: serial gave {serial:?}");
-        for (threads, morsel_size) in [(2, 1), (4, 3), (8, 2048)] {
-            let opts = ParallelOptions {
+        for (threads, morsel_rows) in [(2, 1), (4, 3), (8, 2048)] {
+            let opts = EngineOptions {
                 threads,
-                morsel_size,
+                morsel_rows,
             };
             let parallel = themis_query::execute_parallel(&catalog, &query, &opts).unwrap_err();
             assert_eq!(

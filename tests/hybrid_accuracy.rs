@@ -78,8 +78,8 @@ fn bb_beats_ss_with_informative_aggregates() {
     };
     let bb = build(LearnMode::BB);
     let ss = build(LearnMode::SS);
-    let bb_err = ratings_error(&dataset, |r| bb.point_query_bn(&[a.rg], &[r]));
-    let ss_err = ratings_error(&dataset, |r| ss.point_query_bn(&[a.rg], &[r]));
+    let bb_err = ratings_error(&dataset, |r| bb.point_query_bn(&[a.rg], &[r]).expect("BN built"));
+    let ss_err = ratings_error(&dataset, |r| ss.point_query_bn(&[a.rg], &[r]).expect("BN built"));
     assert!(bb_err < ss_err, "BB {bb_err:.1} vs SS {ss_err:.1}");
 }
 

@@ -1,2 +1,7 @@
 //! Integration test crate: the actual tests live in the sibling `*.rs` files
-//! registered as `[[test]]` targets in `Cargo.toml`.
+//! registered as `[[test]]` targets in `Cargo.toml`. This library holds the
+//! pieces those suites share — notably the random relation/query generator
+//! used by both the engine differential suite (`exec_differential.rs`) and
+//! the session differential suite (`session_differential.rs`).
+
+pub mod querygen;

@@ -2,7 +2,7 @@
 //! 4.2) plus the Table 1 behaviour of §2.
 
 use themis_aggregates::{AggregateResult, AggregateSet, IncidenceMatrix};
-use themis_core::{ReweightMethod, Themis, ThemisConfig};
+use themis_core::{ReweightMethod, Route, RouteKind, Themis, ThemisConfig, ThemisSession};
 use themis_data::paper_example::{example_population, example_sample};
 use themis_data::AttrId;
 use themis_reweight::{ipf_weights, IpfOptions};
@@ -63,6 +63,50 @@ fn table_1_open_world_answer() {
     assert_eq!(themis.point_query_sample(&attrs, &[0, 2]), 0.0);
     let open_world = themis.point_query(&attrs, &[0, 2]);
     assert!(open_world > 0.25 && open_world < 2.5, "estimate {open_world}");
+}
+
+/// §4.3 routing on the running example, through the session API:
+/// `explain`'s promised route agrees with the route the executed query
+/// actually takes, for all three routes.
+#[test]
+fn section_4_3_explain_agrees_with_executed_routes() {
+    let session = ThemisSession::new(Themis::build(
+        example_sample(),
+        gamma(),
+        10.0,
+        ThemisConfig {
+            bn_sample_size: Some(4_000),
+            ..ThemisConfig::default()
+        },
+    ));
+
+    // In-sample point query (NC → NY is in the sample) → Sample.
+    let sql = "SELECT COUNT(*) FROM flights WHERE o_st = 'NC' AND d_st = 'NY'";
+    assert_eq!(session.explain(sql).unwrap().route, RouteKind::Sample);
+    assert_eq!(session.sql(sql).unwrap().route, Route::Sample);
+
+    // Missing-tuple point query (FL → NY is only in the population) →
+    // BayesNet, with a positive open-world estimate.
+    let sql = "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NY'";
+    assert_eq!(session.explain(sql).unwrap().route, RouteKind::BayesNet);
+    let answer = session.sql(sql).unwrap();
+    assert_eq!(answer.route.kind(), RouteKind::BayesNet);
+    assert!(answer.scalar().unwrap() > 0.0);
+
+    // Open-world GROUP BY → Hybrid, and the BN contributes groups the
+    // sample misses.
+    let sql = "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st";
+    assert_eq!(session.explain(sql).unwrap().route, RouteKind::Hybrid);
+    let answer = session.sql(sql).unwrap();
+    let Route::Hybrid {
+        sample_groups,
+        bn_groups_added,
+    } = answer.route
+    else {
+        panic!("expected hybrid route, got {:?}", answer.route);
+    };
+    assert!(sample_groups > 0);
+    assert!(bn_groups_added > 0, "open-world groups must be added");
 }
 
 /// §2: uniform reweighting (AQP) scales by |P|/|S| = 2.5 here, i.e. weight

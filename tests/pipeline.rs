@@ -176,7 +176,7 @@ fn all_bn_modes_run_end_to_end() {
         );
         let bn = t.bayesian_network().expect("mode builds a BN");
         assert!(bn.is_normalized(1e-6), "mode {} unnormalized", mode.name());
-        let est = t.point_query_bn(&[attrs.o], &[0]);
+        let est = t.point_query_bn(&[attrs.o], &[0]).expect("mode builds a BN");
         assert!(est.is_finite() && est >= 0.0);
     }
 }

@@ -1,0 +1,94 @@
+//! Shared random-input generators for the differential test suites: a
+//! 3-attribute weighted relation and a random query from the supported SQL
+//! subset (filters, IN, GROUP BY, ORDER BY/LIMIT — self-join shapes are
+//! enumerated by the callers).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use themis_data::{Attribute, Domain, Relation, Schema};
+
+/// Domain sizes of the three test attributes `a`, `b`, `c`.
+pub const SIZES: [u32; 3] = [5, 4, 3];
+
+/// The three-attribute test schema shared by every generated relation.
+pub fn test_schema() -> Arc<Schema> {
+    Schema::new(vec![
+        Attribute::new("a", Domain::indexed("a", SIZES[0] as usize)),
+        Attribute::new("b", Domain::indexed("b", SIZES[1] as usize)),
+        Attribute::new("c", Domain::indexed("c", SIZES[2] as usize)),
+    ])
+}
+
+/// Materialize `(a, b, c, weight)` tuples into a relation.
+pub fn random_relation(rows: &[(u32, u32, u32, f64)]) -> Relation {
+    let mut rel = Relation::new(test_schema());
+    for &(a, b, c, w) in rows {
+        rel.push_row_weighted(&[a, b, c], w);
+    }
+    rel
+}
+
+/// Rows including occasional exact-zero weights (MIN/MAX must ignore them)
+/// and possibly no rows at all (scalar queries must return a zero row).
+pub fn rows_strategy() -> impl Strategy<Value = Vec<(u32, u32, u32, f64)>> {
+    prop::collection::vec(
+        (0u32..SIZES[0], 0u32..SIZES[1], 0u32..SIZES[2], 0.0f64..10.0)
+            .prop_map(|(a, b, c, w)| (a, b, c, if w < 1.0 { 0.0 } else { w })),
+        0..80,
+    )
+}
+
+/// A random single-table query over `t`, assembled from independently drawn
+/// clause choices. Always contains COUNT(*) aliased `n` so every query is a
+/// valid aggregate query.
+pub fn query_strategy() -> impl Strategy<Value = String> {
+    (0u32..5, 0u32..5, 1u32..16, 0u32..4, 0u32..16, 0u32..3).prop_map(
+        |(filter, k, in_mask, group, agg_mask, order)| {
+            let mut select = vec!["COUNT(*) AS n".to_string()];
+            for (bit, agg) in ["SUM(c)", "AVG(b)", "MIN(c)", "MAX(a)"].iter().enumerate() {
+                if agg_mask & (1 << bit) != 0 {
+                    select.push(agg.to_string());
+                }
+            }
+            let group_cols: &[&str] = match group {
+                1 => &["a"],
+                2 => &["a", "b"],
+                3 => &["b"],
+                _ => &[],
+            };
+            let mut sql = String::from("SELECT ");
+            if !group_cols.is_empty() {
+                sql.push_str(&group_cols.join(", "));
+                sql.push_str(", ");
+            }
+            sql.push_str(&select.join(", "));
+            sql.push_str(" FROM t");
+            match filter {
+                1 => sql.push_str(&format!(" WHERE a <= {}", k % SIZES[0])),
+                2 => {
+                    let vals: Vec<String> = (0..SIZES[1])
+                        .filter(|v| in_mask & (1 << v) != 0)
+                        .map(|v| format!("'{v}'"))
+                        .collect();
+                    if !vals.is_empty() {
+                        sql.push_str(&format!(" WHERE b IN ({})", vals.join(", ")));
+                    }
+                }
+                3 => sql.push_str(&format!(" WHERE c = '{}'", k % SIZES[2])),
+                4 => sql.push_str(&format!(" WHERE a <> {}", k % SIZES[0])),
+                _ => {}
+            }
+            if !group_cols.is_empty() {
+                sql.push_str(&format!(" GROUP BY {}", group_cols.join(", ")));
+            }
+            match order {
+                1 if !group_cols.is_empty() => {
+                    sql.push_str(&format!(" ORDER BY {} LIMIT 2", group_cols[0]));
+                }
+                2 => sql.push_str(" ORDER BY n DESC LIMIT 3"),
+                _ => {}
+            }
+            sql
+        },
+    )
+}

@@ -1,0 +1,107 @@
+//! Differential testing of the session API across engine configurations:
+//! `ThemisSession` with `EngineOptions { threads: 1 }` and `{ threads: 4 }`
+//! must produce **bit-identical** `Answer`s — same `Route`, same rows, same
+//! row order — on the random-query generator shared with
+//! `exec_differential.rs`.
+//!
+//! Bit-identity (not epsilon agreement) holds because both sessions drive
+//! the morsel engine with the same `morsel_rows`: the morsel decomposition,
+//! and therefore every floating-point merge, is the same regardless of how
+//! many workers execute it. Routing is engine-independent by construction.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_core::{Themis, ThemisConfig, ThemisSession};
+use themis_data::{AttrId, Relation};
+use themis_query::EngineOptions;
+use themis_tests::querygen::{query_strategy, test_schema, SIZES};
+
+/// A deterministic "population" over the generator's schema, skewed enough
+/// that grouped queries see many distinct groups.
+fn population() -> Relation {
+    let mut rel = Relation::new(test_schema());
+    for i in 0..2_000usize {
+        rel.push_row(&[
+            (i * 7 + i / 13) as u32 % SIZES[0],
+            (i * 5 + 1) as u32 % SIZES[1],
+            (i * 11 + i / 7) as u32 % SIZES[2],
+        ]);
+    }
+    rel
+}
+
+/// A biased sample: only rows with small `a` values, so open-world groups
+/// exist and hybrid queries genuinely add BN groups.
+fn biased_sample(pop: &Relation) -> Relation {
+    let rows: Vec<usize> = (0..pop.len())
+        .filter(|&r| pop.value(r, AttrId(0)) < 3)
+        .take(300)
+        .collect();
+    pop.select_rows(&rows)
+}
+
+/// One model, two sessions differing only in thread count. Small morsels so
+/// multi-morsel merging is actually exercised at both thread counts.
+fn sessions() -> &'static (ThemisSession, ThemisSession) {
+    static SESSIONS: OnceLock<(ThemisSession, ThemisSession)> = OnceLock::new();
+    SESSIONS.get_or_init(|| {
+        let pop = population();
+        let aggregates = AggregateSet::from_results(vec![
+            AggregateResult::compute(&pop, &[AttrId(0)]),
+            AggregateResult::compute(&pop, &[AttrId(1), AttrId(2)]),
+        ]);
+        let n = pop.len() as f64;
+        let sample = biased_sample(&pop);
+        let config = ThemisConfig {
+            bn_sample_size: Some(500),
+            ..ThemisConfig::default()
+        };
+        let model = Themis::build(sample, aggregates, n, config);
+        let engine = |threads| EngineOptions {
+            threads,
+            morsel_rows: 7,
+        };
+        (
+            ThemisSession::with_engine(model.clone(), engine(1)),
+            ThemisSession::with_engine(model, engine(4)),
+        )
+    })
+}
+
+proptest! {
+    /// Satellite acceptance: serial-width and 4-thread sessions agree
+    /// bit-for-bit on route and rows for random queries.
+    #[test]
+    fn answers_are_bit_identical_across_thread_counts(sql in query_strategy()) {
+        let (one, four) = sessions();
+        match (one.sql(&sql), four.sql(&sql)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a.route, &b.route, "route diverged: {}", sql);
+                prop_assert_eq!(&a.result, &b.result, "rows diverged: {}", sql);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "errors diverged: {}", sql),
+            (a, b) => panic!("{sql}: one succeeded, one failed: {a:?} vs {b:?}"),
+        }
+        // explain is engine-independent too, and agrees between sessions.
+        prop_assert_eq!(one.explain(&sql).ok(), four.explain(&sql).ok());
+    }
+}
+
+/// The fixed shapes the random generator cannot produce (self-joins) are
+/// also bit-identical across thread counts.
+#[test]
+fn self_join_answers_are_bit_identical_across_thread_counts() {
+    let (one, four) = sessions();
+    for sql in [
+        "SELECT COUNT(*) AS n FROM t x, t y WHERE x.b = y.c",
+        "SELECT x.a, COUNT(*) AS n FROM t x, t y WHERE x.b = y.c GROUP BY x.a",
+        "SELECT x.a, y.b, COUNT(*) AS n FROM t x, t y \
+         WHERE x.c = y.c GROUP BY x.a, y.b ORDER BY n DESC LIMIT 4",
+    ] {
+        let a = one.sql(sql).expect(sql);
+        let b = four.sql(sql).expect(sql);
+        assert_eq!(a.route, b.route, "{sql}");
+        assert_eq!(a.result, b.result, "{sql}");
+    }
+}

@@ -1,13 +1,14 @@
-//! SQL-level integration tests: parse → plan → execute → hybrid merge.
+//! SQL-level integration tests: parse → route → execute → hybrid merge,
+//! through the session API.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use themis_aggregates::{AggregateResult, AggregateSet};
-use themis_core::{Themis, ThemisConfig};
+use themis_core::{Route, Themis, ThemisConfig, ThemisError, ThemisSession};
 use themis_data::datasets::flights::{FlightsConfig, FlightsDataset};
-use themis_query::{Catalog, Value};
+use themis_query::{Catalog, EngineOptions, ExecError, Value};
 
-fn build() -> (FlightsDataset, Themis) {
+fn build() -> (FlightsDataset, ThemisSession) {
     let dataset = FlightsDataset::generate(FlightsConfig {
         n: 60_000,
         ..Default::default()
@@ -30,26 +31,31 @@ fn build() -> (FlightsDataset, Themis) {
             ..ThemisConfig::default()
         },
     );
-    (dataset, themis)
+    (dataset, ThemisSession::new(themis))
 }
 
 #[test]
 fn count_star_approximates_population_size() {
-    let (dataset, themis) = build();
-    let r = themis.sql("SELECT COUNT(*) FROM flights").unwrap();
-    let est = r.scalar().unwrap();
+    let (dataset, session) = build();
+    let answer = session.sql("SELECT COUNT(*) FROM flights").unwrap();
+    // A bare total count routes to the reweighted sample.
+    assert_eq!(answer.route, Route::Sample);
+    let est = answer.scalar().unwrap();
     let n = dataset.population.len() as f64;
     assert!((est - n).abs() / n < 0.25, "COUNT(*) = {est}, n = {n}");
 }
 
 #[test]
 fn filtered_counts_track_truth() {
-    let (dataset, themis) = build();
+    let (dataset, session) = build();
     let sql = "SELECT COUNT(*) FROM flights WHERE origin_state = 'TX'";
     let mut catalog = Catalog::new();
     catalog.register("flights", dataset.population.clone());
-    let truth = themis_query::run_sql(&catalog, sql).unwrap().scalar().unwrap();
-    let est = themis.sql(sql).unwrap().scalar().unwrap();
+    let truth = themis_query::run_sql(&catalog, sql, &EngineOptions::default())
+        .unwrap()
+        .scalar()
+        .unwrap();
+    let est = session.sql(sql).unwrap().scalar().unwrap();
     assert!(
         (est - truth).abs() / truth < 0.5,
         "est {est} vs truth {truth}"
@@ -58,10 +64,12 @@ fn filtered_counts_track_truth() {
 
 #[test]
 fn group_by_returns_weighted_groups() {
-    let (_, themis) = build();
-    let r = themis
+    let (_, session) = build();
+    let answer = session
         .sql("SELECT origin_state, COUNT(*) FROM flights GROUP BY origin_state")
         .unwrap();
+    assert!(matches!(answer.route, Route::Hybrid { .. }));
+    let r = &answer.result;
     assert_eq!(r.group_arity, 1);
     assert!(r.rows.len() >= 15, "most states should appear");
     // All aggregate cells positive.
@@ -75,32 +83,37 @@ fn group_by_returns_weighted_groups() {
 
 #[test]
 fn join_query_runs_on_the_model() {
-    let (_, themis) = build();
-    let r = themis
+    let (_, session) = build();
+    let answer = session
         .sql(
             "SELECT t.origin_state, COUNT(*) FROM flights t, flights s \
              WHERE t.dest_state = s.origin_state GROUP BY t.origin_state",
         )
         .unwrap();
-    assert!(!r.rows.is_empty());
+    assert!(!answer.result.rows.is_empty());
+    // Grouped joins take the hybrid route too.
+    assert!(matches!(answer.route, Route::Hybrid { .. }));
 }
 
 #[test]
 fn parse_errors_surface_cleanly() {
-    let (_, themis) = build();
-    let err = themis.sql("SELEKT * FROM flights").unwrap_err();
+    let (_, session) = build();
+    let err = session.sql("SELEKT * FROM flights").unwrap_err();
+    assert!(matches!(err, ThemisError::Exec(ExecError::Parse(_))));
     let msg = err.to_string();
     assert!(msg.contains("parse error"), "unexpected message: {msg}");
 }
 
 #[test]
 fn avg_queries_agree_with_population_shape() {
-    let (dataset, themis) = build();
+    let (dataset, session) = build();
     let sql = "SELECT origin_state, AVG(elapsed_time) FROM flights GROUP BY origin_state";
     let mut catalog = Catalog::new();
     catalog.register("flights", dataset.population.clone());
-    let truth = themis_query::run_sql(&catalog, sql).unwrap().to_map();
-    let est = themis.sql_sample_only(sql).unwrap().to_map();
+    let truth = themis_query::run_sql(&catalog, sql, &EngineOptions::default())
+        .unwrap()
+        .to_map();
+    let est = session.sql_sample_only(sql).unwrap().result.to_map();
     // Average elapsed-time bucket should be within 1.5 buckets for the
     // heavily sampled corner states.
     for state in ["CA", "NY", "FL", "WA"] {
@@ -108,5 +121,19 @@ fn avg_queries_agree_with_population_shape() {
         let t = truth[&key][0];
         let e = est[&key][0];
         assert!((t - e).abs() < 1.5, "{state}: est {e} vs truth {t}");
+    }
+}
+
+#[test]
+fn explain_matches_executed_route_on_real_data() {
+    let (_, session) = build();
+    for sql in [
+        "SELECT COUNT(*) FROM flights",
+        "SELECT origin_state, COUNT(*) FROM flights GROUP BY origin_state",
+        "SELECT COUNT(*) FROM flights WHERE origin_state = 'TX'",
+    ] {
+        let promised = session.explain(sql).unwrap().route;
+        let took = session.sql(sql).unwrap().route;
+        assert_eq!(promised, took.kind(), "{sql}");
     }
 }
