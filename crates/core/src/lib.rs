@@ -48,6 +48,8 @@
 //! assert_eq!(session.explain(sql).unwrap().route, answer.route.kind());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod error;
 pub mod metrics;

@@ -5,7 +5,7 @@
 //! where the true value is small and to ensure missed and phantom groups
 //! get the maximum error of 200 percent".
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use themis_data::GroupKey;
 
 /// Percent difference between a true and an estimated value, in `[0, 200]`.
@@ -23,7 +23,9 @@ pub fn percent_difference(truth: f64, estimate: f64) -> f64 {
 /// and groups present only in the estimate (phantom) both score the maximum
 /// 200.
 pub fn group_by_error(truth: &HashMap<GroupKey, f64>, estimate: &HashMap<GroupKey, f64>) -> f64 {
-    let keys: HashSet<&GroupKey> = truth.keys().chain(estimate.keys()).collect();
+    // BTreeSet, not HashSet: the f64 sum below is order-sensitive, so the
+    // union must iterate in a run-independent order.
+    let keys: BTreeSet<&GroupKey> = truth.keys().chain(estimate.keys()).collect();
     if keys.is_empty() {
         return 0.0;
     }
@@ -53,7 +55,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile out of range");
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;

@@ -459,6 +459,7 @@ pub(crate) fn hybrid_sql(
     if let Some(consensus) = replicate_consensus(replicates, &inner, opts)? {
         let existing: HashSet<Vec<String>> = merged.to_map().into_keys().collect();
         let k = replicates.len() as f64;
+        // themis-lint: allow(deterministic-iteration) reason=finish_merged below sorts merged rows by group prefix before ORDER BY/LIMIT applies
         for (group, sums) in consensus.groups {
             if existing.contains(&group) {
                 continue;
@@ -494,6 +495,7 @@ pub(crate) fn bn_only_sql(
     let k = replicates.len() as f64;
     let mut out = consensus.template;
     out.rows = consensus
+        // themis-lint: allow(deterministic-iteration) reason=finish_merged below sorts rows by group prefix before ORDER BY/LIMIT applies
         .groups
         .into_iter()
         .map(|(group, sums)| consensus_row(group, sums, k))
@@ -553,16 +555,18 @@ pub(crate) fn bn_point_result(
     attrs: &[AttrId],
     values: &[u32],
     column: String,
-) -> QueryResult {
-    let bn = model
-        .bayesian_network()
-        .expect("BnPoint decision implies a BN");
+) -> Result<QueryResult, ExecError> {
+    // `decide` only routes to BnPoint when the model has a BN; surface a
+    // routing bug as an error rather than a panic.
+    let bn = model.bayesian_network().ok_or_else(|| {
+        ExecError::Unsupported("BnPoint routing requires a Bayesian network".into())
+    })?;
     let est = model.population_size() * point_probability(bn, attrs, values);
-    QueryResult {
+    Ok(QueryResult {
         columns: vec![column],
         rows: vec![vec![Value::Num(est)]],
         group_arity: 0,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -124,7 +124,7 @@ impl ThemisSession {
                 column,
                 ..
             } => (
-                route::bn_point_result(&self.model, &attrs, &values, column),
+                route::bn_point_result(&self.model, &attrs, &values, column)?,
                 Route::BayesNet { k_agreed: 0 },
             ),
             Decision::Hybrid { .. } => route::hybrid_sql(
@@ -186,15 +186,13 @@ impl ThemisSession {
         let sample = self.model.reweighted_sample();
         let (est, route) = if sample.contains_point(attrs, values) {
             (self.model.point_query_sample(attrs, values), Route::Sample)
-        } else if self.model.bayesian_network().is_some() {
-            (
-                self.model
-                    .point_query_bn(attrs, values)
-                    .expect("checked: model has a BN"),
-                Route::BayesNet { k_agreed: 0 },
-            )
         } else {
-            (0.0, Route::Sample)
+            match self.model.point_query_bn(attrs, values) {
+                Ok(est) => (est, Route::BayesNet { k_agreed: 0 }),
+                // No BN to fall back on: the closed-sample answer for an
+                // unseen point is zero.
+                Err(_) => (0.0, Route::Sample),
+            }
         };
         Answer {
             result: QueryResult {

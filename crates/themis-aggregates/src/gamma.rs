@@ -106,6 +106,7 @@ impl AggregateResult {
                 self.attrs
                     .iter()
                     .position(|x| x == a)
+                    // themis-lint: allow(no-panic-in-libs) reason=documented `# Panics` contract; callers pass subsets of attrs() by construction
                     .unwrap_or_else(|| panic!("attribute {a} not covered by this aggregate"))
             })
             .collect();
@@ -114,6 +115,7 @@ impl AggregateResult {
             let sub: GroupKey = positions.iter().map(|&p| key[p]).collect();
             *acc.entry(sub).or_insert(0.0) += count;
         }
+        // themis-lint: allow(deterministic-iteration) reason=from_groups sorts its input by group key before storing
         AggregateResult::from_groups(subset.to_vec(), acc.into_iter().collect())
     }
 

@@ -17,6 +17,8 @@
 //!   junction-tree greedy algorithm of §5.1 (Alg. 4) plus the random
 //!   baseline used in Fig. 15.
 
+#![forbid(unsafe_code)]
+
 pub mod gamma;
 pub mod incidence;
 pub mod info;

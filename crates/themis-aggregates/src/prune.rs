@@ -42,11 +42,7 @@ pub fn select_tcherry(candidates: &[AggregateResult], budget: usize) -> Vec<usiz
     );
     if d == 1 {
         let mut order: Vec<usize> = (0..candidates.len()).collect();
-        order.sort_by(|&a, &b| {
-            entropy(&candidates[b])
-                .partial_cmp(&entropy(&candidates[a]))
-                .expect("finite entropies")
-        });
+        order.sort_by(|&a, &b| entropy(&candidates[b]).total_cmp(&entropy(&candidates[a])));
         order.truncate(budget);
         return order;
     }
@@ -83,7 +79,7 @@ pub fn select_tcherry(candidates: &[AggregateResult], budget: usize) -> Vec<usiz
             });
         }
     }
-    pairs.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    pairs.sort_by(|a, b| b.score.total_cmp(&a.score));
 
     let mut selected: Vec<usize> = Vec::new();
     let mut used = vec![false; candidates.len()];

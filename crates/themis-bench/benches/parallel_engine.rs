@@ -11,7 +11,7 @@
 //! hash keys); on multi-core hosts thread scaling compounds it.
 
 use std::time::Instant;
-use themis_bench::report;
+use themis_bench::report::{self, Jv};
 use themis_data::datasets::flights::{FlightsConfig, FlightsDataset};
 use themis_query::{execute, execute_parallel, Catalog, EngineOptions, QueryResult};
 use themis_sql::Query;
@@ -88,6 +88,7 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
+    let mut json_workloads = Vec::new();
     let mut group_by_speedup_at_4 = 0.0;
     for (name, cat, sql) in workloads {
         let query: Query = themis_sql::parse(sql).expect(sql);
@@ -95,6 +96,7 @@ fn main() {
         let serial_s = best_of(|| execute(cat, &query).expect(sql));
 
         let mut cells = vec![name.to_string(), report::f(serial_s * 1e3)];
+        let mut json_points = Vec::new();
         for threads in THREAD_COUNTS {
             let opts = EngineOptions::with_threads(threads);
             let result = execute_parallel(cat, &query, &opts).expect(sql);
@@ -112,8 +114,19 @@ fn main() {
                 report::f(par_s * 1e3),
                 report::f(speedup)
             ));
+            json_points.push(Jv::Obj(vec![
+                ("threads".into(), Jv::Int(threads as u64)),
+                ("ms".into(), Jv::Num(par_s * 1e3)),
+                ("speedup".into(), Jv::Num(speedup)),
+            ]));
         }
         rows.push(cells);
+        json_workloads.push(Jv::Obj(vec![
+            ("name".into(), Jv::Str(name.into())),
+            ("sql".into(), Jv::Str(sql.into())),
+            ("serial_ms".into(), Jv::Num(serial_s * 1e3)),
+            ("parallel".into(), Jv::Arr(json_points)),
+        ]));
     }
     report::table(
         &[
@@ -131,6 +144,26 @@ fn main() {
          group_by_scan speedup at 4 threads: {}x (acceptance floor: 2x)",
         report::f(group_by_speedup_at_4)
     );
+
+    let record = Jv::Obj(vec![
+        ("bench".into(), Jv::Str("parallel_engine".into())),
+        ("n_rows".into(), Jv::Int(n as u64)),
+        ("reps".into(), Jv::Int(REPS as u64)),
+        (
+            "thread_counts".into(),
+            Jv::Arr(THREAD_COUNTS.iter().map(|&t| Jv::Int(t as u64)).collect()),
+        ),
+        ("workloads".into(), Jv::Arr(json_workloads)),
+        (
+            "group_by_speedup_at_4_threads".into(),
+            Jv::Num(group_by_speedup_at_4),
+        ),
+    ]);
+    match report::write_bench_json("parallel", &record) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_parallel.json: {e}"),
+    }
+
     assert!(
         group_by_speedup_at_4 >= 2.0,
         "parallel engine below the 2x acceptance floor on group_by_scan at 4 threads"

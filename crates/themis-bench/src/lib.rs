@@ -9,6 +9,8 @@
 //! `THEMIS_SCALE=paper` to run at the paper's population sizes and query
 //! counts.
 
+#![forbid(unsafe_code)]
+
 pub mod methods;
 pub mod report;
 pub mod setup;

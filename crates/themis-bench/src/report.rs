@@ -70,6 +70,115 @@ pub fn summarize(errors: &[f64]) -> Summary {
     }
 }
 
+/// A JSON value for machine-readable bench records (`BENCH_<topic>.json`).
+///
+/// The workspace has no serde; benches build the handful of numbers they
+/// report with this enum and [`write_bench_json`] puts the rendered text at
+/// the repo root where the perf-trajectory tooling expects it.
+#[derive(Debug, Clone)]
+pub enum Jv {
+    Num(f64),
+    Int(u64),
+    Str(String),
+    Arr(Vec<Jv>),
+    /// Keys render in insertion order, so records diff cleanly run-to-run.
+    Obj(Vec<(String, Jv)>),
+}
+
+impl Jv {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        match self {
+            Jv::Num(v) if v.is_finite() => out.push_str(&format!("{v:.6}")),
+            Jv::Num(_) => out.push_str("null"),
+            Jv::Int(v) => out.push_str(&v.to_string()),
+            Jv::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Jv::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&pad);
+                    item.render_into(out, indent + 1);
+                }
+                if !items.is_empty() {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push(']');
+            }
+            Jv::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&pad);
+                    out.push_str(&format!("\"{k}\": "));
+                    v.render_into(out, indent + 1);
+                }
+                if !fields.is_empty() {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent));
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Ascend from the current directory to the workspace root, identified by
+/// its `ROADMAP.md`. Benches run from somewhere inside the repo, so this
+/// works without compile-time environment reads.
+pub fn workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("ROADMAP.md").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Write `record` to `BENCH_<topic>.json` at the repo root and return the
+/// path it landed at.
+pub fn write_bench_json(topic: &str, record: &Jv) -> std::io::Result<std::path::PathBuf> {
+    let root = workspace_root().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            "no ROADMAP.md above the current directory; run benches from inside the repo",
+        )
+    })?;
+    let path = root.join(format!("BENCH_{topic}.json"));
+    let mut text = record.render();
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +196,39 @@ mod tests {
         assert_eq!(f(1.23456), "1.23");
         assert_eq!(f(12345.6), "12346");
         assert_eq!(f(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn json_renders_nested_records() {
+        let record = Jv::Obj(vec![
+            ("bench".into(), Jv::Str("demo".into())),
+            ("n".into(), Jv::Int(300_000)),
+            (
+                "timings".into(),
+                Jv::Arr(vec![Jv::Num(1.5), Jv::Num(0.75)]),
+            ),
+        ]);
+        let text = record.render();
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        assert!(text.contains("\"bench\": \"demo\""));
+        assert!(text.contains("\"n\": 300000"));
+        assert!(text.contains("1.500000"));
+        // Insertion order is preserved: "bench" renders before "timings".
+        assert!(text.find("bench").unwrap() < text.find("timings").unwrap());
+    }
+
+    #[test]
+    fn json_escapes_strings_and_nulls_non_finite() {
+        assert_eq!(Jv::Str("a\"b\\c\n".into()).render(), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(Jv::Num(f64::NAN).render(), "null");
+        assert_eq!(Jv::Arr(vec![]).render(), "[]");
+        assert_eq!(Jv::Obj(vec![]).render(), "{}");
+    }
+
+    #[test]
+    fn workspace_root_finds_the_repo() {
+        let root = workspace_root().expect("tests run inside the repo");
+        assert!(root.join("ROADMAP.md").is_file());
+        assert!(root.join("Cargo.toml").is_file());
     }
 }

@@ -30,6 +30,7 @@ impl Scale {
     /// Read the scale from the `THEMIS_SCALE` environment variable
     /// (`quick` default, `paper` for full size).
     pub fn from_env() -> Self {
+        // themis-lint: allow(no-env-reads) reason=bench harness knob, never read by library crates; engine threading stays on EngineOptions
         match std::env::var("THEMIS_SCALE").as_deref() {
             Ok("paper") => Scale {
                 flights_n: 500_000,

@@ -60,6 +60,7 @@ impl Factor {
     pub fn at(&self, values: &[u32]) -> f64 {
         assert_eq!(values.len(), self.vars.len());
         self.table[self.index_of(|a| {
+            // themis-lint: allow(no-panic-in-libs) reason=index_of only asks for this factor's own vars, each of which is in self.vars
             values[self.vars.iter().position(|&v| v == a).expect("own var")]
         })]
     }
@@ -88,6 +89,7 @@ impl Factor {
                 rem /= cards[i];
             }
             let value_of = |a: AttrId| {
+                // themis-lint: allow(no-panic-in-libs) reason=vars is the union of both factors' vars, so every queried var is present
                 assignment[vars.iter().position(|&v| v == a).expect("var in union")]
             };
             let left = self.table[self.index_of(value_of)];
@@ -106,6 +108,7 @@ impl Factor {
             .vars
             .iter()
             .position(|&v| v == var)
+            // themis-lint: allow(no-panic-in-libs) reason=documented `# Panics` contract of marginalize_out
             .expect("variable not in factor");
         let mut vars = self.vars.clone();
         let mut cards = self.cards.clone();
@@ -142,6 +145,7 @@ impl Factor {
             .vars
             .iter()
             .position(|&v| v == var)
+            // themis-lint: allow(no-panic-in-libs) reason=documented `# Panics` contract of restrict
             .expect("variable not in factor");
         assert!((value as usize) < self.cards[pos], "value out of range");
         let mut vars = self.vars.clone();

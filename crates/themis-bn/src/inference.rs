@@ -44,6 +44,7 @@ pub fn point_probability(net: &BayesianNetwork, attrs: &[AttrId], values: &[u32]
                 assignment[i] = (rem % cards[i]) as u32;
                 rem /= cards[i];
             }
+            // themis-lint: allow(no-panic-in-libs) reason=vars always starts with the node itself, so assignment has at least one element
             *entry = cpt.prob(assignment[0], &assignment[1..]);
         }
         let mut factor = Factor::new(vars, cards, table);

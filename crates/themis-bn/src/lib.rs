@@ -24,6 +24,8 @@
 //! * [`joint`] — a deliberately naive *unsimplified* Eq. 2 solver used only
 //!   to demonstrate why the §5.2 simplification is necessary.
 
+#![forbid(unsafe_code)]
+
 pub mod factor;
 pub mod inference;
 pub mod joint;

@@ -78,6 +78,7 @@ pub fn learn_parameters(
 
     let order = net
         .topological_order()
+        // themis-lint: allow(no-panic-in-libs) reason=structure learning emits tree/forest parent sets, which are acyclic by construction
         .expect("structure learning produces DAGs");
 
     for node in order {
@@ -190,6 +191,7 @@ fn build_factor_constraints(
         // Positions of covered parents within the full parent list.
         let cover_pos: Vec<usize> = covered_parents
             .iter()
+            // themis-lint: allow(no-panic-in-libs) reason=covered_parents is filtered from `parents` two statements up, so every element is present
             .map(|cp| parents.iter().position(|p| p == cp).expect("covered parent"))
             .collect();
 

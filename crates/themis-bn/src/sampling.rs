@@ -14,6 +14,7 @@ use themis_data::{AttrId, GroupKey, Relation};
 
 /// Draw one forward sample of `size` tuples (weights all 1).
 pub fn forward_sample<R: Rng>(net: &BayesianNetwork, size: usize, rng: &mut R) -> Relation {
+    // themis-lint: allow(no-panic-in-libs) reason=BayesianNetwork::new rejects cyclic structures, so a topological order always exists
     let order = net.topological_order().expect("networks are DAGs");
     let mut rel = Relation::with_capacity(net.schema().clone(), size);
     let mut values = vec![0u32; net.arity()];
@@ -60,7 +61,6 @@ pub fn answer_group_by<R: Rng>(
     population_size: f64,
     rng: &mut R,
 ) -> HashMap<GroupKey, f64> {
-    assert!(k > 0, "need at least one replicate");
     let mut agreed: Option<HashMap<GroupKey, (f64, usize)>> = None;
     for _ in 0..k {
         let mut s = forward_sample(net, sample_size, rng);
@@ -79,8 +79,11 @@ pub fn answer_group_by<R: Rng>(
             }
         });
     }
+    // k = 0 draws no replicates, so no group reaches consensus.
+    let Some(agreed) = agreed else {
+        return HashMap::new();
+    };
     agreed
-        .expect("k > 0")
         .into_iter()
         .map(|(g, (sum, seen))| {
             debug_assert_eq!(seen, k);
@@ -175,6 +178,14 @@ mod tests {
             "got {got}, expected ≈ {}",
             p0 * 10_000.0
         );
+    }
+
+    #[test]
+    fn zero_replicates_yield_empty_answer() {
+        let net = chain();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let answer = answer_group_by(&net, &[AttrId(0)], 0, 100, 1_000.0, &mut rng);
+        assert!(answer.is_empty());
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! supported SQL subset. Meta commands start with `\`; everything else is
 //! parsed as SQL against the built model.
 
+#![forbid(unsafe_code)]
+
 use std::io::{BufRead, Write};
 use themis_core::EngineOptions;
 

@@ -131,7 +131,9 @@ impl FlightsDataset {
         let origin_weights: Vec<f64> = (0..STATES.len())
             .map(|i| 1.0 / ((i + 1) as f64).powf(config.zipf))
             .collect();
+        // themis-lint: allow(no-panic-in-libs) reason=weights are strictly positive Zipf terms and a const table, so construction cannot fail
         let origin_dist = WeightedIndex::new(&origin_weights).expect("valid weights");
+        // themis-lint: allow(no-panic-in-libs) reason=MONTH_WEIGHTS is a const table of positive weights
         let month_dist = WeightedIndex::new(MONTH_WEIGHTS).expect("valid weights");
 
         let mut row = [0u32; 5];
@@ -220,7 +222,7 @@ fn nearest_state(origin: usize, k: usize) -> usize {
     others.sort_by(|&a, &b| {
         let da = (STATE_POS[a] - STATE_POS[origin]).abs();
         let db = (STATE_POS[b] - STATE_POS[origin]).abs();
-        da.partial_cmp(&db).expect("finite distances")
+        da.total_cmp(&db)
     });
     others[k.min(others.len() - 1)]
 }

@@ -128,13 +128,16 @@ impl ImdbDataset {
 
         // Movie years skew recent.
         let year_weights: Vec<f64> = (0..YEAR_BUCKETS).map(|i| 0.5 + i as f64 * 0.15).collect();
+        // themis-lint: allow(no-panic-in-libs) reason=year weights are strictly positive by construction
         let year_dist = WeightedIndex::new(&year_weights).expect("valid weights");
         // Country skew: mostly US.
+        // themis-lint: allow(no-panic-in-libs) reason=country weights are a positive literal array
         let country_dist = WeightedIndex::new([0.62, 0.23, 0.15]).expect("valid weights");
         // Actor names: Zipf-skewed over a dense domain (prolific actors).
         let name_weights: Vec<f64> = (0..config.names)
             .map(|i| 1.0 / ((i + 1) as f64).powf(1.07))
             .collect();
+        // themis-lint: allow(no-panic-in-libs) reason=Zipf name weights are strictly positive for every domain size
         let name_dist = WeightedIndex::new(&name_weights).expect("valid weights");
 
         let mut row = [0u32; 8];

@@ -191,10 +191,23 @@ pub fn ingest_csv(text: &str, specs: &[ColumnSpec]) -> Result<Ingested, IngestEr
                     .attr(crate::schema::AttrId(c))
                     .domain()
                     .id_of(&r[c])
-                    .expect("label collected in first pass"),
+                    .ok_or_else(|| IngestError::SpecMismatch {
+                        message: format!(
+                            "label `{}` missing from the first-pass domain of column `{}`",
+                            r[c], header[c]
+                        ),
+                    })?,
                 ColumnSpec::Numeric { .. } => {
-                    let v: f64 = r[c].parse().expect("validated in second pass");
-                    bucketizers[c].as_ref().expect("numeric column").bucket(v)
+                    let v: f64 = r[c].parse().map_err(|_| IngestError::BadNumber {
+                        column: header[c].clone(),
+                        value: r[c].clone(),
+                    })?;
+                    bucketizers[c]
+                        .as_ref()
+                        .ok_or_else(|| IngestError::SpecMismatch {
+                            message: format!("no bucketizer for numeric column `{}`", header[c]),
+                        })?
+                        .bucket(v)
                 }
             };
         }

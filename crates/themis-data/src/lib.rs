@@ -18,6 +18,8 @@
 //!   paper's Flights, IMDB, and CHILD datasets (see DESIGN.md §2 for the
 //!   substitution rationale).
 
+#![forbid(unsafe_code)]
+
 pub mod bucketize;
 pub mod datasets;
 pub mod domain;

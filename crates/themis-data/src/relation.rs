@@ -107,6 +107,7 @@ impl Relation {
                     .attr(AttrId(i))
                     .domain()
                     .id_of(l)
+                    // themis-lint: allow(no-panic-in-libs) reason=documented `# Panics` convenience for tests and examples; production ingest goes through ingest_csv
                     .unwrap_or_else(|| panic!("unknown label {l} for attribute {i}"))
             })
             .collect();

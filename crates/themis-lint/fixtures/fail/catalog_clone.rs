@@ -1,0 +1,6 @@
+//! fixture-path: crates/core/src/clone_demo.rs
+//! expect: no-deep-clone @ crates/core/src/clone_demo.rs:4
+fn rebind(catalog: &Catalog) -> Catalog {
+    let copy = catalog.clone();
+    copy
+}

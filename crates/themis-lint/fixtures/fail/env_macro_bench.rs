@@ -1,0 +1,5 @@
+//! fixture-path: crates/themis-bench/src/env_demo.rs
+//! expect: no-env-reads @ crates/themis-bench/src/env_demo.rs:4
+fn manifest_dir() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}

@@ -1,0 +1,8 @@
+//! fixture-path: crates/themis-query/src/env_demo.rs
+//! expect: no-env-reads @ crates/themis-query/src/env_demo.rs:4
+fn threads() -> usize {
+    std::env::var("THEMIS_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}

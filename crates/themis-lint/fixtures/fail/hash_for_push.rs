@@ -1,0 +1,10 @@
+//! fixture-path: crates/core/src/det_demo.rs
+//! expect: deterministic-iteration @ crates/core/src/det_demo.rs:6
+use std::collections::HashMap;
+fn keys(m: &HashMap<u32, f64>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _) in m {
+        out.push(*k);
+    }
+    out
+}

@@ -1,0 +1,6 @@
+//! fixture-path: crates/core/src/det_demo.rs
+//! expect: deterministic-iteration @ crates/core/src/det_demo.rs:5
+use std::collections::HashMap;
+fn rows(m: HashMap<u32, f64>) -> Vec<(u32, f64)> {
+    m.into_iter().collect()
+}

@@ -1,0 +1,5 @@
+//! fixture-path: crates/themis-query/src/demo.rs
+//! expect: no-panic-in-libs @ crates/themis-query/src/demo.rs:4
+fn first(rows: &Vec<f64>) -> f64 {
+    rows[0]
+}

@@ -1,0 +1,12 @@
+//! fixture-path: crates/themis-bn/src/demo.rs
+//! expect: no-panic-in-libs @ crates/themis-bn/src/demo.rs:6
+//! expect: no-panic-in-libs @ crates/themis-bn/src/demo.rs:7
+//! expect: no-panic-in-libs @ crates/themis-bn/src/demo.rs:9
+fn lookup(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("present");
+    if a + b == 0 {
+        panic!("zero");
+    }
+    a + b
+}

@@ -1,0 +1,5 @@
+//! fixture-path: crates/themis-query/src/clone_demo.rs
+//! expect: no-deep-clone @ crates/themis-query/src/clone_demo.rs:4
+fn snapshot(rel: &Relation) -> Relation {
+    rel.clone()
+}

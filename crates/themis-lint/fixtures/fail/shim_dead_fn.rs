@@ -1,0 +1,12 @@
+//! fixture-path: shims/fake/src/lib.rs
+//! expect: shim-api-drift @ shims/fake/src/lib.rs:6
+pub fn used() -> u32 {
+    1
+}
+pub fn dead_helper() -> u32 {
+    2
+}
+// ==== file: crates/themis-query/src/drift_demo.rs ====
+fn f() -> u32 {
+    fake::used()
+}

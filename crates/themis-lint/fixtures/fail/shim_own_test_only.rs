@@ -1,0 +1,12 @@
+//! fixture-path: shims/fake/src/lib.rs
+//! expect: shim-api-drift @ shims/fake/src/lib.rs:3
+pub fn only_tested() -> u32 {
+    7
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert_eq!(super::only_tested(), 7);
+    }
+}

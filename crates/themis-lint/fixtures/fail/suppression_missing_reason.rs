@@ -1,0 +1,7 @@
+//! fixture-path: crates/themis-bn/src/supp_demo.rs
+//! expect: bad-suppression @ crates/themis-bn/src/supp_demo.rs:5
+//! expect: no-panic-in-libs @ crates/themis-bn/src/supp_demo.rs:6
+fn f(x: Option<u32>) -> u32 {
+    // themis-lint: allow(no-panic-in-libs)
+    x.unwrap()
+}

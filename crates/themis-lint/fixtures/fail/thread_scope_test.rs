@@ -1,0 +1,8 @@
+//! fixture-path: tests/thread_demo.rs
+//! expect: no-raw-threads @ tests/thread_demo.rs:5
+#[test]
+fn scoped() {
+    std::thread::scope(|s| {
+        let _ = s;
+    });
+}

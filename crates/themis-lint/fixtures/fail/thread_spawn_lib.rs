@@ -1,0 +1,5 @@
+//! fixture-path: crates/themis-query/src/thread_demo.rs
+//! expect: no-raw-threads @ crates/themis-query/src/thread_demo.rs:4
+fn fire() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,8 @@
+//! fixture-path: crates/themis-query/src/clone_demo.rs
+fn from_relation(rel: &Relation) -> Wrapped {
+    Wrapped { rel: rel.clone() }
+}
+
+fn with_base(base: &Catalog) -> Wrapped {
+    Wrapped::of(base.clone())
+}

@@ -1,0 +1,7 @@
+//! fixture-path: crates/themis-query/src/clone_demo.rs
+fn share(schema: &Schema, rel: &Relation) -> Schema {
+    let arc = Arc::new(rel);
+    let handle = arc.clone();
+    drop(handle);
+    schema.clone()
+}

@@ -1,0 +1,5 @@
+//! fixture-path: crates/themis-cli/src/main.rs
+fn main() {
+    let threads = std::env::var("THEMIS_THREADS").ok();
+    println!("{threads:?}");
+}

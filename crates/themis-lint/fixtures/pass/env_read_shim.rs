@@ -1,0 +1,7 @@
+//! fixture-path: shims/proptest/src/env_demo.rs
+fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}

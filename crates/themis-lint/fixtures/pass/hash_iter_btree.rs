@@ -1,0 +1,6 @@
+//! fixture-path: crates/core/src/det_demo.rs
+use std::collections::{BTreeMap, HashMap};
+fn ordered(m: HashMap<u32, f64>) -> Vec<(u32, f64)> {
+    let sorted: BTreeMap<u32, f64> = m.into_iter().collect();
+    sorted.into_iter().collect()
+}

@@ -1,0 +1,7 @@
+//! fixture-path: crates/core/src/det_demo.rs
+use std::collections::HashMap;
+fn rows(m: HashMap<u32, f64>) -> Vec<(u32, f64)> {
+    let mut rows: Vec<(u32, f64)> = m.into_iter().collect();
+    rows.sort_by_key(|r| r.0);
+    rows
+}

@@ -1,0 +1,13 @@
+//! fixture-path: crates/themis-solver/src/demo.rs
+fn head(v: &Vec<f64>) -> f64 {
+    // themis-lint: allow(no-panic-in-libs) reason=callers guarantee at least one row
+    v[0]
+}
+
+fn sum(v: &Vec<f64>) -> f64 {
+    let mut s = 0.0;
+    for i in 0..v.len() {
+        s += v[i];
+    }
+    s
+}

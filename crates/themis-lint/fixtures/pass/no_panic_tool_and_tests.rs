@@ -1,0 +1,11 @@
+//! fixture-path: crates/themis-cli/src/main.rs
+fn main() {
+    let n: usize = std::env::args().nth(1).unwrap().parse().unwrap();
+    println!("{n}");
+}
+// ==== file: tests/demo.rs ====
+#[test]
+fn unwrap_is_fine_in_tests() {
+    let v = vec![1];
+    assert_eq!(*v.first().unwrap(), 1);
+}

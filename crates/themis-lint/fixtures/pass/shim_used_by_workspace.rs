@@ -1,0 +1,11 @@
+//! fixture-path: shims/fake/src/lib.rs
+pub struct Handle {
+    pub id: u32,
+}
+pub fn open(id: u32) -> Handle {
+    Handle { id }
+}
+// ==== file: crates/themis-query/src/drift_demo.rs ====
+fn f() -> u32 {
+    fake::open(3).id
+}

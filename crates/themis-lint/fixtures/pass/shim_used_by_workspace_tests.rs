@@ -1,0 +1,9 @@
+//! fixture-path: shims/fake/src/lib.rs
+pub fn helper() -> u32 {
+    9
+}
+// ==== file: tests/uses_fake.rs ====
+#[test]
+fn t() {
+    assert_eq!(fake::helper(), 9);
+}

@@ -1,0 +1,6 @@
+//! fixture-path: shims/rayon/src/pool_demo.rs
+fn run(f: impl FnOnce() + Send) {
+    std::thread::scope(|s| {
+        s.spawn(f);
+    });
+}

@@ -1,0 +1,5 @@
+//! fixture-path: crates/themis-query/src/thread_demo.rs
+fn fire() {
+    // themis-lint: allow(no-raw-threads) reason=one-shot watchdog outside the query path, results never merge
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,107 @@
+//! Diagnostic rendering: rustc-style text and `--json`.
+
+use crate::json::Json;
+use crate::rules::Finding;
+use crate::Report;
+
+/// Render one finding rustc-style:
+///
+/// ```text
+/// error[themis::no-panic-in-libs]: `.unwrap()` in library crate `themis-bn` can panic
+///   --> crates/themis-bn/src/sampling.rs:17:44
+/// ```
+pub fn render_finding(f: &Finding) -> String {
+    format!(
+        "error[themis::{rule}]: {msg}\n  --> {path}:{line}:{col}\n",
+        rule = f.rule,
+        msg = f.message,
+        path = f.path,
+        line = f.line,
+        col = f.col,
+    )
+}
+
+/// Render the whole report as text, findings first, summary last.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&render_finding(f));
+        out.push('\n');
+    }
+    if report.findings.is_empty() {
+        out.push_str(&format!(
+            "themis-lint: clean — {} file(s) checked, {} finding(s) suppressed with reasons\n",
+            report.files_checked, report.suppressed
+        ));
+    } else {
+        out.push_str(&format!(
+            "themis-lint: {} error(s) across {} file(s) checked ({} suppressed)\n",
+            report.findings.len(),
+            report.files_checked,
+            report.suppressed
+        ));
+    }
+    out
+}
+
+/// Build the `--json` document for a report.
+pub fn to_json(report: &Report) -> Json {
+    Json::Obj(vec![
+        (
+            "findings".to_string(),
+            Json::Arr(report.findings.iter().map(finding_to_json).collect()),
+        ),
+        (
+            "files_checked".to_string(),
+            Json::Num(report.files_checked as f64),
+        ),
+        ("suppressed".to_string(), Json::Num(report.suppressed as f64)),
+    ])
+}
+
+fn finding_to_json(f: &Finding) -> Json {
+    Json::Obj(vec![
+        ("rule".to_string(), Json::Str(f.rule.to_string())),
+        ("path".to_string(), Json::Str(f.path.clone())),
+        ("line".to_string(), Json::Num(f.line as f64)),
+        ("col".to_string(), Json::Num(f.col as f64)),
+        ("message".to_string(), Json::Str(f.message.clone())),
+    ])
+}
+
+/// Rebuild findings from a `--json` document (the round-trip direction used
+/// by tests and tooling that consumes lint output).
+pub fn findings_from_json(doc: &Json) -> Result<Vec<Finding>, String> {
+    let arr = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .ok_or("missing `findings` array")?;
+    let mut out = Vec::new();
+    for item in arr {
+        let rule_name = item
+            .get("rule")
+            .and_then(Json::as_str)
+            .ok_or("finding missing `rule`")?;
+        let rule = crate::rules::RULE_NAMES
+            .iter()
+            .find(|r| **r == rule_name)
+            .copied()
+            .ok_or_else(|| format!("unknown rule `{rule_name}` in JSON"))?;
+        out.push(Finding {
+            rule,
+            path: item
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or("finding missing `path`")?
+                .to_string(),
+            line: item.get("line").and_then(Json::as_num).unwrap_or(0.0) as u32,
+            col: item.get("col").and_then(Json::as_num).unwrap_or(0.0) as u32,
+            message: item
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        });
+    }
+    Ok(out)
+}

@@ -1,0 +1,596 @@
+//! A minimal Rust lexer for lint matching.
+//!
+//! This is not a conforming Rust lexer: it exists to turn source text into a
+//! token stream that rule matchers can scan without being fooled by comments
+//! or string/char literal *contents*. Strings collapse to a single [`Tok::Str`]
+//! token, comments are stripped from the token stream but captured separately
+//! (the suppression directives of [`crate::suppress`] live in comments), and
+//! `::` is fused into one [`Tok::PathSep`] token so path matching stays a
+//! simple token-sequence comparison.
+//!
+//! The lexer also computes the line ranges covered by `#[cfg(test)]` items so
+//! rules like `no-panic-in-libs` can exempt in-file test modules.
+
+/// One lexed token. Literal contents are dropped: rules only ever match on
+/// identifier spelling and punctuation shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, ...).
+    Ident(String),
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Any numeric literal.
+    Num,
+    /// Any string, raw string, byte string, or char literal.
+    Str,
+    /// The `::` path separator, fused into one token.
+    PathSep,
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A comment captured out-of-band for the suppression parser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Whether any token precedes the comment on its start line (a trailing
+    /// comment applies to its own line; a standalone one to the next).
+    pub trailing: bool,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_line_ranges: Vec<(u32, u32)>,
+}
+
+impl Lexed {
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_line_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+}
+
+struct Cursor<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(text: &'s str) -> Self {
+        Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xc0 != 0x80 {
+            // Count code points, not bytes, so columns stay meaningful in
+            // files with non-ASCII comments.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `text` into tokens, comments, and `#[cfg(test)]` line ranges.
+pub fn lex(text: &str) -> Lexed {
+    let mut cur = Cursor::new(text);
+    let mut out = Lexed::default();
+    let mut last_token_line = 0u32;
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    text.push(char::from(c));
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text: text.trim_start_matches(['/', '!']).trim().to_string(),
+                    line,
+                    trailing: last_token_line == line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let mut text = String::new();
+                let mut depth = 0usize;
+                while let Some(c) = cur.peek() {
+                    if c == b'/' && cur.peek_at(1) == Some(b'*') {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                        continue;
+                    }
+                    if c == b'*' && cur.peek_at(1) == Some(b'/') {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                        continue;
+                    }
+                    text.push(char::from(c));
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text: text.trim_matches(['*', '!', ' ', '\n']).trim().to_string(),
+                    line,
+                    trailing: last_token_line == line,
+                });
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                push(&mut out, &mut last_token_line, Tok::Str, line, col);
+            }
+            b'\'' => {
+                lex_quote(&mut cur, &mut out, line, col, &mut last_token_line);
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cur);
+                push(&mut out, &mut last_token_line, Tok::Num, line, col);
+            }
+            _ if is_ident_start(b) => {
+                let ident = lex_ident(&mut cur);
+                // `r"..."` / `b"..."` / `br#"..."#` string prefixes, and
+                // `r#raw_ident` raw identifiers.
+                if matches!(ident.as_str(), "r" | "b" | "br" | "rb") {
+                    match cur.peek() {
+                        Some(b'"') => {
+                            lex_raw_or_plain_string(&mut cur, &ident);
+                            push(&mut out, &mut last_token_line, Tok::Str, line, col);
+                            continue;
+                        }
+                        Some(b'#') if ident != "b" => {
+                            let mut hashes = 0usize;
+                            while cur.peek_at(hashes) == Some(b'#') {
+                                hashes += 1;
+                            }
+                            if cur.peek_at(hashes) == Some(b'"') {
+                                lex_raw_string(&mut cur);
+                                push(&mut out, &mut last_token_line, Tok::Str, line, col);
+                                continue;
+                            }
+                            if ident == "r" && hashes == 1 {
+                                cur.bump(); // raw identifier `r#name`
+                                let raw = lex_ident(&mut cur);
+                                push(&mut out, &mut last_token_line, Tok::Ident(raw), line, col);
+                                continue;
+                            }
+                        }
+                        Some(b'\'') if ident == "b" => {
+                            cur.bump();
+                            lex_char_body(&mut cur);
+                            push(&mut out, &mut last_token_line, Tok::Str, line, col);
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                push(&mut out, &mut last_token_line, Tok::Ident(ident), line, col);
+            }
+            b':' if cur.peek_at(1) == Some(b':') => {
+                cur.bump();
+                cur.bump();
+                push(&mut out, &mut last_token_line, Tok::PathSep, line, col);
+            }
+            _ => {
+                cur.bump();
+                push(
+                    &mut out,
+                    &mut last_token_line,
+                    Tok::Punct(char::from(b)),
+                    line,
+                    col,
+                );
+            }
+        }
+    }
+
+    out.test_line_ranges = cfg_test_ranges(&out.tokens);
+    out
+}
+
+fn push(out: &mut Lexed, last_token_line: &mut u32, tok: Tok, line: u32, col: u32) {
+    *last_token_line = line;
+    out.tokens.push(Token { tok, line, col });
+}
+
+fn lex_ident(cur: &mut Cursor) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        s.push(char::from(c));
+        cur.bump();
+    }
+    s
+}
+
+fn lex_number(cur: &mut Cursor) {
+    // Digits, underscores, type suffixes, hex, and simple float forms.
+    // A `.` is part of the number only when followed by a digit, so ranges
+    // (`0..n`) and method calls on literals keep their own tokens.
+    let mut prev = 0u8;
+    while let Some(c) = cur.peek() {
+        let take = c.is_ascii_alphanumeric()
+            || c == b'_'
+            || (c == b'.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()))
+            || ((c == b'+' || c == b'-')
+                && (prev == b'e' || prev == b'E')
+                && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()));
+        if !take {
+            break;
+        }
+        prev = c;
+        cur.bump();
+    }
+}
+
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+fn lex_raw_or_plain_string(cur: &mut Cursor, prefix: &str) {
+    if prefix.contains('r') {
+        lex_raw_string(cur);
+    } else {
+        lex_string(cur);
+    }
+}
+
+fn lex_raw_string(cur: &mut Cursor) {
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None => break,
+            Some(b'"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some(b'#') {
+                    seen += 1;
+                    cur.bump();
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn lex_char_body(cur: &mut Cursor) {
+    // Called after the opening `'` of a char literal.
+    if cur.peek() == Some(b'\\') {
+        cur.bump();
+        cur.bump();
+    } else {
+        cur.bump();
+    }
+    while let Some(c) = cur.peek() {
+        cur.bump();
+        if c == b'\'' {
+            break;
+        }
+    }
+}
+
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32, col: u32, last_token_line: &mut u32) {
+    // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`): after the quote, an
+    // identifier char NOT later closed by `'` is a lifetime.
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some(c) if is_ident_start(c) => {
+            // Scan the identifier run; a closing quote right after makes it
+            // a char literal like 'a'.
+            let mut len = 0usize;
+            while cur.peek_at(len).is_some_and(is_ident_continue) {
+                len += 1;
+            }
+            if cur.peek_at(len) == Some(b'\'') {
+                for _ in 0..=len {
+                    cur.bump();
+                }
+                push(out, last_token_line, Tok::Str, line, col);
+            } else {
+                for _ in 0..len {
+                    cur.bump();
+                }
+                push(out, last_token_line, Tok::Lifetime, line, col);
+            }
+        }
+        Some(_) => {
+            lex_char_body(cur);
+            push(out, last_token_line, Tok::Str, line, col);
+        }
+        None => {}
+    }
+}
+
+/// Compute the inclusive line ranges of items annotated `#[cfg(test)]` (or
+/// any `cfg(...)` whose argument mentions `test`, covering `all(test, ...)`).
+fn cfg_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_cfg_test(tokens, i) {
+            if let Some((open, close)) = item_braces(tokens, after_attr) {
+                let lo = tokens.get(i).map_or(0, |t| t.line);
+                let hi = tokens.get(close).map_or(lo, |t| t.line);
+                let _ = open;
+                ranges.push((lo, hi));
+                i = close + 1;
+                continue;
+            }
+            i = after_attr;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// If tokens at `i` start `#[cfg(...test...)]`, return the index just past
+/// the closing `]`.
+fn match_cfg_test(tokens: &[Token], i: usize) -> Option<usize> {
+    let mut j = i;
+    expect_punct(tokens, &mut j, '#')?;
+    expect_punct(tokens, &mut j, '[')?;
+    expect_ident(tokens, &mut j, "cfg")?;
+    expect_punct(tokens, &mut j, '(')?;
+    let mut depth = 1usize;
+    let mut saw_test = false;
+    while depth > 0 {
+        let t = tokens.get(j)?;
+        match &t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => depth -= 1,
+            Tok::Ident(s) if s == "test" => saw_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    expect_punct(tokens, &mut j, ']')?;
+    saw_test.then_some(j)
+}
+
+/// From just past an attribute, skip further attributes and find the brace
+/// block of the annotated item: `(open_index, close_index)`. Returns `None`
+/// for braceless items (`mod tests;`).
+fn item_braces(tokens: &[Token], mut i: usize) -> Option<(usize, usize)> {
+    // Skip any further `#[...]` attributes.
+    while matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct('#')))
+        && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+    {
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        loop {
+            let t = tokens.get(j)?;
+            match t.tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    // Scan to the item's opening brace; a `;` first means no body.
+    let mut j = i;
+    loop {
+        let t = tokens.get(j)?;
+        match t.tok {
+            Tok::Punct('{') => break,
+            Tok::Punct(';') => return None,
+            _ => j += 1,
+        }
+    }
+    let open = j;
+    let mut depth = 0usize;
+    loop {
+        let t = tokens.get(j)?;
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, j));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+fn expect_punct(tokens: &[Token], i: &mut usize, c: char) -> Option<()> {
+    match tokens.get(*i).map(|t| &t.tok) {
+        Some(Tok::Punct(p)) if *p == c => {
+            *i += 1;
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+fn expect_ident(tokens: &[Token], i: &mut usize, name: &str) -> Option<()> {
+    match tokens.get(*i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) if s == name => {
+            *i += 1;
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r##"
+            // a comment mentioning unwrap()
+            /* block with panic!() inside */
+            let s = "call .unwrap() here";
+            let r = r#"raw with .expect("x")"#;
+            let c = '\n';
+            real_ident();
+        "##;
+        let names = idents(src);
+        assert!(names.contains(&"real_ident".to_string()));
+        assert!(!names.contains(&"unwrap".to_string()));
+        assert!(!names.contains(&"panic".to_string()));
+        assert!(!names.contains(&"expect".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_trailing_flag() {
+        let src = "let x = 1; // trailing note\n// standalone note\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].text, "trailing note");
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn pathsep_is_fused() {
+        let lexed = lex("std::env::var(\"X\")");
+        let seps = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::PathSep)
+            .count();
+        assert_eq!(seps, 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Str).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1); // just 'x'; `str` and `char` lex as idents
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_test_mod() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn after() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.test_line_ranges, vec![(2, 5)]);
+        assert!(!lexed.in_test_code(1));
+        assert!(lexed.in_test_code(4));
+        assert!(!lexed.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_test_handles_extra_attributes_and_all() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\n#[allow(dead_code)]\nmod m { }\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.test_line_ranges, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn numeric_literals_do_not_swallow_ranges() {
+        let lexed = lex("for i in 0..10 { v(1.5e-3); }");
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Punct('.'))
+            .count();
+        assert_eq!(dots, 2); // the `..` of the range, not the float's dot
+    }
+}

@@ -1,0 +1,155 @@
+//! `themis-lint` — project-specific static analysis for the Themis
+//! workspace.
+//!
+//! The repo's correctness story rests on invariants that types alone cannot
+//! express: the serial engine is a bit-identical differential oracle, so
+//! nothing may leak `HashMap` iteration order into results; library crates
+//! must not panic or read the environment; catalogs stay zero-deep-clone;
+//! and all threading goes through the rayon shim. With crates.io
+//! unreachable, clippy's stock lints are the ceiling — this crate is the
+//! project's own lint pass, built on a hand-rolled lexer
+//! ([`lexer`]) and per-rule token matchers ([`rules`]), with reasoned
+//! suppressions ([`suppress`]) and rustc-style or JSON diagnostics
+//! ([`diag`]).
+//!
+//! Run it as the sixth CI gate:
+//!
+//! ```text
+//! cargo run -p themis-lint -- check [--json]
+//! ```
+//!
+//! # Rules
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-panic-in-libs` | library crates return errors, never panic |
+//! | `no-env-reads` | config flows through `EngineOptions`, not the env |
+//! | `deterministic-iteration` | hash order never reaches results |
+//! | `no-deep-clone` | `Relation`/`Catalog` stay behind `Arc`s |
+//! | `no-raw-threads` | all parallelism goes through `shims/rayon` |
+//! | `shim-api-drift` | shims stay honest subsets of the crates they mimic |
+//!
+//! Suppress a finding at its site with a mandatory written reason:
+//!
+//! ```text
+//! // themis-lint: allow(no-panic-in-libs) reason=weights are compile-time constants
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod suppress;
+
+pub use rules::Finding;
+pub use source::{FileClass, SourceFile};
+
+use std::io;
+use std::path::Path;
+
+/// Result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (path, line, col, rule).
+    pub findings: Vec<Finding>,
+    pub files_checked: usize,
+    /// Findings silenced by a well-formed `allow(...) reason=...` directive.
+    pub suppressed: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lint a set of in-memory sources: all per-file rules, the workspace-level
+/// `shim-api-drift` rule, and suppression processing.
+pub fn lint_sources(files: &[SourceFile]) -> Report {
+    let lexed: Vec<lexer::Lexed> = files.iter().map(|f| lexer::lex(&f.text)).collect();
+
+    let mut raw: Vec<Finding> = Vec::new();
+    for (file, lx) in files.iter().zip(&lexed) {
+        raw.extend(rules::run_file_rules(file, lx));
+    }
+    raw.extend(rules::shim_api_drift::check(files, &lexed));
+
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    for (file, lx) in files.iter().zip(&lexed) {
+        let sup = suppress::parse(&lx.comments, &lx.tokens);
+        for bad in &sup.bad {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: bad.line,
+                col: 1,
+                rule: "bad-suppression",
+                message: bad.message.clone(),
+            });
+        }
+        for f in raw.iter().filter(|f| f.path == file.path) {
+            if sup.covers(f.rule, f.line) {
+                suppressed += 1;
+            } else {
+                findings.push(f.clone());
+            }
+        }
+    }
+    // Findings for paths not in `files` cannot happen (rules only emit for
+    // their input files), so the per-file pass above partitions `raw`.
+    findings.sort();
+    findings.dedup();
+    Report {
+        findings,
+        files_checked: files.len(),
+        suppressed,
+    }
+}
+
+/// Lint the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let files = source::load_workspace(root)?;
+    Ok(lint_sources(&files))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_with_reason_silences_a_finding() {
+        let files = vec![SourceFile::new(
+            "crates/themis-bn/src/a.rs",
+            "fn f() {\n    // themis-lint: allow(no-panic-in-libs) reason=invariant documented\n    x.unwrap();\n}\n",
+        )];
+        let report = lint_sources(&files);
+        assert!(report.is_clean(), "findings: {:?}", report.findings);
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_itself_a_finding() {
+        let files = vec![SourceFile::new(
+            "crates/themis-bn/src/a.rs",
+            "fn f() {\n    // themis-lint: allow(no-panic-in-libs)\n    x.unwrap();\n}\n",
+        )];
+        let report = lint_sources(&files);
+        let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"bad-suppression"));
+        assert!(rules.contains(&"no-panic-in-libs"), "allow without reason must not suppress");
+    }
+
+    #[test]
+    fn findings_are_sorted_and_deduped() {
+        let files = vec![SourceFile::new(
+            "crates/themis-bn/src/a.rs",
+            "fn f() {\n    b.unwrap();\n    a.unwrap();\n}\n",
+        )];
+        let report = lint_sources(&files);
+        assert_eq!(report.findings.len(), 2);
+        assert!(report.findings[0].line < report.findings[1].line);
+    }
+}

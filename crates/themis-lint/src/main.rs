@@ -1,0 +1,98 @@
+//! CLI entry point: `cargo run -p themis-lint -- check [--json] [PATH...]`.
+//!
+//! With no paths, lints the enclosing workspace (found by ascending from the
+//! current directory to the first `Cargo.toml` declaring `[workspace]`).
+//! With paths, each file is linted standalone; fixture files under
+//! `crates/themis-lint/fixtures/` expand their `fixture-path` headers so
+//! path-dependent rules see the declared virtual location.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use themis_lint::{diag, source, Report};
+
+const USAGE: &str = "usage: themis-lint check [--json] [--root DIR] [PATH...]\n\
+                     \n\
+                     Lints the Themis workspace (or the given files) against the\n\
+                     project's determinism, no-panic, env-isolation, and zero-clone\n\
+                     rules. See README.md 'Static analysis' for the rule catalog.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("themis-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some("--help") | Some("-h") | None => return Err(USAGE.to_string()),
+        Some(other) => return Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = it.peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root requires a directory")?;
+                root = Some(PathBuf::from(dir));
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let report = if paths.is_empty() {
+        let root = match root {
+            Some(r) => r,
+            None => {
+                let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+                source::find_workspace_root(&cwd)
+                    .ok_or("no workspace root found above the current directory; pass --root")?
+            }
+        };
+        themis_lint::lint_workspace(&root).map_err(|e| e.to_string())?
+    } else {
+        lint_explicit_paths(&paths)?
+    };
+
+    if json {
+        println!("{}", diag::to_json(&report).render());
+    } else {
+        print!("{}", diag::render_text(&report));
+    }
+    Ok(report.is_clean())
+}
+
+/// Lint explicitly-listed files. Fixture files expand into their declared
+/// virtual files; plain files lint under their on-disk (workspace-relative
+/// when possible) path.
+fn lint_explicit_paths(paths: &[PathBuf]) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        let fixture = source::load_fixture(p)
+            .map_err(|e| format!("{}: {e}", p.display()))?;
+        files.extend(fixture.files);
+    }
+    Ok(themis_lint::lint_sources(&files))
+}

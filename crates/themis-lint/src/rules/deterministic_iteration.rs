@@ -1,0 +1,155 @@
+//! `deterministic-iteration`: `HashMap`/`HashSet` iteration order must never
+//! reach an ordered result.
+//!
+//! This is the exact bug class PR 3 fixed: a result row order that depended
+//! on hash iteration. The rule flags iteration over a receiver the file
+//! declares as `HashMap`/`HashSet` (`.iter()`, `.keys()`, `.values()`,
+//! `.into_iter()`, `.drain()`, or a `for ... in` loop) **when** the
+//! surrounding statement window feeds an order-sensitive sink (`push`,
+//! `collect`, `extend`) **and** nothing in the window restores an order
+//! (`sort*` calls, or collecting into a `BTreeMap`/`BTreeSet`/`BinaryHeap`).
+//!
+//! The window is a fixed forward span of source lines — a deliberate
+//! heuristic: a sort performed inside a callee (e.g. a constructor that
+//! sorts its input) is invisible here and is answered with a reasoned
+//! suppression at the site.
+
+use crate::lexer::{Lexed, Tok};
+use crate::rules::{ident_in_window, punct_at, typed_idents, Finding};
+use crate::source::{FileClass, SourceFile};
+use std::collections::BTreeSet;
+
+pub const RULE: &str = "deterministic-iteration";
+
+/// Forward window (in lines) scanned for sinks and order-restorers.
+const WINDOW: u32 = 15;
+
+const ITER_METHODS: [&str; 6] = ["iter", "keys", "values", "into_iter", "drain", "iter_mut"];
+const SINKS: [&str; 3] = ["push", "collect", "extend"];
+const ORDER_RESTORERS: [&str; 9] = [
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+];
+
+pub fn check(file: &SourceFile, lexed: &Lexed) -> Vec<Finding> {
+    let FileClass::Lib { .. } = &file.class else {
+        return Vec::new();
+    };
+    let toks = &lexed.tokens;
+    let maps = typed_idents(toks, &["HashMap", "HashSet"]);
+    if maps.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut flagged_lines: BTreeSet<u32> = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if lexed.in_test_code(t.line) || flagged_lines.contains(&t.line) {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        let site = if maps.contains(name.as_str())
+            && punct_at(toks, i + 1, '.')
+            && matches!(
+                toks.get(i + 2).map(|t| &t.tok),
+                Some(Tok::Ident(m)) if ITER_METHODS.contains(&m.as_str())
+            ) {
+            Some(("iteration", name.as_str()))
+        } else if name == "for" {
+            for_loop_over_map(toks, i, &maps).map(|map| ("`for` loop", map))
+        } else {
+            None
+        };
+        let Some((kind, map_name)) = site else { continue };
+        if ident_in_window(toks, t.line, WINDOW, &SINKS)
+            && !ident_in_window(toks, t.line, WINDOW, &ORDER_RESTORERS)
+        {
+            flagged_lines.insert(t.line);
+            out.push(Finding::new(
+                file,
+                t,
+                RULE,
+                format!(
+                    "{kind} over hash-ordered `{map_name}` feeds push/collect/extend with no \
+                     adjacent sort or BTree collection; hash order must not reach results"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// If the `for` header starting at token `i` iterates (directly or by
+/// reference) over one of the tracked map identifiers, returns that
+/// identifier so the finding can name it.
+fn for_loop_over_map<'a>(
+    toks: &'a [crate::lexer::Token],
+    i: usize,
+    maps: &BTreeSet<String>,
+) -> Option<&'a str> {
+    // Scan the header tokens up to the loop body `{`, looking for `in` then
+    // a tracked ident among the following tokens.
+    let mut saw_in = false;
+    for t in toks.iter().skip(i + 1).take(40) {
+        match &t.tok {
+            Tok::Punct('{') => return None,
+            Tok::Ident(s) if s == "in" => saw_in = true,
+            Tok::Ident(s) if saw_in && maps.contains(s.as_str()) => return Some(s),
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let file = SourceFile::new("crates/themis-query/src/a.rs", src);
+        let lexed = lex(&file.text);
+        check(&file, &lexed)
+    }
+
+    #[test]
+    fn flags_unsorted_collect_from_hashmap() {
+        let src = "use std::collections::HashMap;\nfn f(acc: HashMap<u32, f64>) -> Vec<(u32, f64)> {\n    acc.into_iter().collect()\n}\n";
+        let got = findings(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 3);
+    }
+
+    #[test]
+    fn adjacent_sort_absolves() {
+        let src = "fn f(acc: std::collections::HashMap<u32, f64>) -> Vec<(u32, f64)> {\n    let mut rows: Vec<(u32, f64)> = acc.into_iter().collect();\n    rows.sort_by_key(|r| r.0);\n    rows\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn btree_collect_absolves() {
+        let src = "fn f(acc: std::collections::HashMap<u32, f64>) -> Vec<(u32, f64)> {\n    let ordered: std::collections::BTreeMap<u32, f64> = acc.into_iter().collect();\n    ordered.into_iter().collect()\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn flags_for_loop_pushing_from_hashmap() {
+        let src = "fn f(m: std::collections::HashMap<u32, f64>) -> Vec<u32> {\n    let mut out = Vec::new();\n    for (k, _) in &m {\n        out.push(*k);\n    }\n    out\n}\n";
+        let got = findings(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 3);
+        assert!(got[0].message.contains("`m`"), "message names the map: {}", got[0].message);
+    }
+
+    #[test]
+    fn order_insensitive_consumers_are_fine() {
+        let src = "fn f(m: std::collections::HashMap<u32, f64>) -> f64 {\n    m.values().sum()\n}\n";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! `no-deep-clone`: `Relation` and `Catalog` stay behind `Arc`s on query
+//! paths.
+//!
+//! `themis_query::Catalog` is `Arc<Relation>`-backed precisely so queries
+//! never deep-copy data; the `Arc::strong_count` tests assert it dynamically
+//! and this rule enforces it statically. Flags `.clone()` whose receiver the
+//! file declares as `Relation` or `Catalog` (the
+//! [`crate::rules::typed_idents`] heuristic), except inside constructor-like
+//! functions (`new`, `with_*`, `from_*`, `clone`, `to_owned`) where building
+//! an owned value is the point. `Arc<Relation>` handles are untracked on
+//! purpose: cloning the `Arc` is the sanctioned cheap copy.
+
+use crate::lexer::{Lexed, Tok};
+use crate::rules::{enclosing_fn, preceding_fn_names, punct_at, typed_idents, Finding};
+use crate::source::{FileClass, SourceFile};
+
+pub const RULE: &str = "no-deep-clone";
+
+const DEEP_TYPES: [&str; 2] = ["Relation", "Catalog"];
+
+fn is_constructor(name: &str) -> bool {
+    name == "new"
+        || name == "clone"
+        || name == "to_owned"
+        || name.starts_with("with_")
+        || name.starts_with("from_")
+}
+
+pub fn check(file: &SourceFile, lexed: &Lexed) -> Vec<Finding> {
+    let FileClass::Lib { crate_name } = &file.class else {
+        return Vec::new();
+    };
+    let toks = &lexed.tokens;
+    let deep = typed_idents(toks, &DEEP_TYPES);
+    if deep.is_empty() {
+        return Vec::new();
+    }
+    let fns = preceding_fn_names(toks);
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if lexed.in_test_code(t.line) {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        if deep.contains(name.as_str())
+            && punct_at(toks, i + 1, '.')
+            && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Ident(m)) if m == "clone")
+            && punct_at(toks, i + 3, '(')
+        {
+            if enclosing_fn(&fns, i).is_some_and(is_constructor) {
+                continue;
+            }
+            out.push(Finding::new(
+                file,
+                t,
+                RULE,
+                format!(
+                    "`{name}.clone()` deep-copies a Relation/Catalog in `{crate_name}`; \
+                     share it behind an `Arc` instead"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let file = SourceFile::new("crates/themis-query/src/a.rs", src);
+        let lexed = lex(&file.text);
+        check(&file, &lexed)
+    }
+
+    #[test]
+    fn flags_relation_clone_outside_constructor() {
+        let src = "fn register_all(rel: &Relation) {\n    let copy = rel.clone();\n    use_it(copy);\n}\n";
+        let got = findings(src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn constructors_may_clone() {
+        let src = "fn from_parts(rel: &Relation) -> Self {\n    Self { rel: rel.clone() }\n}\nfn with_base(base: &Catalog) -> Self {\n    Self { base: base.clone() }\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn other_clones_are_untouched() {
+        let src = "fn f(schema: &Schema, rel: &Relation) {\n    let s = schema.clone();\n    let arc = std::sync::Arc::new(rel);\n    let h = arc.clone();\n}\n";
+        assert!(findings(src).is_empty());
+    }
+}

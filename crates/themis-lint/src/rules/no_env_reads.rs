@@ -1,0 +1,104 @@
+//! `no-env-reads`: engine configuration flows through `EngineOptions`, never
+//! through the process environment.
+//!
+//! Only `themis-cli` (which parses `THEMIS_THREADS` into options at startup)
+//! and the shims (which own sanctioned knobs like `PROPTEST_CASES`) may read
+//! the environment. Everything else — library crates, the bench crate,
+//! tests, examples — is flagged on `env::var`-family calls and on the
+//! compile-time `env!` / `option_env!` macros. `std::env::args` and
+//! `std::env::current_dir` are process inputs, not configuration, and stay
+//! allowed.
+
+use crate::lexer::{Lexed, Tok};
+use crate::rules::{pathsep_at, punct_at, Finding};
+use crate::source::{FileClass, SourceFile};
+
+pub const RULE: &str = "no-env-reads";
+
+const ENV_FNS: [&str; 6] = [
+    "var",
+    "var_os",
+    "vars",
+    "vars_os",
+    "set_var",
+    "remove_var",
+];
+
+pub fn check(file: &SourceFile, lexed: &Lexed) -> Vec<Finding> {
+    match &file.class {
+        FileClass::Tool { crate_name } if crate_name == "themis-cli" => return Vec::new(),
+        FileClass::Shim { .. } => return Vec::new(),
+        _ => {}
+    }
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if name == "env" {
+            if pathsep_at(toks, i + 1) {
+                if let Some(Tok::Ident(m)) = toks.get(i + 2).map(|t| &t.tok) {
+                    if ENV_FNS.contains(&m.as_str()) {
+                        out.push(Finding::new(
+                            file,
+                            t,
+                            RULE,
+                            format!(
+                                "`env::{m}` outside themis-cli/shims; thread configuration through `EngineOptions` instead"
+                            ),
+                        ));
+                    }
+                }
+            } else if punct_at(toks, i + 1, '!') {
+                out.push(Finding::new(
+                    file,
+                    t,
+                    RULE,
+                    "`env!` outside themis-cli/shims; compile-time env reads hide configuration",
+                ));
+            }
+        } else if name == "option_env" && punct_at(toks, i + 1, '!') {
+            out.push(Finding::new(
+                file,
+                t,
+                RULE,
+                "`option_env!` outside themis-cli/shims; compile-time env reads hide configuration",
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::new(path, src);
+        let lexed = lex(&file.text);
+        check(&file, &lexed)
+    }
+
+    #[test]
+    fn flags_env_reads_in_lib_tests_and_bench() {
+        let src = "fn f() { let t = std::env::var(\"THEMIS_THREADS\"); }\n";
+        assert_eq!(findings("crates/themis-query/src/a.rs", src).len(), 1);
+        assert_eq!(findings("crates/themis-bench/src/setup.rs", src).len(), 1);
+        assert_eq!(findings("tests/smoke.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn flags_env_macro_but_not_args() {
+        let src = "fn f() { let d = env!(\"CARGO_MANIFEST_DIR\"); let a = std::env::args(); }\n";
+        let got = findings("crates/themis-data/src/a.rs", src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("env!"));
+    }
+
+    #[test]
+    fn cli_and_shims_are_exempt() {
+        let src = "fn f() { std::env::var(\"X\"); env!(\"Y\"); }\n";
+        assert!(findings("crates/themis-cli/src/main.rs", src).is_empty());
+        assert!(findings("shims/proptest/src/test_runner.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! `no-panic-in-libs`: library crates must not contain panic paths.
+//!
+//! Applies to `crates/*/src` library code (the CLI and bench tool crates are
+//! exempt, as are `tests/`, `examples/`, and `#[cfg(test)]` items). Flags:
+//!
+//!   - `.unwrap()` / `.expect(...)`
+//!   - `panic!` / `todo!` / `unimplemented!`
+//!   - indexing a receiver the file declares as `Vec` with a *constant*
+//!     index (`v[0]` on possibly-empty data — the classic first-element
+//!     panic). Loop-variable indexing (`v[i]`, `a[i * n + j]`) is accepted
+//!     as invariant-maintained: converting the engine and solver hot loops
+//!     to `.get()` would trade a mechanical guarantee for real overhead.
+//!     See [`crate::rules::typed_idents`] for the binding heuristic.
+//!
+//! The fix is to propagate `ThemisError` / `ExecError`; where an invariant
+//! genuinely guarantees the panic is unreachable, a suppression with a
+//! written reason documents it at the site.
+
+use crate::lexer::{Lexed, Tok};
+use crate::rules::{punct_at, typed_idents, Finding};
+use crate::source::{FileClass, SourceFile};
+
+pub const RULE: &str = "no-panic-in-libs";
+
+const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+pub fn check(file: &SourceFile, lexed: &Lexed) -> Vec<Finding> {
+    let FileClass::Lib { crate_name } = &file.class else {
+        return Vec::new();
+    };
+    let toks = &lexed.tokens;
+    let vecs = typed_idents(toks, &["Vec"]);
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if lexed.in_test_code(t.line) {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        let prev_dot = i > 0 && punct_at(toks, i.wrapping_sub(1), '.');
+        if prev_dot && (name == "unwrap" || name == "expect") && punct_at(toks, i + 1, '(') {
+            out.push(Finding::new(
+                file,
+                t,
+                RULE,
+                format!("`.{name}()` in library crate `{crate_name}` can panic; propagate an error instead"),
+            ));
+        } else if PANIC_MACROS.contains(&name.as_str()) && punct_at(toks, i + 1, '!') {
+            out.push(Finding::new(
+                file,
+                t,
+                RULE,
+                format!("`{name}!` in library crate `{crate_name}`; return an error instead"),
+            ));
+        } else if vecs.contains(name.as_str())
+            && punct_at(toks, i + 1, '[')
+            && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Num))
+            && punct_at(toks, i + 3, ']')
+        {
+            out.push(Finding::new(
+                file,
+                t,
+                RULE,
+                format!("constant-indexing `{name}[...]` on a `Vec` in library crate `{crate_name}` panics when the data is shorter; use `.get()` or `.first()`"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::new(path, src);
+        let lexed = lex(&file.text);
+        check(&file, &lexed)
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros_in_lib() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n    panic!(\"boom\");\n    todo!();\n}\n";
+        let got = findings("crates/themis-bn/src/a.rs", src);
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(|f| f.rule == RULE));
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn flags_constant_vec_indexing_on_declared_vecs_only() {
+        let src = "fn f(v: &Vec<u32>, s: &[u32]) -> u32 {\n    v[0] + s[0]\n}\n";
+        let got = findings("crates/themis-query/src/a.rs", src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("v[...]"));
+    }
+
+    #[test]
+    fn loop_variable_indexing_is_accepted() {
+        let src = "fn f(v: &Vec<u32>, n: usize) -> u32 {\n    let mut s = 0;\n    for i in 0..v.len() {\n        s += v[i] + v[i * n + 1];\n    }\n    s\n}\n";
+        assert!(findings("crates/themis-query/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn exempt_in_tools_tests_and_cfg_test() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(findings("crates/themis-cli/src/main.rs", src).is_empty());
+        assert!(findings("crates/themis-bench/src/lib.rs", src).is_empty());
+        assert!(findings("tests/smoke.rs", src).is_empty());
+        assert!(findings("examples/quickstart.rs", src).is_empty());
+        let test_mod = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(findings("crates/themis-bn/src/a.rs", test_mod).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(g); z.unwrap_or_default(); }\n";
+        assert!(findings("crates/themis-bn/src/a.rs", src).is_empty());
+    }
+}

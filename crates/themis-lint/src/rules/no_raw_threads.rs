@@ -1,0 +1,69 @@
+//! `no-raw-threads`: all parallelism goes through the `shims/rayon` pool.
+//!
+//! One scheduling point is what keeps the morsel engine's results
+//! bit-identical across thread counts (ordered merges live in the pool, not
+//! at call sites). Flags `thread::spawn`, `thread::scope`, and
+//! `thread::Builder` everywhere except inside `shims/rayon` itself — tests
+//! included, so concurrency tests either drive the pool or carry a reasoned
+//! suppression.
+
+use crate::lexer::{Lexed, Tok};
+use crate::rules::{pathsep_at, Finding};
+use crate::source::{FileClass, SourceFile};
+
+pub const RULE: &str = "no-raw-threads";
+
+const THREAD_ENTRYPOINTS: [&str; 3] = ["spawn", "scope", "Builder"];
+
+pub fn check(file: &SourceFile, lexed: &Lexed) -> Vec<Finding> {
+    if matches!(&file.class, FileClass::Shim { shim_name } if shim_name == "rayon") {
+        return Vec::new();
+    }
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if name == "thread" && pathsep_at(toks, i + 1) {
+            if let Some(Tok::Ident(m)) = toks.get(i + 2).map(|t| &t.tok) {
+                if THREAD_ENTRYPOINTS.contains(&m.as_str()) {
+                    out.push(Finding::new(
+                        file,
+                        t,
+                        RULE,
+                        format!(
+                            "`thread::{m}` outside shims/rayon; use the rayon shim `Pool` so \
+                             scheduling stays deterministic and centralized"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        let file = SourceFile::new(path, src);
+        let lexed = lex(&file.text);
+        check(&file, &lexed)
+    }
+
+    #[test]
+    fn flags_spawn_and_scope_everywhere_but_rayon() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n    std::thread::scope(|s| {});\n}\n";
+        assert_eq!(findings("crates/themis-query/src/a.rs", src).len(), 2);
+        assert_eq!(findings("tests/smoke.rs", src).len(), 2);
+        assert!(findings("shims/rayon/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn benign_thread_uses_pass() {
+        let src = "fn f() { let n = std::thread::available_parallelism(); std::thread::sleep(d); }\n";
+        assert!(findings("crates/themis-query/src/a.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! `shim-api-drift`: the offline shims stay honest subsets of the crates
+//! they stand in for.
+//!
+//! Every `pub` item a shim exports must earn its keep: its name must be
+//! spelled somewhere other than its own declaration line — in workspace code,
+//! in another shim, or in the shim's own non-test code (signatures, impl
+//! blocks, and call sites all count). The shim's *own tests* do not count:
+//! API exercised only by its own unit tests is exactly the drift this rule
+//! exists to catch (nobody in the workspace needs it, so it bloats the
+//! surface that must match the real crate if networked builds ever return).
+//!
+//! `pub(crate)`/`pub(super)` items, `pub use` re-exports, and trait-impl
+//! methods (which are never `pub`) are out of scope. Items reachable only
+//! through macro *expansion* (never spelled at any call site) carry a
+//! reasoned suppression on their declaration line.
+
+use crate::lexer::{lex, Lexed, Tok};
+use crate::rules::{punct_at, Finding};
+use crate::source::{FileClass, SourceFile};
+use std::collections::BTreeMap;
+
+pub const RULE: &str = "shim-api-drift";
+
+const ITEM_KINDS: [&str; 8] = [
+    "fn", "struct", "enum", "trait", "type", "mod", "const", "static",
+];
+
+/// A public item declared by a shim.
+#[derive(Debug)]
+struct PubItem {
+    shim: String,
+    path: String,
+    line: u32,
+    col: u32,
+    kind: &'static str,
+    name: String,
+}
+
+/// Workspace-level check: needs every file, so it runs separately from the
+/// per-file rules. `lexed` must align index-wise with `files`.
+pub fn check(files: &[SourceFile], lexed: &[Lexed]) -> Vec<Finding> {
+    let mut items: Vec<PubItem> = Vec::new();
+    for (file, lx) in files.iter().zip(lexed) {
+        let FileClass::Shim { shim_name } = &file.class else {
+            continue;
+        };
+        collect_pub_items(shim_name, &file.path, lx, &mut items);
+    }
+    if items.is_empty() {
+        return Vec::new();
+    }
+
+    // name -> indices of still-unreferenced items; absolved items drop out
+    // as qualifying mentions stream past.
+    let mut pending: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, it) in items.iter().enumerate() {
+        pending.entry(it.name.clone()).or_default().push(i);
+    }
+
+    for (file, lx) in files.iter().zip(lexed) {
+        if pending.is_empty() {
+            break;
+        }
+        // Which shim's tests should NOT absolve that shim's own items:
+        // both in-crate `#[cfg(test)]` blocks and the shim's `tests/` dir.
+        let owner_shim = file
+            .path
+            .strip_prefix("shims/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("");
+        let file_is_test_dir = matches!(file.class, FileClass::TestCode);
+        for t in &lx.tokens {
+            let Tok::Ident(s) = &t.tok else { continue };
+            let Some(indices) = pending.get_mut(s) else {
+                continue;
+            };
+            let in_owner_test = |it: &PubItem| {
+                it.shim == owner_shim && (file_is_test_dir || lx.in_test_code(t.line))
+            };
+            indices.retain(|&idx| {
+                let Some(it) = items.get(idx) else {
+                    return false;
+                };
+                let is_decl_site = it.path == file.path && it.line == t.line;
+                is_decl_site || in_owner_test(it)
+            });
+            if indices.is_empty() {
+                pending.remove(s.as_str());
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for indices in pending.values() {
+        for &idx in indices {
+            let Some(it) = items.get(idx) else { continue };
+            out.push(Finding {
+                path: it.path.clone(),
+                line: it.line,
+                col: it.col,
+                rule: RULE,
+                message: format!(
+                    "public {} `{}` in shim `{}` is never mentioned outside its declaration \
+                     (the shim's own tests don't count); drop it — shims must stay honest subsets",
+                    it.kind, it.name, it.shim
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn collect_pub_items(shim: &str, path: &str, lx: &Lexed, out: &mut Vec<PubItem>) {
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if lx.in_test_code(t.line) {
+            continue;
+        }
+        match &t.tok {
+            Tok::Ident(s) if s == "pub" => {
+                // `pub(...)` restricted visibility is not public API.
+                if punct_at(toks, i + 1, '(') {
+                    continue;
+                }
+                // Scan a few qualifier tokens (async/unsafe/extern) for the
+                // item-kind keyword.
+                let mut j = i + 1;
+                let mut kind: Option<&'static str> = None;
+                for _ in 0..4 {
+                    match toks.get(j).map(|t| &t.tok) {
+                        Some(Tok::Ident(k)) => {
+                            if let Some(found) = ITEM_KINDS.iter().find(|x| *x == k) {
+                                kind = Some(found);
+                                break;
+                            }
+                            if k == "use" {
+                                break; // re-export
+                            }
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let Some(kind) = kind else { continue };
+                if let Some(n) = toks.get(j + 1) {
+                    if let Tok::Ident(name) = &n.tok {
+                        out.push(PubItem {
+                            shim: shim.to_string(),
+                            path: path.to_string(),
+                            line: n.line,
+                            col: n.col,
+                            kind,
+                            name: name.clone(),
+                        });
+                    }
+                }
+            }
+            Tok::Ident(s) if s == "macro_rules" && punct_at(toks, i + 1, '!') => {
+                // Exported macros are public API; `#[macro_export]` precedes.
+                let exported = toks
+                    .iter()
+                    .take(i)
+                    .rev()
+                    .take(6)
+                    .any(|p| matches!(&p.tok, Tok::Ident(a) if a == "macro_export"));
+                if !exported {
+                    continue;
+                }
+                if let Some(n) = toks.get(i + 2) {
+                    if let Tok::Ident(name) = &n.tok {
+                        out.push(PubItem {
+                            shim: shim.to_string(),
+                            path: path.to_string(),
+                            line: n.line,
+                            col: n.col,
+                            kind: "macro",
+                            name: name.clone(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Convenience for tests and fixtures: lex then check.
+pub fn check_sources(files: &[SourceFile]) -> Vec<Finding> {
+    let lexed: Vec<_> = files.iter().map(|f| lex(&f.text)).collect();
+    check(files, &lexed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreferenced_pub_item_is_flagged() {
+        let files = vec![
+            SourceFile::new(
+                "shims/fake/src/lib.rs",
+                "pub fn used() {}\npub fn dead_helper() {}\n",
+            ),
+            SourceFile::new("crates/themis-query/src/a.rs", "fn f() { fake::used(); }\n"),
+        ];
+        let got = check_sources(&files);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("dead_helper"));
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn own_test_usage_does_not_absolve() {
+        let files = vec![SourceFile::new(
+            "shims/fake/src/lib.rs",
+            "pub fn only_tested() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { super::only_tested(); }\n}\n",
+        )];
+        let got = check_sources(&files);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("only_tested"));
+    }
+
+    #[test]
+    fn own_tests_dir_does_not_absolve_but_workspace_tests_do() {
+        let shim = SourceFile::new("shims/fake/src/lib.rs", "pub fn helper() {}\n");
+        let own_test = SourceFile::new(
+            "shims/fake/tests/integration.rs",
+            "fn t() { fake::helper(); }\n",
+        );
+        let got = check_sources(&[shim.clone(), own_test]);
+        assert_eq!(got.len(), 1, "own tests/ dir must not absolve");
+        let ws_test = SourceFile::new("tests/smoke.rs", "fn t() { fake::helper(); }\n");
+        assert!(check_sources(&[shim, ws_test]).is_empty());
+    }
+
+    #[test]
+    fn signature_mention_in_same_shim_absolves() {
+        let files = vec![SourceFile::new(
+            "shims/fake/src/lib.rs",
+            "pub struct Handle;\npub fn open() -> Handle {\n    Handle\n}\n",
+        )];
+        // `Handle` is named in open()'s signature; `open` itself is drift.
+        let got = check_sources(&files);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("`open`"));
+    }
+
+    #[test]
+    fn pub_crate_and_reexports_are_ignored() {
+        let files = vec![
+            SourceFile::new(
+                "shims/fake/src/lib.rs",
+                "pub(crate) fn internal() {}\npub use inner::Thing;\n",
+            ),
+            SourceFile::new("crates/themis-query/src/a.rs", "fn f() {}\n"),
+        ];
+        assert!(check_sources(&files).is_empty());
+    }
+
+    #[test]
+    fn exported_macro_needs_a_mention() {
+        let files = vec![
+            SourceFile::new(
+                "shims/fake/src/lib.rs",
+                "#[macro_export]\nmacro_rules! make_it {\n    () => {};\n}\n",
+            ),
+            SourceFile::new("crates/themis-query/src/a.rs", "fn f() {}\n"),
+        ];
+        let got = check_sources(&files);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].message.contains("make_it"));
+        let with_use = SourceFile::new("tests/smoke.rs", "fn f() { make_it!(); }\n");
+        let files = vec![
+            SourceFile::new(
+                "shims/fake/src/lib.rs",
+                "#[macro_export]\nmacro_rules! make_it {\n    () => {};\n}\n",
+            ),
+            with_use,
+        ];
+        assert!(check_sources(&files).is_empty());
+    }
+}

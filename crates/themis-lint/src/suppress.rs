@@ -1,0 +1,204 @@
+//! Suppression directives.
+//!
+//! A finding can be silenced at its site with a magic comment:
+//!
+//! ```text
+//! // themis-lint: allow(rule-name) reason=why this is sound
+//! flagged_line();
+//! ```
+//!
+//! A standalone directive applies to the next line carrying a token; a
+//! trailing directive applies to its own line. Several rules may share one
+//! directive: `allow(rule-a, rule-b)`. The `reason=` is mandatory and must
+//! be non-empty — a directive without one is itself reported (as
+//! `bad-suppression`) and suppresses nothing, so silencing the linter always
+//! leaves a written justification in the code.
+
+use crate::lexer::{Comment, Token};
+use crate::rules::RULE_NAMES;
+
+/// One parsed `allow` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allow {
+    /// Line the directive applies to (already resolved from the comment's
+    /// standalone/trailing position).
+    pub target_line: u32,
+    /// Line the directive itself sits on (for diagnostics).
+    pub directive_line: u32,
+    pub rules: Vec<String>,
+    pub reason: String,
+}
+
+/// A malformed directive, reported as a `bad-suppression` finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BadDirective {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Everything extracted from one file's comments.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    pub allows: Vec<Allow>,
+    pub bad: Vec<BadDirective>,
+}
+
+impl Suppressions {
+    /// Whether a finding of `rule` on `line` is suppressed.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.target_line == line && a.rules.iter().any(|r| r == rule))
+    }
+}
+
+const MARKER: &str = "themis-lint:";
+
+/// Parse every `themis-lint:` directive out of a file's comments.
+///
+/// `tokens` is needed to resolve what "the next line" means for standalone
+/// directives: the target is the next line at or below the comment that
+/// carries at least one token.
+pub fn parse(comments: &[Comment], tokens: &[Token]) -> Suppressions {
+    let mut out = Suppressions::default();
+    for c in comments {
+        let Some(rest) = c.text.strip_prefix(MARKER) else {
+            continue;
+        };
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            next_token_line(tokens, c.line).unwrap_or(c.line + 1)
+        };
+        match parse_directive(rest.trim()) {
+            Ok((rules, reason)) => {
+                let unknown: Vec<&String> = rules
+                    .iter()
+                    .filter(|r| !RULE_NAMES.contains(&r.as_str()))
+                    .collect();
+                if let Some(u) = unknown.first() {
+                    out.bad.push(BadDirective {
+                        line: c.line,
+                        message: format!(
+                            "unknown rule `{u}` in allow(...); known rules: {}",
+                            RULE_NAMES.join(", ")
+                        ),
+                    });
+                    continue;
+                }
+                out.allows.push(Allow {
+                    target_line,
+                    directive_line: c.line,
+                    rules,
+                    reason,
+                });
+            }
+            Err(message) => out.bad.push(BadDirective {
+                line: c.line,
+                message,
+            }),
+        }
+    }
+    out
+}
+
+fn next_token_line(tokens: &[Token], after: u32) -> Option<u32> {
+    tokens.iter().map(|t| t.line).find(|&l| l > after)
+}
+
+/// Parse `allow(rule[, rule...]) reason=...`.
+fn parse_directive(text: &str) -> Result<(Vec<String>, String), String> {
+    let rest = text
+        .strip_prefix("allow")
+        .ok_or_else(|| format!("expected `allow(rule) reason=...` after `{MARKER}`"))?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_string())?;
+    let (rule_list, rest) = rest
+        .split_once(')')
+        .ok_or_else(|| "unclosed `(` in allow directive".to_string())?;
+    let rules: Vec<String> = rule_list
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("allow(...) names no rules".to_string());
+    }
+    let reason = rest
+        .trim_start()
+        .strip_prefix("reason=")
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err(
+            "suppression requires a non-empty `reason=`: say why the invariant holds".to_string(),
+        );
+    }
+    Ok((rules, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Suppressions {
+        let lexed = lex(src);
+        parse(&lexed.comments, &lexed.tokens)
+    }
+
+    #[test]
+    fn standalone_directive_targets_next_token_line() {
+        let s = parse_src(
+            "// themis-lint: allow(no-raw-threads) reason=test worker\n\nstd::thread::spawn(f);\n",
+        );
+        assert!(s.bad.is_empty());
+        assert_eq!(s.allows.len(), 1);
+        assert_eq!(s.allows[0].target_line, 3);
+        assert!(s.covers("no-raw-threads", 3));
+        assert!(!s.covers("no-env-reads", 3));
+    }
+
+    #[test]
+    fn trailing_directive_targets_its_own_line() {
+        let s = parse_src(
+            "x.unwrap(); // themis-lint: allow(no-panic-in-libs) reason=len checked above\n",
+        );
+        assert!(s.covers("no-panic-in-libs", 1));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let s = parse_src("// themis-lint: allow(no-panic-in-libs)\nx.unwrap();\n");
+        assert!(s.allows.is_empty());
+        assert_eq!(s.bad.len(), 1);
+        assert!(s.bad[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let s = parse_src("// themis-lint: allow(no-panic-in-libs) reason=\nx.unwrap();\n");
+        assert!(s.allows.is_empty());
+        assert_eq!(s.bad.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let s = parse_src("// themis-lint: allow(no-such-rule) reason=whatever\nx();\n");
+        assert!(s.allows.is_empty());
+        assert_eq!(s.bad.len(), 1);
+        assert!(s.bad[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn multiple_rules_in_one_directive() {
+        let s = parse_src(
+            "// themis-lint: allow(no-panic-in-libs, deterministic-iteration) reason=both hold\nx();\n",
+        );
+        assert_eq!(s.allows.len(), 1);
+        assert!(s.covers("no-panic-in-libs", 2));
+        assert!(s.covers("deterministic-iteration", 2));
+    }
+}

@@ -1,0 +1,109 @@
+//! End-to-end tests of the `themis-lint` binary: exit codes, rustc-style
+//! diagnostics, `--json` output, and the workspace-clean gate that CI relies
+//! on. Integration tests run with the package directory as cwd, so fixtures
+//! live at `fixtures/` and the repo root at `../..`.
+
+use std::path::Path;
+use std::process::Command;
+
+fn lint_bin() -> Command {
+    // themis-lint: allow(no-env-reads) reason=CARGO_BIN_EXE is the sanctioned cargo mechanism for locating the binary under test
+    Command::new(env!("CARGO_BIN_EXE_themis-lint"))
+}
+
+#[test]
+fn fail_fixtures_exit_nonzero_with_rustc_style_diagnostics() {
+    for entry in std::fs::read_dir("fixtures/fail").expect("fixtures/fail") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "rs") {
+            continue;
+        }
+        let out = lint_bin()
+            .arg("check")
+            .arg(&path)
+            .output()
+            .expect("run themis-lint");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{} should exit 1, stdout:\n{}",
+            path.display(),
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // rustc-style shape: `error[themis::<rule>]: ...` then `  --> path:line:col`.
+        assert!(
+            stdout.contains("error[themis::"),
+            "{}: missing error header in:\n{stdout}",
+            path.display()
+        );
+        assert!(
+            stdout.lines().any(|l| {
+                l.trim_start().starts_with("--> ")
+                    && l.rsplit(':').take(2).all(|n| n.parse::<u32>().is_ok())
+            }),
+            "{}: missing `--> path:line:col` span in:\n{stdout}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn pass_fixtures_exit_zero_and_report_clean() {
+    for entry in std::fs::read_dir("fixtures/pass").expect("fixtures/pass") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "rs") {
+            continue;
+        }
+        let out = lint_bin()
+            .arg("check")
+            .arg(&path)
+            .output()
+            .expect("run themis-lint");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{} should exit 0, stdout:\n{stdout}",
+            path.display()
+        );
+        assert!(stdout.contains("clean"), "{}: {stdout}", path.display());
+    }
+}
+
+#[test]
+fn json_flag_emits_parseable_findings() {
+    let out = lint_bin()
+        .args(["check", "--json", "fixtures/fail/no_panic_unwrap.rs"])
+        .output()
+        .expect("run themis-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = themis_lint::json::Json::parse(&stdout).expect("stdout is valid JSON");
+    let findings = themis_lint::diag::findings_from_json(&doc).expect("findings decode");
+    assert_eq!(findings.len(), 3, "no_panic_unwrap declares 3 findings");
+    assert!(findings.iter().all(|f| f.rule == "no-panic-in-libs"));
+}
+
+#[test]
+fn bad_flag_exits_with_usage_error() {
+    let out = lint_bin()
+        .args(["check", "--frobnicate"])
+        .output()
+        .expect("run themis-lint");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn workspace_lints_clean() {
+    // The sixth CI gate in library form: the repo itself must stay clean.
+    // Running it here means plain `cargo test` enforces it too.
+    let report = themis_lint::lint_workspace(Path::new("../..")).expect("walk workspace");
+    assert!(report.files_checked > 100, "walked {} files", report.files_checked);
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{:#?}",
+        report.findings
+    );
+}

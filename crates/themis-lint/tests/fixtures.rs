@@ -1,0 +1,146 @@
+//! Table test over the fixture corpus.
+//!
+//! Every file in `fixtures/fail/` declares its expected findings in
+//! `//! expect: rule @ path:line` headers; linting it must produce exactly
+//! that set. Every file in `fixtures/pass/` must lint clean. Integration
+//! tests run with the package directory as the working directory, so the
+//! corpus is reachable at a relative path.
+
+use std::fs;
+use std::path::PathBuf;
+use themis_lint::source::{load_fixture, Expectation};
+
+fn fixture_files(kind: &str) -> Vec<PathBuf> {
+    let dir = PathBuf::from("fixtures").join(kind);
+    let mut out: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "empty fixture dir {}", dir.display());
+    out
+}
+
+#[test]
+fn pass_fixtures_lint_clean() {
+    for path in fixture_files("pass") {
+        let fx = load_fixture(&path).expect("load fixture");
+        assert!(
+            fx.expects.is_empty(),
+            "{}: pass fixtures must not declare expectations",
+            path.display()
+        );
+        let report = themis_lint::lint_sources(&fx.files);
+        assert!(
+            report.is_clean(),
+            "{} should be clean but produced: {:#?}",
+            path.display(),
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn fail_fixtures_produce_exactly_their_expected_findings() {
+    for path in fixture_files("fail") {
+        let fx = load_fixture(&path).expect("load fixture");
+        assert!(
+            !fx.expects.is_empty(),
+            "{}: fail fixtures must declare `//! expect:` headers",
+            path.display()
+        );
+        let report = themis_lint::lint_sources(&fx.files);
+        let mut got: Vec<Expectation> = report
+            .findings
+            .iter()
+            .map(|f| Expectation {
+                rule: f.rule.to_string(),
+                path: f.path.clone(),
+                line: f.line,
+            })
+            .collect();
+        let mut want = fx.expects.clone();
+        got.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+        want.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+        assert_eq!(
+            got,
+            want,
+            "{}: findings do not match expectations\nfull findings: {:#?}",
+            path.display(),
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_pass_and_fail_coverage() {
+    // The corpus must keep covering each rule from both sides as rules
+    // evolve: at least 2 pass and 2 fail fixtures whose primary file (or
+    // expectations) exercise the rule.
+    let mut fail_hits: std::collections::BTreeMap<String, usize> = Default::default();
+    for path in fixture_files("fail") {
+        let fx = load_fixture(&path).expect("load fixture");
+        let mut rules: Vec<String> = fx.expects.iter().map(|e| e.rule.clone()).collect();
+        rules.sort();
+        rules.dedup();
+        for r in rules {
+            *fail_hits.entry(r).or_default() += 1;
+        }
+    }
+    for rule in [
+        "no-panic-in-libs",
+        "no-env-reads",
+        "deterministic-iteration",
+        "no-deep-clone",
+        "no-raw-threads",
+        "shim-api-drift",
+        "bad-suppression",
+    ] {
+        assert!(
+            fail_hits.get(rule).copied().unwrap_or(0) >= 2,
+            "rule {rule} needs at least 2 fail fixtures, found {fail_hits:?}"
+        );
+    }
+    assert!(
+        fixture_files("pass").len() >= 12,
+        "need at least 2 pass fixtures per rule (12 total)"
+    );
+}
+
+#[test]
+fn suppression_requires_a_reason() {
+    // A reasoned allow suppresses; the same directive without `reason=`
+    // both fails to suppress and is reported itself.
+    let with_reason = themis_lint::SourceFile::new(
+        "crates/themis-bn/src/a.rs",
+        "fn f(x: Option<u32>) {\n    // themis-lint: allow(no-panic-in-libs) reason=demo invariant\n    x.unwrap();\n}\n",
+    );
+    let report = themis_lint::lint_sources(&[with_reason]);
+    assert!(report.is_clean(), "reasoned allow must suppress: {:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
+
+    let without_reason = themis_lint::SourceFile::new(
+        "crates/themis-bn/src/a.rs",
+        "fn f(x: Option<u32>) {\n    // themis-lint: allow(no-panic-in-libs)\n    x.unwrap();\n}\n",
+    );
+    let report = themis_lint::lint_sources(&[without_reason]);
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"bad-suppression"), "got {rules:?}");
+    assert!(rules.contains(&"no-panic-in-libs"), "got {rules:?}");
+}
+
+#[test]
+fn json_output_round_trips() {
+    // Lint a fail fixture, render the report to JSON text, parse it back,
+    // and require the identical finding list.
+    let path = PathBuf::from("fixtures/fail/no_panic_unwrap.rs");
+    let fx = load_fixture(&path).expect("load fixture");
+    let report = themis_lint::lint_sources(&fx.files);
+    assert!(!report.findings.is_empty());
+
+    let text = themis_lint::diag::to_json(&report).render();
+    let doc = themis_lint::json::Json::parse(&text).expect("valid JSON");
+    let back = themis_lint::diag::findings_from_json(&doc).expect("round-trip");
+    assert_eq!(back, report.findings);
+}

@@ -425,11 +425,13 @@ pub(crate) fn fold_row(
             CompiledAgg::CountStar | CompiledAgg::SumWeight => acc_sums[i] += weight,
             CompiledAgg::Sum(r) | CompiledAgg::Avg(r) => {
                 let v = bindings[r.table].1.value(rows[r.table], r.attr);
+                // themis-lint: allow(no-panic-in-libs) reason=compile_select precomputes numeric tables for every SUM/AVG/MIN/MAX; this is the per-row hot path
                 acc_sums[i] += weight * numeric[i].as_ref().expect("precomputed")[v as usize];
             }
             CompiledAgg::Min(r) => {
                 if weight > 0.0 {
                     let v = bindings[r.table].1.value(rows[r.table], r.attr);
+                    // themis-lint: allow(no-panic-in-libs) reason=compile_select precomputes numeric tables for every SUM/AVG/MIN/MAX; this is the per-row hot path
                     let key = numeric[i].as_ref().expect("precomputed")[v as usize];
                     acc_sums[i] = if *acc_seen { acc_sums[i].min(key) } else { key };
                 }
@@ -437,6 +439,7 @@ pub(crate) fn fold_row(
             CompiledAgg::Max(r) => {
                 if weight > 0.0 {
                     let v = bindings[r.table].1.value(rows[r.table], r.attr);
+                    // themis-lint: allow(no-panic-in-libs) reason=compile_select precomputes numeric tables for every SUM/AVG/MIN/MAX; this is the per-row hot path
                     let key = numeric[i].as_ref().expect("precomputed")[v as usize];
                     acc_sums[i] = if *acc_seen { acc_sums[i].max(key) } else { key };
                 }

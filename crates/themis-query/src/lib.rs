@@ -33,6 +33,8 @@
 //! FROM table of a self-join, say) is a pointer bump per binding — query
 //! setup never deep-clones row data.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod exec;
 pub mod exec_parallel;

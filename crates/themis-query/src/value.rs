@@ -92,13 +92,15 @@ impl QueryResult {
     /// The single aggregate value of a scalar (no GROUP BY, one aggregate)
     /// result; `None` if the shape doesn't match.
     pub fn scalar(&self) -> Option<f64> {
-        if self.group_arity == 0 && self.rows.len() == 1 && self.rows[0].len() == 1 {
-            match &self.rows[0][0] {
-                Value::Num(n) => Some(*n),
-                Value::Str(_) => None,
-            }
-        } else {
-            None
+        if self.group_arity != 0 {
+            return None;
+        }
+        let [row] = self.rows.as_slice() else {
+            return None;
+        };
+        match row.as_slice() {
+            [Value::Num(n)] => Some(*n),
+            _ => None,
         }
     }
 }

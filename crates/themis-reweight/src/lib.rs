@@ -18,6 +18,8 @@
 //!   cap is reached — IPF need not converge when the sample is missing
 //!   support, Example 4.2).
 
+#![forbid(unsafe_code)]
+
 pub mod ipf;
 pub mod linreg;
 pub mod onehot;

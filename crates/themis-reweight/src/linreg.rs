@@ -91,6 +91,7 @@ pub fn linreg_weights(
     // Intercept-encouraging row [n_S, 0, ..., 0] with target n_S.
     if options.intercept_row {
         acc.fill(0.0);
+        // themis-lint: allow(no-panic-in-libs) reason=acc has the one-hot layout width, which always includes the intercept slot 0
         acc[0] = ns as f64;
         x.push_row(&acc);
         y.push(ns as f64);

@@ -49,6 +49,7 @@ impl OneHotLayout {
     pub fn encode_into(&self, relation: &Relation, row: usize, out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.width);
         out.fill(0.0);
+        // themis-lint: allow(no-panic-in-libs) reason=width always counts the intercept, so slot 0 exists (debug_assert above)
         out[0] = 1.0;
         for (&a, &off) in self.attrs.iter().zip(&self.offsets) {
             out[off + relation.value(row, a) as usize] = 1.0;

@@ -13,6 +13,8 @@
 //!   likelihood over products of simplices with linear equality constraints
 //!   (used by the Bayesian-network parameter learner, §4.2.3 and §5.2).
 
+#![forbid(unsafe_code)]
+
 pub mod constrained;
 pub mod lstsq;
 pub mod matrix;

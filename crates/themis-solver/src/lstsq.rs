@@ -55,6 +55,7 @@ fn qr_solve(a: &DenseMatrix, b: &[f64]) -> Option<Vec<f64>> {
         // v[k] = 1 implicitly by dividing through.
         let v0 = r[(k, k)] - alpha;
         let mut v = vec![0.0; m - k];
+        // themis-lint: allow(no-panic-in-libs) reason=k < m throughout the factorization loop, so v has at least one element
         v[0] = v0;
         for i in (k + 1)..m {
             v[i - k] = r[(i, k)];
@@ -114,6 +115,7 @@ fn ridge_solve(a: &DenseMatrix, b: &[f64]) -> Vec<f64> {
     for i in 0..n {
         ata[(i, i)] += lambda;
     }
+    // themis-lint: allow(no-panic-in-libs) reason=adding a strictly positive lambda to the diagonal of AtA makes the system SPD, so Cholesky cannot fail
     cholesky_solve(&ata, &atb).expect("ridge-regularized system is SPD")
 }
 

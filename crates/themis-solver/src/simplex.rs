@@ -19,7 +19,7 @@ pub fn project_scaled_simplex(v: &mut [f64], s: f64) {
     assert!(!v.is_empty(), "cannot project an empty vector");
     let n = v.len();
     let mut sorted = v.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN in projection input"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
 
     // Find rho = max{ j : sorted[j] - (cumsum[j] - s)/(j+1) > 0 }.
     let mut cumsum = 0.0;

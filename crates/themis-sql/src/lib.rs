@@ -17,6 +17,8 @@
 //! The parser is a classic hand-written lexer + recursive-descent pair and
 //! has no knowledge of schemas; name resolution happens in `themis-query`.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod lexer;
 pub mod parser;

@@ -3,6 +3,8 @@
 //! as Cargo examples; run them with `cargo run -p themis-examples --example
 //! quickstart --release`.
 
+#![forbid(unsafe_code)]
+
 /// Format a float with thousands separators for readable console output.
 pub fn fmt_count(v: f64) -> String {
     let rounded = v.round() as i64;

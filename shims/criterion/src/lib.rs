@@ -7,6 +7,8 @@
 //! stay honest about their APIs and can be smoke-run, not to produce
 //! publishable numbers.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -12,6 +12,8 @@
 //! shrunk — instead, a failing property names its case index on stderr,
 //! and rerunning the test regenerates the identical inputs.
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod regex;
 pub mod strategy;

@@ -8,6 +8,8 @@
 //! xoshiro256++ seeded via splitmix64 — deterministic for a given seed, which
 //! is all the test suite and benchmarks rely on.
 
+#![forbid(unsafe_code)]
+
 pub mod distributions;
 pub mod rngs;
 pub mod seq;

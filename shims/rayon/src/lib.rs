@@ -2,8 +2,8 @@
 //!
 //! The build environment has no crates.io access, so this workspace ships a
 //! minimal data-parallelism layer covering what the Themis query engine
-//! needs: a [`Pool`] that runs closures over task indices, index ranges, or
-//! slice chunks on scoped OS threads, returning results **in task order**
+//! needs: a [`Pool`] that runs closures over task indices or index ranges
+//! on scoped OS threads, returning results **in task order**
 //! regardless of which thread finished first. Ordered results are what let
 //! the morsel-driven executor merge partial aggregates deterministically.
 //!
@@ -16,6 +16,8 @@
 //! This crate never reads environment variables: the pool width is always an
 //! explicit argument. Callers that want an environment-driven default (the
 //! CLI, the benches) parse it themselves and pass the result down.
+
+#![forbid(unsafe_code)]
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -117,18 +119,6 @@ impl Pool {
         })
     }
 
-    /// `par_chunks`-style helper: run `f(chunk_index, chunk)` over
-    /// consecutive slice chunks of at most `chunk` items, results in chunk
-    /// order.
-    pub fn par_chunks<'d, T, R, F>(&self, data: &'d [T], chunk: usize, f: F) -> Vec<R>
-    where
-        T: Sync,
-        R: Send,
-        F: Fn(usize, &'d [T]) -> R + Sync,
-    {
-        let chunk = chunk.max(1);
-        self.par_ranges(data.len(), chunk, |r| f(r.start / chunk, &data[r]))
-    }
 }
 
 #[cfg(test)]
@@ -154,15 +144,6 @@ mod tests {
         let ranges = pool.par_ranges(10, 4, |r| r);
         assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
         assert_eq!(pool.par_ranges(0, 4, |r| r), Vec::<Range<usize>>::new());
-    }
-
-    #[test]
-    fn par_chunks_sums_match_serial() {
-        let data: Vec<u64> = (0..1000).collect();
-        let pool = Pool::new(8);
-        let partials = pool.par_chunks(&data, 7, |_, c| c.iter().sum::<u64>());
-        assert_eq!(partials.len(), 1000usize.div_ceil(7));
-        assert_eq!(partials.iter().sum::<u64>(), data.iter().sum::<u64>());
     }
 
     #[test]

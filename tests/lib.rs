@@ -4,4 +4,6 @@
 //! used by both the engine differential suite (`exec_differential.rs`) and
 //! the session differential suite (`session_differential.rs`).
 
+#![forbid(unsafe_code)]
+
 pub mod querygen;
