@@ -60,8 +60,8 @@ pub mod session;
 pub use error::ThemisError;
 pub use metrics::{group_by_error, percent_difference};
 pub use model::{ReweightMethod, Themis, ThemisConfig};
-pub use route::{Explain, Route, RouteKind};
+pub use route::{DegradeReason, Explain, Route, RouteKind};
 pub use session::{Answer, ThemisSession};
 // Re-exported so session users configure the engine without importing
 // themis-query directly.
-pub use themis_query::EngineOptions;
+pub use themis_query::{CancelToken, EngineOptions, FaultPlan, Limits};

@@ -22,8 +22,9 @@ use std::hash::Hash;
 use std::sync::Arc;
 use themis_bn::point_probability;
 use themis_data::{AttrId, GroupKey, Relation};
+use std::time::Instant;
 use themis_query::{
-    cmp_group_prefix, Catalog, EngineOptions, ExecError, QueryResult, Value,
+    cmp_group_prefix, Catalog, EngineOptions, ExecError, FaultPlan, QueryResult, Trip, Value,
 };
 use themis_sql::{AggFunc, Comparison, Literal, Predicate, Query, SelectItem};
 
@@ -45,6 +46,61 @@ impl fmt::Display for RouteKind {
             RouteKind::Sample => write!(f, "Sample"),
             RouteKind::BayesNet => write!(f, "BayesNet"),
             RouteKind::Hybrid => write!(f, "Hybrid"),
+        }
+    }
+}
+
+/// Why a BN-backed route fell back to its reweighted-sample part.
+///
+/// Degradation is the governance story for routed queries: when the BN
+/// phase of a hybrid answer trips a limit or loses a worker, the sample
+/// part — already computed, already debiased for everything the sample
+/// covers — is returned instead of an error, and the reason is stamped on
+/// the [`Route`] so callers can tell a complete open-world answer from a
+/// best-effort one. Cancellation never degrades: a cancelled query means
+/// *stop*, not *answer with less*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The BN phase exceeded the configured deadline.
+    DeadlineExceeded,
+    /// The BN phase exceeded the row budget.
+    RowBudgetExceeded,
+    /// The BN phase exceeded the group budget.
+    GroupBudgetExceeded,
+    /// A worker panicked during the BN phase (contained by the pool).
+    WorkerFailure,
+}
+
+impl DegradeReason {
+    /// The degradation a BN-phase error justifies, if any. Errors that are
+    /// not governance trips or contained worker failures — planner errors,
+    /// unknown columns — return `None` and must propagate: they would fail
+    /// identically on the sample part, so hiding them behind a degraded
+    /// answer would mask real bugs.
+    pub(crate) fn from_error(err: &ExecError) -> Option<DegradeReason> {
+        match err {
+            ExecError::Governed(Trip::Deadline) => Some(DegradeReason::DeadlineExceeded),
+            ExecError::Governed(Trip::RowBudget { .. }) => {
+                Some(DegradeReason::RowBudgetExceeded)
+            }
+            ExecError::Governed(Trip::GroupBudget { .. }) => {
+                Some(DegradeReason::GroupBudgetExceeded)
+            }
+            // Cancellation is a user decision to stop, never to degrade.
+            ExecError::Governed(Trip::Cancelled) => None,
+            ExecError::Internal(_) => Some(DegradeReason::WorkerFailure),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            DegradeReason::RowBudgetExceeded => write!(f, "row budget exceeded"),
+            DegradeReason::GroupBudgetExceeded => write!(f, "group budget exceeded"),
+            DegradeReason::WorkerFailure => write!(f, "worker failure"),
         }
     }
 }
@@ -71,16 +127,44 @@ pub enum Route {
         /// Groups added from the BN replicate consensus.
         bn_groups_added: usize,
     },
+    /// The planned BN-backed route hit a governance limit or worker failure
+    /// in its BN phase; the answer is the reweighted-sample part alone.
+    Degraded {
+        /// The route the query was planned to take.
+        planned: RouteKind,
+        /// Why the BN phase was abandoned.
+        reason: DegradeReason,
+    },
 }
 
 impl Route {
     /// The route without its execution detail (what `explain` can predict
-    /// before running the query).
+    /// before running the query). A degraded answer *is* a sample answer —
+    /// that is what the caller received.
     pub fn kind(&self) -> RouteKind {
         match self {
-            Route::Sample => RouteKind::Sample,
+            Route::Sample | Route::Degraded { .. } => RouteKind::Sample,
             Route::BayesNet { .. } => RouteKind::BayesNet,
             Route::Hybrid { .. } => RouteKind::Hybrid,
+        }
+    }
+
+    /// The route the query was *planned* to take — differs from [`kind`]
+    /// only for degraded answers.
+    ///
+    /// [`kind`]: Route::kind
+    pub fn planned_kind(&self) -> RouteKind {
+        match self {
+            Route::Degraded { planned, .. } => *planned,
+            other => other.kind(),
+        }
+    }
+
+    /// Why this answer was degraded, or `None` for a complete answer.
+    pub fn degraded(&self) -> Option<DegradeReason> {
+        match self {
+            Route::Degraded { reason, .. } => Some(*reason),
+            _ => None,
         }
     }
 }
@@ -100,6 +184,9 @@ impl fmt::Display for Route {
                 f,
                 "Hybrid ({sample_groups} sample groups, {bn_groups_added} BN groups added)"
             ),
+            Route::Degraded { planned, reason } => {
+                write!(f, "Sample (degraded from {planned}: {reason})")
+            }
         }
     }
 }
@@ -112,11 +199,20 @@ pub struct Explain {
     pub route: RouteKind,
     /// Human-readable justification of the decision.
     pub reason: String,
+    /// Where the answer lands if the BN phase trips a configured limit or
+    /// loses a worker: `Some(RouteKind::Sample)` for a BN-backed route under
+    /// armed limits or an injected fault plan, `None` when nothing can
+    /// degrade (no limits, or the route has no BN phase to abandon).
+    pub degrades_to: Option<RouteKind>,
 }
 
 impl fmt::Display for Explain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "route: {} — {}", self.route, self.reason)
+        write!(f, "route: {} — {}", self.route, self.reason)?;
+        if let Some(fallback) = self.degrades_to {
+            write!(f, " (degrades to {fallback} if limits trip)")?;
+        }
+        Ok(())
     }
 }
 
@@ -138,15 +234,26 @@ pub(crate) enum Decision {
 }
 
 impl Decision {
-    pub(crate) fn explain(&self) -> Explain {
+    pub(crate) fn explain(&self, engine: &EngineOptions) -> Explain {
         let (route, reason) = match self {
             Decision::Sample { reason } => (RouteKind::Sample, reason),
             Decision::BnPoint { reason, .. } => (RouteKind::BayesNet, reason),
             Decision::Hybrid { reason } => (RouteKind::Hybrid, reason),
         };
+        // Only the hybrid route has a BN *phase* that can be abandoned in
+        // favour of an already-computed sample part. Direct BN inference
+        // (BnPoint) runs no engine query, so no limit can trip it; and
+        // cancellation stops rather than degrades, so an armed cancel token
+        // alone predicts nothing.
+        let armed = !engine.limits.is_unlimited() || engine.fault_plan != FaultPlan::None;
+        let degrades_to = match route {
+            RouteKind::Hybrid if armed => Some(RouteKind::Sample),
+            _ => None,
+        };
         Explain {
             route,
             reason: reason.clone(),
+            degrades_to,
         }
     }
 }
@@ -387,9 +494,20 @@ fn replicate_consensus(
     query: &Query,
     opts: &EngineOptions,
 ) -> Result<Option<Consensus>, ExecError> {
+    // The engine's guard is re-armed per `run_on`, so its deadline bounds
+    // one replicate at a time. This phase-level deadline bounds the *whole*
+    // consensus loop: K nearly-on-budget replicates must not stretch a
+    // 250ms deadline into K × 250ms.
+    let phase_deadline = opts.limits.deadline.map(|d| Instant::now() + d);
     let mut template: Option<QueryResult> = None;
     let mut agreed: Option<HashMap<Vec<String>, Vec<f64>>> = None;
     for replicate in replicates {
+        if opts.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            return Err(Trip::Cancelled.into());
+        }
+        if phase_deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(Trip::Deadline.into());
+        }
         let result = run_on(replicate, query, opts)?;
         let m = result.to_map();
         if template.is_none() {
@@ -456,16 +574,37 @@ pub(crate) fn hybrid_sql(
     let mut merged = run_on(sample, &inner, opts)?;
     let sample_groups = merged.rows.len();
     let mut bn_groups_added = 0;
-    if let Some(consensus) = replicate_consensus(replicates, &inner, opts)? {
-        let existing: HashSet<Vec<String>> = merged.to_map().into_keys().collect();
-        let k = replicates.len() as f64;
-        // themis-lint: allow(deterministic-iteration) reason=finish_merged below sorts merged rows by group prefix before ORDER BY/LIMIT applies
-        for (group, sums) in consensus.groups {
-            if existing.contains(&group) {
-                continue;
+    match replicate_consensus(replicates, &inner, opts) {
+        Ok(Some(consensus)) => {
+            let existing: HashSet<Vec<String>> = merged.to_map().into_keys().collect();
+            let k = replicates.len() as f64;
+            // themis-lint: allow(deterministic-iteration) reason=finish_merged below sorts merged rows by group prefix before ORDER BY/LIMIT applies
+            for (group, sums) in consensus.groups {
+                if existing.contains(&group) {
+                    continue;
+                }
+                merged.rows.push(consensus_row(group, sums, k));
+                bn_groups_added += 1;
             }
-            merged.rows.push(consensus_row(group, sums, k));
-            bn_groups_added += 1;
+        }
+        Ok(None) => {}
+        // Graceful degradation: the sample part is already a debiased
+        // answer for every group the sample covers. If the BN phase trips a
+        // limit or loses a worker, return that part with the reason stamped
+        // on the route instead of throwing the whole answer away.
+        // Non-degradable errors (cancellation, planner errors) propagate.
+        Err(err) => {
+            let Some(reason) = DegradeReason::from_error(&err) else {
+                return Err(err);
+            };
+            finish_merged(&mut merged, query)?;
+            return Ok((
+                merged,
+                Route::Degraded {
+                    planned: RouteKind::Hybrid,
+                    reason,
+                },
+            ));
         }
     }
     finish_merged(&mut merged, query)?;
@@ -603,5 +742,50 @@ mod tests {
         assert!(hybrid.to_string().contains("3 sample groups"));
         assert!(Route::BayesNet { k_agreed: 0 }.to_string().contains("direct inference"));
         assert!(Route::BayesNet { k_agreed: 7 }.to_string().contains("7 replicates"));
+    }
+
+    #[test]
+    fn degraded_routes_are_sample_answers_with_provenance() {
+        let degraded = Route::Degraded {
+            planned: RouteKind::Hybrid,
+            reason: DegradeReason::DeadlineExceeded,
+        };
+        assert_eq!(degraded.kind(), RouteKind::Sample);
+        assert_eq!(degraded.planned_kind(), RouteKind::Hybrid);
+        assert_eq!(degraded.degraded(), Some(DegradeReason::DeadlineExceeded));
+        assert_eq!(
+            degraded.to_string(),
+            "Sample (degraded from Hybrid: deadline exceeded)"
+        );
+        assert_eq!(Route::Sample.planned_kind(), RouteKind::Sample);
+        assert_eq!(Route::Sample.degraded(), None);
+    }
+
+    #[test]
+    fn degrade_reasons_come_only_from_governance_and_worker_errors() {
+        assert_eq!(
+            DegradeReason::from_error(&Trip::Deadline.into()),
+            Some(DegradeReason::DeadlineExceeded)
+        );
+        assert_eq!(
+            DegradeReason::from_error(&Trip::RowBudget { limit: 9 }.into()),
+            Some(DegradeReason::RowBudgetExceeded)
+        );
+        assert_eq!(
+            DegradeReason::from_error(&Trip::GroupBudget { limit: 9 }.into()),
+            Some(DegradeReason::GroupBudgetExceeded)
+        );
+        assert_eq!(
+            DegradeReason::from_error(&ExecError::Internal("worker panicked: boom".into())),
+            Some(DegradeReason::WorkerFailure)
+        );
+        // Cancellation and ordinary errors never degrade.
+        assert_eq!(DegradeReason::from_error(&Trip::Cancelled.into()), None);
+        assert_eq!(
+            DegradeReason::from_error(&ExecError::UnknownColumn("nope".into())),
+            None
+        );
+        // Reason text is stable enough for footers to echo.
+        assert_eq!(DegradeReason::WorkerFailure.to_string(), "worker failure");
     }
 }

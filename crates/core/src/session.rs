@@ -141,10 +141,13 @@ impl ThemisSession {
         })
     }
 
-    /// The routing decision for `sql`, without executing it.
+    /// The routing decision for `sql`, without executing it. The returned
+    /// [`Explain`] also predicts degradation: under armed limits or a fault
+    /// plan, a hybrid route reports `degrades_to = Some(Sample)` — the route
+    /// a tripped BN phase falls back to.
     pub fn explain(&self, sql: &str) -> Result<Explain, ThemisError> {
         let query = Self::parse(sql)?;
-        Ok(route::decide(&self.model, &query).explain())
+        Ok(route::decide(&self.model, &query).explain(&self.engine))
     }
 
     /// SQL over the reweighted sample only (no routing, no BN) — the
@@ -501,11 +504,128 @@ mod tests {
     }
 
     #[test]
+    fn row_budget_degrades_hybrid_to_its_sample_part_and_explain_predicts_it() {
+        use themis_query::Limits;
+        let mut s = open_world_session();
+        let sql = "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st";
+        let sample_part = s.sql_sample_only(sql).unwrap().result.to_map();
+        // Unlimited: no degradation predicted, none happens.
+        let plain = s.explain(sql).unwrap();
+        assert_eq!(plain.degrades_to, None);
+        assert!(matches!(s.sql(sql).unwrap().route, Route::Hybrid { .. }));
+        // A row budget the 4-row sample passes but every 4000-row BN
+        // replicate trips.
+        s.set_engine(EngineOptions {
+            limits: Limits {
+                max_rows: Some(100),
+                ..Limits::default()
+            },
+            ..EngineOptions::default()
+        });
+        let predicted = s.explain(sql).unwrap();
+        assert_eq!(predicted.route, RouteKind::Hybrid);
+        assert_eq!(predicted.degrades_to, Some(RouteKind::Sample));
+        assert!(predicted.to_string().contains("degrades to Sample"));
+        let answer = s.sql(sql).unwrap();
+        assert_eq!(
+            answer.route,
+            Route::Degraded {
+                planned: RouteKind::Hybrid,
+                reason: crate::route::DegradeReason::RowBudgetExceeded,
+            }
+        );
+        // A degraded answer is exactly the sample part — debiased for every
+        // group the sample covers, minus the BN's open-world additions.
+        assert_eq!(answer.route.kind(), RouteKind::Sample);
+        assert_eq!(answer.route.planned_kind(), RouteKind::Hybrid);
+        assert_eq!(answer.result.to_map(), sample_part);
+        // Scalar queries have no BN phase: nothing to degrade even with
+        // limits armed.
+        let scalar = s.explain("SELECT COUNT(*) FROM flights").unwrap();
+        assert_eq!(scalar.degrades_to, None);
+    }
+
+    #[test]
+    fn contained_worker_panic_degrades_instead_of_aborting() {
+        use themis_query::FaultPlan;
+        let mut s = open_world_session();
+        let sql = "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st";
+        // Morsel 1 only exists on the 4000-row replicates (morsel_rows
+        // defaults to 2048); the 4-row sample never reaches it.
+        s.set_engine(EngineOptions {
+            fault_plan: FaultPlan::PanicAtMorsel { morsel: 1 },
+            ..EngineOptions::default()
+        });
+        assert_eq!(s.explain(sql).unwrap().degrades_to, Some(RouteKind::Sample));
+        let answer = s.sql(sql).unwrap();
+        assert_eq!(
+            answer.route.degraded(),
+            Some(crate::route::DegradeReason::WorkerFailure)
+        );
+        assert!(!answer.result.rows.is_empty());
+    }
+
+    #[test]
+    fn slow_bn_phase_degrades_on_deadline() {
+        use std::time::Duration;
+        use themis_query::{FaultPlan, Limits};
+        let mut s = open_world_session();
+        let sql = "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st";
+        // The injected stall sits on morsel 1, which only the replicates
+        // have: the sample part finishes far inside the deadline, the BN
+        // phase provably exceeds it.
+        s.set_engine(EngineOptions {
+            limits: Limits {
+                deadline: Some(Duration::from_millis(50)),
+                ..Limits::default()
+            },
+            fault_plan: FaultPlan::SlowMorsel {
+                morsel: 1,
+                delay: Duration::from_millis(200),
+            },
+            ..EngineOptions::default()
+        });
+        let answer = s.sql(sql).unwrap();
+        assert_eq!(
+            answer.route,
+            Route::Degraded {
+                planned: RouteKind::Hybrid,
+                reason: crate::route::DegradeReason::DeadlineExceeded,
+            }
+        );
+        assert!(answer
+            .route
+            .to_string()
+            .contains("degraded from Hybrid: deadline exceeded"));
+    }
+
+    #[test]
+    fn cancellation_stops_the_query_rather_than_degrading_it() {
+        use themis_query::{CancelToken, Trip};
+        let mut s = open_world_session();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        s.set_engine(EngineOptions {
+            cancel: Some(cancel),
+            ..EngineOptions::default()
+        });
+        let sql = "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st";
+        // A cancel token alone predicts no degradation...
+        assert_eq!(s.explain(sql).unwrap().degrades_to, None);
+        // ...and a cancelled query is an error, never a partial answer.
+        assert!(matches!(
+            s.sql(sql),
+            Err(ThemisError::Exec(ExecError::Governed(Trip::Cancelled)))
+        ));
+    }
+
+    #[test]
     fn engine_options_are_session_state() {
         let mut s = open_world_session();
         s.set_engine(EngineOptions {
             threads: 2,
             morsel_rows: 64,
+            ..EngineOptions::default()
         });
         assert_eq!(s.engine().threads, 2);
         let a = s.sql("SELECT o_st, COUNT(*) FROM flights GROUP BY o_st").unwrap();

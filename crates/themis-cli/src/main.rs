@@ -39,11 +39,23 @@ fn engine_from_env() -> EngineOptions {
 
 fn main() {
     let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
     let mut session = repl::Session::with_engine(engine_from_env());
-    println!("Themis open-world SQL shell — \\help for commands, \\quit to exit");
+    // Every stdout write checks its result: when the consumer goes away
+    // (`themis | head` closing the pipe, say), the shell exits quietly
+    // instead of dying on a write panic.
+    if writeln!(
+        out,
+        "Themis open-world SQL shell — \\help for commands, \\quit to exit"
+    )
+    .is_err()
+    {
+        return;
+    }
     loop {
-        print!("themis> ");
-        std::io::stdout().flush().expect("stdout");
+        if write!(out, "themis> ").and_then(|()| out.flush()).is_err() {
+            break; // stdout is gone (broken pipe)
+        }
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
             Ok(0) => break, // EOF
@@ -55,8 +67,8 @@ fn main() {
         }
         match session.handle(line.trim()) {
             repl::Outcome::Continue(output) => {
-                if !output.is_empty() {
-                    println!("{output}");
+                if !output.is_empty() && writeln!(out, "{output}").is_err() {
+                    break;
                 }
             }
             repl::Outcome::Quit => break,

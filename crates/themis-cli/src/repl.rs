@@ -9,6 +9,7 @@
 //! shell — `main` seeds it from `THEMIS_THREADS` once at startup, and
 //! `\threads` mutates it; no library code ever reads the environment.
 
+use std::time::Duration;
 use themis_aggregates::{AggregateResult, AggregateSet};
 use themis_core::{EngineOptions, Route, Themis, ThemisConfig, ThemisSession};
 use themis_data::ingest::{ingest_csv, ColumnSpec};
@@ -76,6 +77,8 @@ impl Session {
             Some("population") => Outcome::Continue(self.cmd_population(&parts[1..])),
             Some("build") => Outcome::Continue(self.cmd_build()),
             Some("threads") => Outcome::Continue(self.cmd_threads(&parts[1..])),
+            Some("deadline") => Outcome::Continue(self.cmd_deadline(&parts[1..])),
+            Some("budget") => Outcome::Continue(self.cmd_budget(&parts[1..])),
             Some("explain") => {
                 // Re-split from the raw command so the SQL keeps its
                 // original spacing.
@@ -187,9 +190,14 @@ impl Session {
             if key.is_empty() {
                 continue;
             }
-            let count: f64 = match fields.last().expect("non-empty").parse() {
+            // The arity check above guarantees a last field, but a parse
+            // path must never be a panic away from killing the shell.
+            let Some(count_field) = fields.last() else {
+                continue;
+            };
+            let count: f64 = match count_field.parse() {
                 Ok(c) => c,
-                Err(_) => return format!("aggregate row {i}: bad count {:?}", fields.last()),
+                Err(_) => return format!("aggregate row {i}: bad count {count_field:?}"),
             };
             groups.push((key, count));
         }
@@ -257,6 +265,65 @@ impl Session {
             },
             _ => "usage: \\threads [<n>]".into(),
         }
+    }
+
+    /// `\deadline [<ms>|off]` — show, set, or clear the per-query deadline.
+    /// A query past its deadline stops with a typed error; a hybrid query
+    /// whose BN phase trips degrades to its sample part (the answer footer
+    /// says so).
+    fn cmd_deadline(&mut self, args: &[&str]) -> String {
+        match args {
+            [] => format!("governance: {}", self.engine.limits.describe()),
+            ["off"] => {
+                self.engine.limits.deadline = None;
+                self.apply_engine()
+            }
+            [ms] => match ms.parse::<u64>() {
+                Ok(v) if v >= 1 => {
+                    self.engine.limits.deadline = Some(Duration::from_millis(v));
+                    self.apply_engine()
+                }
+                _ => "deadline must be a positive number of milliseconds, or off".into(),
+            },
+            _ => "usage: \\deadline [<ms>|off]".into(),
+        }
+    }
+
+    /// `\budget [rows <n>|groups <n>|off]` — show, set, or clear the row /
+    /// group budgets.
+    fn cmd_budget(&mut self, args: &[&str]) -> String {
+        match args {
+            [] => format!("governance: {}", self.engine.limits.describe()),
+            ["off"] => {
+                self.engine.limits.max_rows = None;
+                self.engine.limits.max_groups = None;
+                self.apply_engine()
+            }
+            ["rows", n] => match n.parse::<u64>() {
+                Ok(v) if v >= 1 => {
+                    self.engine.limits.max_rows = Some(v);
+                    self.apply_engine()
+                }
+                _ => "row budget must be a positive integer".into(),
+            },
+            ["groups", n] => match n.parse::<usize>() {
+                Ok(v) if v >= 1 => {
+                    self.engine.limits.max_groups = Some(v);
+                    self.apply_engine()
+                }
+                _ => "group budget must be a positive integer".into(),
+            },
+            _ => "usage: \\budget [rows <n>|groups <n>|off]".into(),
+        }
+    }
+
+    /// Push the shell's engine options into the built session (if any) and
+    /// report the governance state that resulted.
+    fn apply_engine(&mut self) -> String {
+        if let Some(session) = &mut self.model {
+            session.set_engine(self.engine.clone());
+        }
+        format!("governance: {}", self.engine.limits.describe())
     }
 
     /// `\explain <sql>` — show where the query would be routed, without
@@ -345,6 +412,8 @@ commands:
   \\population <n>                              set the population size
   \\build                                       build the Themis model
   \\threads [<n>]                               show or set query-engine threads
+  \\deadline [<ms>|off]                         show, set, or clear the query deadline
+  \\budget [rows <n>|groups <n>|off]            show, set, or clear result budgets
   \\explain <sql>                               show where a query would route
                                                (Sample / BayesNet / Hybrid)
   \\route                                       provenance of the last answer
@@ -535,6 +604,80 @@ mod tests {
             panic!()
         };
         assert!(out.contains("no query executed yet"), "{out}");
+    }
+
+    #[test]
+    fn deadline_and_budget_commands_manage_governance() {
+        let mut s = Session::new();
+        // Show before set: governance starts off.
+        assert!(matches!(
+            s.handle("\\deadline"),
+            Outcome::Continue(ref m) if m.contains("off")
+        ));
+        let Outcome::Continue(out) = s.handle("\\deadline 250") else {
+            panic!()
+        };
+        assert!(out.contains("deadline 250ms"), "{out}");
+        assert_eq!(
+            s.engine.limits.deadline,
+            Some(Duration::from_millis(250))
+        );
+        let Outcome::Continue(out) = s.handle("\\budget rows 1000") else {
+            panic!()
+        };
+        assert!(out.contains("1000 rows"), "{out}");
+        s.handle("\\budget groups 50");
+        assert_eq!(s.engine.limits.max_rows, Some(1000));
+        assert_eq!(s.engine.limits.max_groups, Some(50));
+        // Armed limits show up in the engine status line.
+        let Outcome::Continue(status) = s.handle("\\status") else {
+            panic!()
+        };
+        assert!(status.contains("limits:"), "{status}");
+        // `off` clears both budgets, `\deadline off` the deadline.
+        s.handle("\\budget off");
+        s.handle("\\deadline off");
+        assert!(s.engine.limits.is_unlimited());
+        // Bad input is a message, not a panic.
+        assert!(matches!(
+            s.handle("\\deadline soon"),
+            Outcome::Continue(ref m) if m.contains("milliseconds")
+        ));
+        assert!(matches!(
+            s.handle("\\budget rows many"),
+            Outcome::Continue(ref m) if m.contains("positive integer")
+        ));
+        assert!(matches!(
+            s.handle("\\budget cpu 3"),
+            Outcome::Continue(ref m) if m.contains("usage")
+        ));
+    }
+
+    #[test]
+    fn tripped_budget_is_an_error_message_not_a_crash() {
+        let mut s = full_session();
+        // A 1-row budget trips on the 4-row sample scan itself.
+        s.handle("\\budget rows 1");
+        assert_eq!(
+            s.model.as_ref().unwrap().engine().limits.max_rows,
+            Some(1),
+            "built session must pick armed limits up immediately"
+        );
+        let Outcome::Continue(out) =
+            s.handle("SELECT state, COUNT(*) FROM flights GROUP BY state")
+        else {
+            panic!()
+        };
+        assert!(out.contains("error:"), "{out}");
+        assert!(out.contains("row budget exceeded"), "{out}");
+        // Lifting the budget restores normal answers in the same session.
+        s.handle("\\budget off");
+        let Outcome::Continue(out) =
+            s.handle("SELECT state, COUNT(*) FROM flights GROUP BY state")
+        else {
+            panic!()
+        };
+        assert!(out.contains("-- Hybrid ("), "{out}");
     }
 
     #[test]

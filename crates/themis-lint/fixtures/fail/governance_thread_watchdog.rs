@@ -1,0 +1,10 @@
+//! fixture-path: crates/themis-query/src/watchdog_demo.rs
+//! expect: no-raw-threads @ crates/themis-query/src/watchdog_demo.rs:6
+fn enforce_deadline(flag: Arc<AtomicBool>, deadline: Duration) {
+    // A detached watchdog is the wrong cancellation model: governance is
+    // cooperative, checked at morsel boundaries, never a raw thread.
+    std::thread::spawn(move || {
+        std::thread::sleep(deadline);
+        flag.store(true, Ordering::Relaxed);
+    });
+}

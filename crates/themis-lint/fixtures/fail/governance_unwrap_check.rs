@@ -1,0 +1,7 @@
+//! fixture-path: crates/themis-query/src/guard_unwrap_demo.rs
+//! expect: no-panic-in-libs @ crates/themis-query/src/guard_unwrap_demo.rs:5
+fn scan(rows: &[f64], guard: &QueryGuard) -> f64 {
+    // A tripped limit is a typed error; unwrapping it aborts the process.
+    guard.check().unwrap();
+    rows.iter().sum()
+}

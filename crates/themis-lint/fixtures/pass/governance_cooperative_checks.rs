@@ -1,0 +1,14 @@
+//! fixture-path: crates/themis-query/src/guard_demo.rs
+fn fold_rows(rows: &[f64], guard: &QueryGuard) -> Result<f64, ExecError> {
+    let mut total = 0.0;
+    for (i, w) in rows.iter().enumerate() {
+        // Cooperative governance: observe the guard at stride boundaries
+        // and surface trips as typed errors — no threads, no panics.
+        if i % 1024 == 0 {
+            guard.check()?;
+        }
+        total += w;
+    }
+    guard.charge_rows(rows.len() as u64)?;
+    Ok(total)
+}

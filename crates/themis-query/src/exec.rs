@@ -10,6 +10,7 @@
 //! apart; only the drive loop differs.
 
 use crate::catalog::Catalog;
+use crate::guard::{QueryGuard, RowMeter};
 use crate::value::{QueryResult, Value};
 use std::collections::HashMap;
 use std::fmt;
@@ -29,6 +30,12 @@ pub enum ExecError {
     Unsupported(String),
     /// SQL failed to parse (from [`run_sql`]).
     Parse(String),
+    /// A governance limit tripped: the deadline passed, the query was
+    /// cancelled, or a row/group budget was exceeded (see [`crate::guard`]).
+    Governed(crate::guard::Trip),
+    /// A worker panicked; the panic was contained (it never unwinds the
+    /// caller) and surfaced as this typed error.
+    Internal(String),
 }
 
 impl fmt::Display for ExecError {
@@ -38,6 +45,8 @@ impl fmt::Display for ExecError {
             ExecError::UnknownColumn(c) => write!(f, "unknown column {c}"),
             ExecError::Unsupported(m) => write!(f, "unsupported query: {m}"),
             ExecError::Parse(m) => write!(f, "{m}"),
+            ExecError::Governed(t) => write!(f, "query stopped: {t}"),
+            ExecError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -74,6 +83,42 @@ pub fn execute(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecErro
         result.rows.truncate(limit);
     }
     Ok(result)
+}
+
+/// Execute a parsed query on the serial engine under a
+/// [`QueryGuard`] armed from `opts` — the serial
+/// counterpart to the governed [`crate::execute_parallel`].
+///
+/// With no limits, token, or fault plan configured this is bit-identical to
+/// [`execute`] (the guard is inert and the drive loops fold rows in the same
+/// order). `opts.threads` is ignored — execution is serial — but
+/// `opts.morsel_rows` is honoured as the boundary stride so morsel indices
+/// (and therefore injected [`FaultPlan`](crate::guard::FaultPlan) faults and
+/// cooperative checks) line up with the parallel engine's decomposition: the
+/// same fault trips at the same point on both engines, yielding the same
+/// typed error. Panics below (e.g. the injected worker-panic fault) are
+/// contained and surface as [`ExecError::Internal`].
+pub fn execute_guarded(
+    catalog: &Catalog,
+    query: &Query,
+    opts: &crate::EngineOptions,
+) -> Result<QueryResult, ExecError> {
+    let guard = QueryGuard::arm(opts);
+    let morsel_rows = opts.morsel_rows.max(1);
+    crate::guard::contain_panics(|| {
+        let mut result = match query.from.len() {
+            1 => scan_guarded(catalog, query, morsel_rows, &guard)?,
+            2 => join_guarded(catalog, query, morsel_rows, &guard)?,
+            n => return Err(ExecError::Unsupported(format!("{n} tables in FROM"))),
+        };
+        if let Some(order) = &query.order_by {
+            apply_order_by(&mut result, order)?;
+        }
+        if let Some(limit) = query.limit {
+            result.rows.truncate(limit);
+        }
+        Ok(result)
+    })
 }
 
 /// Sort the result rows by a named output column (the engines call this for
@@ -453,6 +498,50 @@ pub(crate) fn fold_row(
     }
 }
 
+/// Fresh group table for a serial drive loop, pre-seeded with the implicit
+/// scalar group (SQL semantics: an aggregate-only query over an empty input
+/// returns a single all-zero row, not an empty result).
+fn new_groups(select: &CompiledSelect) -> HashMap<Vec<u32>, Accum> {
+    let mut groups = HashMap::new();
+    if select.group_cols.is_empty() {
+        groups.insert(Vec::new(), Accum::zero(select.aggs.len()));
+    }
+    groups
+}
+
+/// Fold one input row into the serial group table (key lookup + shared
+/// [`fold_row`]). Both serial drive loops (plain and guarded) go through
+/// this, so they agree bit-for-bit.
+fn fold_into(
+    select: &CompiledSelect,
+    bindings: &[(&str, &Relation)],
+    numeric: &[Option<Vec<f64>>],
+    groups: &mut HashMap<Vec<u32>, Accum>,
+    row_idx: &[usize],
+    weight: f64,
+) {
+    let key: Vec<u32> = select
+        .group_cols
+        .iter()
+        .map(|r| bindings[r.table].1.value(row_idx[r.table], r.attr))
+        .collect();
+    let acc = groups
+        .entry(key)
+        .or_insert_with(|| Accum::zero(select.aggs.len()));
+    fold_row(
+        select,
+        bindings,
+        numeric,
+        AccumRef {
+            weight: &mut acc.weight,
+            sums: &mut acc.sums,
+            seen: &mut acc.seen,
+        },
+        row_idx,
+        weight,
+    );
+}
+
 /// Shared aggregation driver over an iterator of joined rows.
 fn aggregate_rows(
     select: &CompiledSelect,
@@ -460,33 +549,9 @@ fn aggregate_rows(
     rows: impl Iterator<Item = (Vec<usize>, f64)>,
 ) -> QueryResult {
     let numeric = agg_numeric_tables(select, bindings);
-    let mut groups: HashMap<Vec<u32>, Accum> = HashMap::new();
-    // SQL semantics: an aggregate-only query over an empty input returns a
-    // single all-zero row, not an empty result.
-    if select.group_cols.is_empty() {
-        groups.insert(Vec::new(), Accum::zero(select.aggs.len()));
-    }
+    let mut groups = new_groups(select);
     for (row_idx, weight) in rows {
-        let key: Vec<u32> = select
-            .group_cols
-            .iter()
-            .map(|r| bindings[r.table].1.value(row_idx[r.table], r.attr))
-            .collect();
-        let acc = groups
-            .entry(key)
-            .or_insert_with(|| Accum::zero(select.aggs.len()));
-        fold_row(
-            select,
-            bindings,
-            &numeric,
-            AccumRef {
-                weight: &mut acc.weight,
-                sums: &mut acc.sums,
-                seen: &mut acc.seen,
-            },
-            &row_idx,
-            weight,
-        );
+        fold_into(select, bindings, &numeric, &mut groups, &row_idx, weight);
     }
     finalize_groups(select, bindings, groups)
 }
@@ -629,6 +694,44 @@ fn execute_scan(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecErr
     Ok(aggregate_rows(&select, &bindings, rows))
 }
 
+/// Guarded serial scan: same fold order as [`execute_scan`], with guard
+/// hooks at morsel boundaries (`row / morsel_rows`, matching the parallel
+/// decomposition) and row charges via [`RowMeter`].
+fn scan_guarded(
+    catalog: &Catalog,
+    query: &Query,
+    morsel_rows: usize,
+    guard: &QueryGuard,
+) -> Result<QueryResult, ExecError> {
+    let ScanPlan {
+        rel,
+        bindings,
+        masks,
+        select,
+    } = plan_scan(catalog, query)?;
+    let weights = rel.weights();
+    let numeric = agg_numeric_tables(&select, &bindings);
+    let mut groups = new_groups(&select);
+    let mut meter = RowMeter::new(guard);
+    'rows: for r in 0..rel.len() {
+        if r % morsel_rows == 0 {
+            meter.flush()?;
+            guard.at_morsel((r / morsel_rows) as u64)?;
+            guard.check_groups(groups.len())?;
+        }
+        meter.tick()?;
+        for (attr, mask) in &masks {
+            if !mask[rel.value(r, *attr) as usize] {
+                continue 'rows;
+            }
+        }
+        fold_into(&select, &bindings, &numeric, &mut groups, &[r], weights[r]);
+    }
+    meter.flush()?;
+    guard.check_groups(groups.len())?;
+    Ok(finalize_groups(&select, &bindings, groups))
+}
+
 /// A compiled two-table equi-join: both bound relations, the join-key column
 /// pairs (left side first), per-side admission masks, and the compiled
 /// SELECT. Shared by both engines.
@@ -754,6 +857,77 @@ fn execute_join(catalog: &Catalog, query: &Query) -> Result<QueryResult, ExecErr
         }
     }
     Ok(aggregate_rows(&plan.select, &plan.bindings, joined.into_iter()))
+}
+
+/// Guarded serial hash join: same build/probe/fold order as
+/// [`execute_join`] (probe pairs fold inline instead of materializing, which
+/// preserves the order exactly), with guard hooks at morsel boundaries on
+/// both sides. Charges mirror the parallel engine's: every build row, every
+/// probe row, and every joined pair folded.
+fn join_guarded(
+    catalog: &Catalog,
+    query: &Query,
+    morsel_rows: usize,
+    guard: &QueryGuard,
+) -> Result<QueryResult, ExecError> {
+    let plan = plan_join(catalog, query)?;
+    let (left, right) = (plan.left, plan.right);
+    let numeric = agg_numeric_tables(&plan.select, &plan.bindings);
+    let mut meter = RowMeter::new(guard);
+
+    let mut built: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+    for row in 0..right.len() {
+        if row % morsel_rows == 0 {
+            meter.flush()?;
+            guard.at_morsel((row / morsel_rows) as u64)?;
+        }
+        meter.tick()?;
+        if !plan.passes(1, row) {
+            continue;
+        }
+        let key: Vec<u32> = plan
+            .join_keys
+            .iter()
+            .map(|(_, r)| right.value(row, r.attr))
+            .collect();
+        built.entry(key).or_default().push(row);
+    }
+    meter.flush()?;
+
+    let mut groups = new_groups(&plan.select);
+    let (lw, rw) = (left.weights(), right.weights());
+    for (lrow, &lweight) in lw.iter().enumerate() {
+        if lrow % morsel_rows == 0 {
+            meter.flush()?;
+            guard.at_morsel((lrow / morsel_rows) as u64)?;
+            guard.check_groups(groups.len())?;
+        }
+        meter.tick()?;
+        if !plan.passes(0, lrow) {
+            continue;
+        }
+        let key: Vec<u32> = plan
+            .join_keys
+            .iter()
+            .map(|(l, _)| left.value(lrow, l.attr))
+            .collect();
+        if let Some(matches) = built.get(&key) {
+            for &rrow in matches {
+                meter.tick()?;
+                fold_into(
+                    &plan.select,
+                    &plan.bindings,
+                    &numeric,
+                    &mut groups,
+                    &[lrow, rrow],
+                    lweight * rw[rrow],
+                );
+            }
+        }
+    }
+    meter.flush()?;
+    guard.check_groups(groups.len())?;
+    Ok(finalize_groups(&plan.select, &plan.bindings, groups))
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ use crate::exec::{
     agg_numeric_tables, apply_order_by, fold_row, plan_join, plan_scan, Accum, AccumRef,
     CompiledAgg, CompiledSelect, ExecError, Resolved, ScanPlan,
 };
+use crate::guard::{task_panic_error, CancelToken, FaultPlan, Limits, QueryGuard, RowMeter};
 use crate::value::QueryResult;
 use rayon::Pool;
 use std::collections::hash_map::DefaultHasher;
@@ -71,14 +72,27 @@ pub struct EngineOptions {
     /// Rows per morsel. Changing this changes how floating-point merges
     /// associate; keep it fixed across runs you want to compare exactly.
     pub morsel_rows: usize,
+    /// Cooperative governance limits (deadline, row budget, group budget),
+    /// checked at morsel and row-fold boundaries. Unlimited by default;
+    /// tripping a limit yields [`ExecError::Governed`], never a panic.
+    pub limits: Limits,
+    /// Cancellation token observed cooperatively by running queries.
+    /// `None` (the default) means not cancellable.
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault injection for tests; [`FaultPlan::None`] in
+    /// production configurations.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for EngineOptions {
-    /// Hardware threads, default morsel size.
+    /// Hardware threads, default morsel size, no limits or faults.
     fn default() -> Self {
         EngineOptions {
             threads: rayon::available_threads(),
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            limits: Limits::default(),
+            cancel: None,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -93,14 +107,18 @@ impl EngineOptions {
     }
 
     /// One-line description of the configured engine, for shells and status
-    /// displays.
+    /// displays. Governance limits are appended only when armed.
     pub fn describe(&self) -> String {
-        format!(
+        let mut d = format!(
             "morsel-driven ({} thread{}, {} rows/morsel)",
             self.threads.max(1),
             if self.threads.max(1) == 1 { "" } else { "s" },
             self.morsel_rows.max(1)
-        )
+        );
+        if !self.limits.is_unlimited() {
+            d.push_str(&format!(", limits: {}", self.limits.describe()));
+        }
+        d
     }
 }
 
@@ -109,14 +127,22 @@ impl EngineOptions {
 /// Semantics (including every error) match [`crate::execute`]; aggregate
 /// values may differ from the serial engine by floating-point association
 /// at morsel boundaries only.
+///
+/// Execution is governed by the [`QueryGuard`] armed from `opts`: workers
+/// observe the deadline/cancellation token and charge row budgets at morsel
+/// and stride boundaries, a tripped limit surfaces as
+/// [`ExecError::Governed`], and a worker panic is contained by the pool and
+/// surfaces as [`ExecError::Internal`] — identical to the errors the guarded
+/// serial engine ([`crate::execute_guarded`]) produces for the same fault.
 pub fn execute_parallel(
     catalog: &Catalog,
     query: &Query,
     opts: &EngineOptions,
 ) -> Result<QueryResult, ExecError> {
+    let guard = QueryGuard::arm(opts);
     let mut result = match query.from.len() {
-        1 => scan_parallel(catalog, query, opts)?,
-        2 => join_parallel(catalog, query, opts)?,
+        1 => scan_parallel(catalog, query, opts, &guard)?,
+        2 => join_parallel(catalog, query, opts, &guard)?,
         n => return Err(ExecError::Unsupported(format!("{n} tables in FROM"))),
     };
     if let Some(order) = &query.order_by {
@@ -389,10 +415,22 @@ fn finish(spec: &GroupSpec<'_>, mut block: GroupBlock) -> QueryResult {
     crate::exec::finalize_groups(spec.select, spec.bindings, spec.entries(block))
 }
 
+/// Collect per-morsel results, surfacing the first error **in morsel
+/// order** (deterministic no matter which worker tripped first).
+fn first_error_wins<T>(
+    results: Result<Vec<Result<T, ExecError>>, rayon::TaskPanic>,
+) -> Result<Vec<T>, ExecError> {
+    results
+        .map_err(task_panic_error)?
+        .into_iter()
+        .collect::<Result<Vec<T>, ExecError>>()
+}
+
 fn scan_parallel(
     catalog: &Catalog,
     query: &Query,
     opts: &EngineOptions,
+    guard: &QueryGuard,
 ) -> Result<QueryResult, ExecError> {
     let ScanPlan {
         rel,
@@ -416,10 +454,14 @@ fn scan_parallel(
         .collect();
     let weights = rel.weights();
 
+    let morsel_rows = opts.morsel_rows.max(1);
     let pool = Pool::new(opts.threads);
-    let morsels = pool.par_ranges(rel.len(), opts.morsel_rows, |range| {
+    let morsels = first_error_wins(pool.try_par_ranges(rel.len(), morsel_rows, |range| {
+        guard.at_morsel((range.start / morsel_rows) as u64)?;
+        let mut meter = RowMeter::new(guard);
         let mut block = GroupBlock::new(spec.codec, spec.n_aggs());
         'rows: for r in range {
+            meter.tick()?;
             for (col, mask) in &mask_cols {
                 if !mask[col[r] as usize] {
                     continue 'rows;
@@ -427,9 +469,20 @@ fn scan_parallel(
             }
             spec.fold(&mut block, &[r], weights[r]);
         }
-        block
-    });
-    Ok(finish(&spec, merge_morsels(&spec, morsels)))
+        meter.flush()?;
+        // Early per-morsel group check (sparse only: dense blocks are
+        // bounded by DENSE_GROUP_LIMIT and scanning them per morsel would
+        // cost more than it saves). A morsel's groups are a subset of the
+        // final merged set, so this can only trip when the final check
+        // below would too.
+        if matches!(spec.codec, KeyCodec::Sparse) {
+            guard.check_groups(block.keys.len())?;
+        }
+        Ok(block)
+    }))?;
+    let result = finish(&spec, merge_morsels(&spec, morsels));
+    guard.check_groups(result.rows.len())?;
+    Ok(result)
 }
 
 /// Stable partition index for a join key (`DefaultHasher` is deterministic
@@ -445,6 +498,7 @@ fn join_parallel(
     catalog: &Catalog,
     query: &Query,
     opts: &EngineOptions,
+    guard: &QueryGuard,
 ) -> Result<QueryResult, ExecError> {
     let plan = plan_join(catalog, query)?;
     let (left, right) = (plan.left, plan.right);
@@ -457,6 +511,7 @@ fn join_parallel(
         codec: &codec,
     };
 
+    let morsel_rows = opts.morsel_rows.max(1);
     let pool = Pool::new(opts.threads);
     let partitions = pool.threads();
 
@@ -473,38 +528,50 @@ fn join_parallel(
             .collect()
     };
     type Bucket = Vec<(Vec<u32>, usize)>;
-    let bucketed: Vec<Vec<Bucket>> = pool.par_ranges(right.len(), opts.morsel_rows, |range| {
-        let mut buckets: Vec<Bucket> = vec![Vec::new(); partitions];
-        for row in range {
-            if !plan.passes(1, row) {
-                continue;
+    let bucketed: Vec<Vec<Bucket>> =
+        first_error_wins(pool.try_par_ranges(right.len(), morsel_rows, |range| {
+            guard.at_morsel((range.start / morsel_rows) as u64)?;
+            let mut meter = RowMeter::new(guard);
+            let mut buckets: Vec<Bucket> = vec![Vec::new(); partitions];
+            for row in range {
+                meter.tick()?;
+                if !plan.passes(1, row) {
+                    continue;
+                }
+                let key = right_key(row);
+                buckets[partition_of(&key, partitions)].push((key, row));
             }
-            let key = right_key(row);
-            buckets[partition_of(&key, partitions)].push((key, row));
-        }
-        buckets
-    });
-    let parts: Vec<HashMap<Vec<u32>, Vec<usize>>> = pool.par_indexed(partitions, |p| {
-        let mut table: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
-        for morsel in &bucketed {
-            for (key, row) in &morsel[p] {
-                // Clone the key only on first touch of a distinct value.
-                match table.get_mut(key) {
-                    Some(rows) => rows.push(*row),
-                    None => {
-                        table.insert(key.clone(), vec![*row]);
+            meter.flush()?;
+            Ok(buckets)
+        }))?;
+    let parts: Vec<HashMap<Vec<u32>, Vec<usize>>> =
+        first_error_wins(pool.try_par_indexed(partitions, |p| {
+            // Partition tasks re-visit already-charged rows, so they only
+            // observe cancellation/deadline, not the row budget.
+            guard.check()?;
+            let mut table: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+            for morsel in &bucketed {
+                for (key, row) in &morsel[p] {
+                    // Clone the key only on first touch of a distinct value.
+                    match table.get_mut(key) {
+                        Some(rows) => rows.push(*row),
+                        None => {
+                            table.insert(key.clone(), vec![*row]);
+                        }
                     }
                 }
             }
-        }
-        table
-    });
+            Ok(table)
+        }))?;
 
     // Probe phase: morsels over the left side.
     let (lw, rw) = (left.weights(), right.weights());
-    let morsels = pool.par_ranges(left.len(), opts.morsel_rows, |range| {
+    let morsels = first_error_wins(pool.try_par_ranges(left.len(), morsel_rows, |range| {
+        guard.at_morsel((range.start / morsel_rows) as u64)?;
+        let mut meter = RowMeter::new(guard);
         let mut block = GroupBlock::new(spec.codec, spec.n_aggs());
         for lrow in range {
+            meter.tick()?;
             if !plan.passes(0, lrow) {
                 continue;
             }
@@ -515,13 +582,22 @@ fn join_parallel(
                 .collect();
             if let Some(matches) = parts[partition_of(&key, partitions)].get(&key) {
                 for &rrow in matches {
+                    // Joined pairs are charged too: a key-skew blowup trips
+                    // the row budget even when the inputs are small.
+                    meter.tick()?;
                     spec.fold(&mut block, &[lrow, rrow], lw[lrow] * rw[rrow]);
                 }
             }
         }
-        block
-    });
-    Ok(finish(&spec, merge_morsels(&spec, morsels)))
+        meter.flush()?;
+        if matches!(spec.codec, KeyCodec::Sparse) {
+            guard.check_groups(block.keys.len())?;
+        }
+        Ok(block)
+    }))?;
+    let result = finish(&spec, merge_morsels(&spec, morsels));
+    guard.check_groups(result.rows.len())?;
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -543,6 +619,7 @@ mod tests {
         EngineOptions {
             threads: 4,
             morsel_rows: 3,
+            ..EngineOptions::default()
         }
     }
 
@@ -615,6 +692,7 @@ mod tests {
             &EngineOptions {
                 threads: 4,
                 morsel_rows: 2,
+                ..EngineOptions::default()
             },
         )
         .unwrap();
@@ -635,6 +713,7 @@ mod tests {
             &EngineOptions {
                 threads: 4,
                 morsel_rows: 1,
+                ..EngineOptions::default()
             },
         )
         .unwrap();
@@ -673,8 +752,23 @@ mod tests {
     fn engine_description_names_the_configuration() {
         let d = EngineOptions::with_threads(1).describe();
         assert!(d.contains("1 thread,"), "{d}");
-        let d = EngineOptions { threads: 4, morsel_rows: 512 }.describe();
+        let d = EngineOptions {
+            threads: 4,
+            morsel_rows: 512,
+            ..EngineOptions::default()
+        }
+        .describe();
         assert!(d.contains("4 threads") && d.contains("512 rows/morsel"), "{d}");
+        assert!(!d.contains("limits:"), "unarmed options stay terse: {d}");
+        let d = EngineOptions {
+            limits: crate::guard::Limits {
+                max_rows: Some(10),
+                ..crate::guard::Limits::default()
+            },
+            ..EngineOptions::default()
+        }
+        .describe();
+        assert!(d.contains("limits: max 10 rows"), "{d}");
     }
 
     #[test]

@@ -26,6 +26,17 @@
 //! environment-driven thread count (the CLI shell) parse it themselves and
 //! pass the resulting `EngineOptions` down.
 //!
+//! ## Query governance
+//!
+//! [`EngineOptions`] also carries cooperative [`Limits`] (deadline, row
+//! budget, group budget), an optional [`CancelToken`], and a test-only
+//! [`FaultPlan`] — see [`guard`]. Both engines check the armed
+//! [`QueryGuard`] at morsel and row-fold boundaries; a tripped limit is a
+//! typed [`ExecError::Governed`] and a contained worker panic is
+//! [`ExecError::Internal`] — never a process abort. [`execute_guarded`] is
+//! the serial engine under the same guard, used by the fault-injection
+//! differential suites.
+//!
 //! ## Catalogs share relations
 //!
 //! [`Catalog`] stores tables behind [`std::sync::Arc`], so binding the same
@@ -38,9 +49,11 @@
 pub mod catalog;
 pub mod exec;
 pub mod exec_parallel;
+pub mod guard;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use exec::{apply_order_by, execute, run_sql, ExecError};
+pub use exec::{apply_order_by, execute, execute_guarded, run_sql, ExecError};
 pub use exec_parallel::{execute_parallel, EngineOptions, DEFAULT_MORSEL_ROWS};
+pub use guard::{CancelToken, FaultPlan, Limits, QueryGuard, Trip, GUARD_STRIDE};
 pub use value::{cmp_group_prefix, QueryResult, Value};

@@ -10,6 +10,7 @@ fn opts() -> EngineOptions {
     EngineOptions {
         threads: 3,
         morsel_rows: 7,
+        ..EngineOptions::default()
     }
 }
 

@@ -7,6 +7,17 @@
 //! regardless of which thread finished first. Ordered results are what let
 //! the morsel-driven executor merge partial aggregates deterministically.
 //!
+//! ## Panic containment
+//!
+//! A worker panic must never take down the process that hosts the pool (the
+//! query engines run inside long-lived sessions and, eventually, a server).
+//! Every task body runs under [`std::panic::catch_unwind`] — safe code, no
+//! `unsafe` — and a panic surfaces as a typed [`TaskPanic`] from
+//! [`Pool::try_par_indexed`] / [`Pool::try_par_ranges`] instead of
+//! unwinding. When a task panics the pool stops handing out further tasks
+//! and reports the panic with the lowest task index, so callers see a
+//! deterministic error for a deterministic fault.
+//!
 //! Differences from real rayon: there is no global pool, no work stealing
 //! beyond a shared atomic task cursor, and no parallel iterator traits —
 //! callers pass explicit closures. Threads are spawned per call via
@@ -19,8 +30,11 @@
 
 #![forbid(unsafe_code)]
 
+use std::any::Any;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of hardware threads, with a floor of 1.
 pub fn available_threads() -> usize {
@@ -29,9 +43,55 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// A contained worker panic: the task that panicked and its payload
+/// rendered to text. When several tasks panic in one call, the lowest task
+/// index is reported, so a deterministic fault yields a deterministic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the panicking task (lowest, if several panicked).
+    pub task: usize,
+    /// The panic payload: `&str`/`String` payloads verbatim, anything else
+    /// as a placeholder.
+    pub message: String,
+}
+
+/// Render a caught panic payload to text.
+fn payload_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one task under `catch_unwind`. `AssertUnwindSafe` is sound here
+/// because a panicking task's partial state is discarded wholesale: its
+/// result slot stays empty and the caller receives an error instead of any
+/// result, so no broken invariant is ever observed.
+fn contain<R>(task: usize, f: &(impl Fn(usize) -> R + Sync)) -> Result<R, TaskPanic> {
+    catch_unwind(AssertUnwindSafe(|| f(task))).map_err(|payload| TaskPanic {
+        task,
+        message: payload_message(payload),
+    })
+}
+
+/// Keep the panic with the lowest task index.
+fn record_panic(slot: &Mutex<Option<TaskPanic>>, p: TaskPanic) {
+    let mut guard = match slot.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    match &*guard {
+        Some(existing) if existing.task <= p.task => {}
+        _ => *guard = Some(p),
+    }
+}
+
 /// A fixed-width scoped thread pool.
 ///
-/// The pool is a *width*, not a set of live threads: each `par_*` call
+/// The pool is a *width*, not a set of live threads: each `try_par_*` call
 /// spawns up to `threads` scoped workers that pull task indices from a
 /// shared cursor and exits when all tasks are done.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,69 +116,96 @@ impl Pool {
     /// order. Tasks are claimed dynamically, so uneven task costs balance
     /// across workers. Runs inline when one worker (or ≤ 1 task) suffices.
     ///
-    /// # Panics
-    /// Propagates the panic of any task.
-    pub fn par_indexed<R, F>(&self, tasks: usize, f: F) -> Vec<R>
+    /// A panicking task is contained ([`TaskPanic`], never an unwind); the
+    /// remaining workers stop claiming new tasks and their finished results
+    /// are dropped.
+    pub fn try_par_indexed<R, F>(&self, tasks: usize, f: F) -> Result<Vec<R>, TaskPanic>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
         let workers = self.threads.min(tasks);
         if workers <= 1 {
-            return (0..tasks).map(f).collect();
+            let mut out = Vec::with_capacity(tasks);
+            for i in 0..tasks {
+                out.push(contain(i, &f)?);
+            }
+            return Ok(out);
         }
         let cursor = AtomicUsize::new(0);
+        let poisoned = AtomicBool::new(false);
+        let first_panic: Mutex<Option<TaskPanic>> = Mutex::new(None);
         let mut slots: Vec<Option<R>> = Vec::with_capacity(tasks);
         slots.resize_with(tasks, || None);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
+                    let poisoned = &poisoned;
+                    let first_panic = &first_panic;
                     let f = &f;
                     s.spawn(move || {
                         let mut done = Vec::new();
                         loop {
+                            if poisoned.load(Ordering::Relaxed) {
+                                break;
+                            }
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= tasks {
                                 break;
                             }
-                            done.push((i, f(i)));
+                            match contain(i, f) {
+                                Ok(r) => done.push((i, r)),
+                                Err(p) => {
+                                    record_panic(first_panic, p);
+                                    poisoned.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
                         }
                         done
                     })
                 })
                 .collect();
             for h in handles {
-                let done = match h.join() {
-                    Ok(done) => done,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                };
-                for (i, r) in done {
-                    slots[i] = Some(r);
+                // Workers never unwind (every task body is contained), but
+                // stay graceful if join fails anyway: the panic was already
+                // recorded.
+                if let Ok(done) = h.join() {
+                    for (i, r) in done {
+                        slots[i] = Some(r);
+                    }
                 }
             }
         });
-        slots
-            .into_iter()
-            .map(|s| s.expect("every task index was claimed exactly once"))
-            .collect()
+        let first = match first_panic.into_inner() {
+            Ok(p) => p,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match first {
+            Some(p) => Err(p),
+            None => Ok(slots
+                .into_iter()
+                .map(|s| s.expect("every task index was claimed exactly once"))
+                .collect()),
+        }
     }
 
     /// Split `0..n` into consecutive ranges of at most `chunk` items, run
     /// `f` over each range in parallel, and return results in range order.
-    pub fn par_ranges<R, F>(&self, n: usize, chunk: usize, f: F) -> Vec<R>
+    /// Panics are contained exactly as in [`Pool::try_par_indexed`].
+    pub fn try_par_ranges<R, F>(&self, n: usize, chunk: usize, f: F) -> Result<Vec<R>, TaskPanic>
     where
         R: Send,
         F: Fn(Range<usize>) -> R + Sync,
     {
         let chunk = chunk.max(1);
         let tasks = n.div_ceil(chunk);
-        self.par_indexed(tasks, |i| {
+        self.try_par_indexed(tasks, |i| {
             let start = i * chunk;
             f(start..(start + chunk).min(n))
         })
     }
-
 }
 
 #[cfg(test)]
@@ -129,35 +216,69 @@ mod tests {
     fn results_come_back_in_task_order() {
         let pool = Pool::new(4);
         // Make early tasks the slowest so out-of-order completion is likely.
-        let out = pool.par_indexed(32, |i| {
-            if i < 4 {
-                std::thread::sleep(std::time::Duration::from_millis(5));
-            }
-            i * i
-        });
+        let out = pool
+            .try_par_indexed(32, |i| {
+                if i < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                i * i
+            })
+            .unwrap();
         assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]
     fn par_ranges_partitions_exactly() {
         let pool = Pool::new(3);
-        let ranges = pool.par_ranges(10, 4, |r| r);
+        let ranges = pool.try_par_ranges(10, 4, |r| r).unwrap();
         assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
-        assert_eq!(pool.par_ranges(0, 4, |r| r), Vec::<Range<usize>>::new());
+        assert_eq!(
+            pool.try_par_ranges(0, 4, |r| r).unwrap(),
+            Vec::<Range<usize>>::new()
+        );
     }
 
     #[test]
     fn single_worker_runs_inline() {
         let pool = Pool::new(1);
-        assert_eq!(pool.par_indexed(5, |i| i), vec![0, 1, 2, 3, 4]);
+        assert_eq!(pool.try_par_indexed(5, |i| i).unwrap(), vec![0, 1, 2, 3, 4]);
         assert_eq!(Pool::new(0).threads(), 1);
     }
 
     #[test]
-    fn worker_panics_propagate() {
+    fn worker_panics_are_contained_as_typed_errors() {
         let pool = Pool::new(2);
-        let r = std::panic::catch_unwind(|| pool.par_indexed(8, |i| assert!(i != 3)));
-        assert!(r.is_err());
+        let err = pool
+            .try_par_indexed(8, |i| assert!(i != 3, "task {i} exploded"))
+            .unwrap_err();
+        assert_eq!(err.task, 3);
+        assert!(err.message.contains("task 3 exploded"), "{}", err.message);
+    }
+
+    #[test]
+    fn inline_path_contains_panics_too() {
+        let pool = Pool::new(1);
+        let err = pool
+            .try_par_indexed(4, |i| {
+                if i == 2 {
+                    panic!("inline boom");
+                }
+                i
+            })
+            .unwrap_err();
+        assert_eq!((err.task, err.message.as_str()), (2, "inline boom"));
+    }
+
+    #[test]
+    fn lowest_panicking_task_wins() {
+        // Every task panics; whichever worker interleaving occurs, the
+        // reported index must be one of the panicking tasks and the message
+        // must match that index.
+        let pool = Pool::new(4);
+        let err = pool
+            .try_par_indexed(16, |i| -> usize { panic!("boom {i}") })
+            .unwrap_err();
+        assert_eq!(err.message, format!("boom {}", err.task));
     }
 
     #[test]

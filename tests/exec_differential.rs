@@ -12,7 +12,10 @@
 use proptest::prelude::*;
 use themis_data::Relation;
 use themis_query::{Catalog, EngineOptions, QueryResult, Value};
-use themis_tests::querygen::{query_strategy, random_relation, rows_strategy, test_schema, SIZES};
+use themis_tests::querygen::{
+    adversarial_query_strategy, adversarial_rows_strategy, query_strategy, random_relation,
+    rows_strategy, test_schema, SIZES,
+};
 
 /// Morsels far smaller than the row count, threads ≠ morsel count, so merge
 /// order and work stealing are genuinely exercised.
@@ -20,6 +23,7 @@ fn test_opts() -> EngineOptions {
     EngineOptions {
         threads: 4,
         morsel_rows: 7,
+        ..EngineOptions::default()
     }
 }
 
@@ -78,11 +82,27 @@ proptest! {
         run_both(&c, &sql, &test_opts());
     }
 
+    /// Adversarial shapes — self-join blowups, max-cardinality GROUP BY,
+    /// zero-row inputs, zero-selectivity filters — agree like any other
+    /// query. These are the inputs governance budgets exist for, so the
+    /// unguarded engines must at least concur on them.
+    #[test]
+    fn adversarial_shapes_agree(
+        rows in adversarial_rows_strategy(),
+        sql in adversarial_query_strategy(),
+        morsel in 1usize..16,
+    ) {
+        let mut c = Catalog::new();
+        c.register("t", random_relation(&rows));
+        let opts = EngineOptions { threads: 4, morsel_rows: morsel, ..EngineOptions::default() };
+        run_both(&c, &sql, &opts);
+    }
+
     #[test]
     fn agreement_holds_across_morsel_sizes(rows in rows_strategy(), morsel in 1usize..32) {
         let mut c = Catalog::new();
         c.register("t", random_relation(&rows));
-        let opts = EngineOptions { threads: 3, morsel_rows: morsel };
+        let opts = EngineOptions { threads: 3, morsel_rows: morsel, ..EngineOptions::default() };
         run_both(&c, "SELECT a, COUNT(*) AS n, AVG(b), MIN(c) FROM t GROUP BY a", &opts);
     }
 }
@@ -157,6 +177,7 @@ fn edge_cases_agree_with_tiny_morsels() {
     let opts = EngineOptions {
         threads: 8,
         morsel_rows: 1,
+        ..EngineOptions::default()
     };
     for sql in [
         "SELECT COUNT(*) AS n FROM empty",

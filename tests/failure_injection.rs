@@ -1,13 +1,20 @@
 //! Failure-injection integration tests: degenerate aggregates, adversarial
 //! inputs, and configuration corner cases must degrade gracefully, never
-//! panic or produce NaN.
+//! panic or produce NaN — and every governance fault (injected worker
+//! panics, tripped deadlines/budgets, cancellation) must surface the *same*
+//! typed error from both engines at every thread/morsel configuration.
 
+use proptest::prelude::*;
+use std::time::Duration;
 use themis_aggregates::{AggregateResult, AggregateSet};
 use themis_core::{ReweightMethod, Themis, ThemisConfig};
 use themis_data::paper_example::{example_population, example_sample};
-use themis_data::AttrId;
-use themis_query::{Catalog, EngineOptions, ExecError};
+use themis_data::{AttrId, Relation};
+use themis_query::{
+    execute_guarded, CancelToken, Catalog, EngineOptions, ExecError, FaultPlan, Limits, Trip,
+};
 use themis_reweight::IpfOptions;
+use themis_tests::querygen::{query_strategy, random_relation, rows_strategy, test_schema, SIZES};
 
 fn assert_all_finite(t: &Themis) {
     assert!(t.reweighted_sample().weights().iter().all(|w| w.is_finite()));
@@ -186,6 +193,7 @@ fn parallel_engine_errors_match_serial() {
             let opts = EngineOptions {
                 threads,
                 morsel_rows,
+                ..EngineOptions::default()
             };
             let parallel = themis_query::execute_parallel(&catalog, &query, &opts).unwrap_err();
             assert_eq!(
@@ -193,6 +201,264 @@ fn parallel_engine_errors_match_serial() {
                 "{sql}: parallel ({threads} threads) error differs"
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query governance (tentpole): injected faults and tripped limits.
+// ---------------------------------------------------------------------------
+
+/// Thread/morsel configurations the governance suites sweep: the inline
+/// single-worker path, many threads with tiny morsels, and the default
+/// morsel size (where `big_relation` still spans 3 morsels).
+const CONFIGS: [(usize, usize); 3] = [(1, 7), (4, 3), (8, 2048)];
+
+/// One query per plan shape the guard instruments: scalar scan, grouped
+/// scan, self-join.
+const GOVERNED_QUERIES: [&str; 3] = [
+    "SELECT COUNT(*) AS n, SUM(c) FROM t",
+    "SELECT a, b, COUNT(*) AS n, AVG(c) FROM t GROUP BY a, b",
+    "SELECT x.a, COUNT(*) AS n FROM t x, t y WHERE x.b = y.c GROUP BY x.a",
+];
+
+/// ~5000 deterministic rows over the generator schema, so even the
+/// `(8, 2048)` configuration spans several morsels.
+fn big_relation() -> Relation {
+    let mut rel = Relation::new(test_schema());
+    for i in 0..5_000usize {
+        let vals = [
+            (i * 7 + 3) as u32 % SIZES[0],
+            (i * 5 + 1) as u32 % SIZES[1],
+            (i * 11) as u32 % SIZES[2],
+        ];
+        rel.push_row_weighted(&vals, (i % 8) as f64 * 0.5);
+    }
+    rel
+}
+
+fn governed_opts(
+    threads: usize,
+    morsel_rows: usize,
+    limits: Limits,
+    fault_plan: FaultPlan,
+) -> EngineOptions {
+    EngineOptions {
+        threads,
+        morsel_rows,
+        limits,
+        fault_plan,
+        ..EngineOptions::default()
+    }
+}
+
+/// Every `FaultPlan` fault, on every plan shape, at every configuration:
+/// both engines return the *identical* typed error — never a panic, and
+/// never an engine-dependent error value.
+#[test]
+fn injected_faults_yield_identical_typed_errors_from_both_engines() {
+    let mut catalog = Catalog::new();
+    catalog.register("t", big_relation());
+    let cases: [(Limits, FaultPlan, ExecError); 3] = [
+        // A stalled morsel pushes execution past a short deadline.
+        (
+            Limits {
+                deadline: Some(Duration::from_millis(5)),
+                ..Limits::default()
+            },
+            FaultPlan::SlowMorsel {
+                morsel: 0,
+                delay: Duration::from_millis(30),
+            },
+            ExecError::Governed(Trip::Deadline),
+        ),
+        // A worker panic is contained and typed, with the same message from
+        // the serial engine's catch_unwind and the pool's containment.
+        (
+            Limits::default(),
+            FaultPlan::PanicAtMorsel { morsel: 0 },
+            ExecError::Internal("worker panicked: injected worker panic at morsel 0".into()),
+        ),
+        // Instant budget exhaustion at the first boundary.
+        (
+            Limits::default(),
+            FaultPlan::BudgetExhaust,
+            ExecError::Governed(Trip::RowBudget { limit: 0 }),
+        ),
+    ];
+    for (limits, fault, expected) in &cases {
+        for sql in GOVERNED_QUERIES {
+            let query = themis_sql::parse(sql).expect(sql);
+            for (threads, morsel_rows) in CONFIGS {
+                let opts = governed_opts(threads, morsel_rows, limits.clone(), fault.clone());
+                let serial = execute_guarded(&catalog, &query, &opts)
+                    .expect_err("serial must trip the injected fault");
+                let parallel = themis_query::execute_parallel(&catalog, &query, &opts)
+                    .expect_err("parallel must trip the injected fault");
+                assert_eq!(
+                    &serial, expected,
+                    "{sql} ({threads} threads, {morsel_rows} morsel): serial error"
+                );
+                assert_eq!(
+                    &parallel, expected,
+                    "{sql} ({threads} threads, {morsel_rows} morsel): parallel error"
+                );
+            }
+        }
+    }
+}
+
+/// Tripped limits are the same typed error from both engines: row budget,
+/// group budget, an already-expired deadline, and a pre-cancelled token.
+#[test]
+fn tripped_limits_are_identical_typed_errors() {
+    let mut catalog = Catalog::new();
+    catalog.register("t", big_relation());
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+    let cases: [(&str, Limits, Option<CancelToken>, ExecError); 5] = [
+        (
+            "SELECT COUNT(*) AS n FROM t",
+            Limits {
+                max_rows: Some(100),
+                ..Limits::default()
+            },
+            None,
+            ExecError::Governed(Trip::RowBudget { limit: 100 }),
+        ),
+        // The join's row meter also counts joined pairs, so a key-skew
+        // blowup trips even when max_rows exceeds both input sizes.
+        (
+            "SELECT COUNT(*) AS n FROM t x, t y WHERE x.b = y.c",
+            Limits {
+                max_rows: Some(2_000),
+                ..Limits::default()
+            },
+            None,
+            ExecError::Governed(Trip::RowBudget { limit: 2_000 }),
+        ),
+        (
+            "SELECT a, b, COUNT(*) AS n FROM t GROUP BY a, b",
+            Limits {
+                max_groups: Some(3),
+                ..Limits::default()
+            },
+            None,
+            ExecError::Governed(Trip::GroupBudget { limit: 3 }),
+        ),
+        (
+            "SELECT a, COUNT(*) AS n FROM t GROUP BY a",
+            Limits {
+                deadline: Some(Duration::ZERO),
+                ..Limits::default()
+            },
+            None,
+            ExecError::Governed(Trip::Deadline),
+        ),
+        (
+            "SELECT COUNT(*) AS n FROM t",
+            Limits::default(),
+            Some(cancelled),
+            ExecError::Governed(Trip::Cancelled),
+        ),
+    ];
+    for (sql, limits, cancel, expected) in &cases {
+        let query = themis_sql::parse(sql).expect(sql);
+        for (threads, morsel_rows) in CONFIGS {
+            let opts = EngineOptions {
+                threads,
+                morsel_rows,
+                limits: limits.clone(),
+                cancel: cancel.clone(),
+                ..EngineOptions::default()
+            };
+            let serial =
+                execute_guarded(&catalog, &query, &opts).expect_err("serial must trip");
+            let parallel = themis_query::execute_parallel(&catalog, &query, &opts)
+                .expect_err("parallel must trip");
+            assert_eq!(
+                &serial, expected,
+                "{sql} ({threads} threads, {morsel_rows} morsel): serial error"
+            );
+            assert_eq!(
+                &parallel, expected,
+                "{sql} ({threads} threads, {morsel_rows} morsel): parallel error"
+            );
+        }
+    }
+}
+
+/// Zero-row inputs reach no morsel boundary: no fault fires, no budget
+/// charges, and the guarded result is bit-identical to the unguarded one on
+/// both engines.
+#[test]
+fn zero_row_inputs_fire_no_faults_on_either_engine() {
+    let mut catalog = Catalog::new();
+    catalog.register("t", Relation::new(test_schema()));
+    let faults = [
+        FaultPlan::PanicAtMorsel { morsel: 0 },
+        FaultPlan::BudgetExhaust,
+        FaultPlan::SlowMorsel {
+            morsel: 0,
+            delay: Duration::from_secs(60),
+        },
+    ];
+    for sql in GOVERNED_QUERIES {
+        let query = themis_sql::parse(sql).expect(sql);
+        let oracle = themis_query::execute(&catalog, &query).expect(sql);
+        for fault in &faults {
+            for (threads, morsel_rows) in CONFIGS {
+                let opts = governed_opts(
+                    threads,
+                    morsel_rows,
+                    Limits {
+                        max_rows: Some(1),
+                        max_groups: Some(1),
+                        ..Limits::default()
+                    },
+                    fault.clone(),
+                );
+                let serial = execute_guarded(&catalog, &query, &opts).expect(sql);
+                let parallel = themis_query::execute_parallel(&catalog, &query, &opts).expect(sql);
+                assert_eq!(serial, oracle, "{sql}: serial guarded differs on empty input");
+                assert_eq!(parallel, oracle, "{sql}: parallel guarded differs on empty input");
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Differential acceptance: with never-tripping limits (plus an armed
+    /// but never-cancelled token) the guard's checks all execute, yet both
+    /// engines stay **bit-identical** to their unguarded selves on random
+    /// relations and queries.
+    #[test]
+    fn guarded_execution_with_headroom_is_bit_identical(
+        rows in rows_strategy(),
+        sql in query_strategy(),
+    ) {
+        let mut catalog = Catalog::new();
+        catalog.register("t", random_relation(&rows));
+        let query = themis_sql::parse(&sql).expect(&sql);
+        let generous = Limits {
+            deadline: Some(Duration::from_secs(3600)),
+            max_rows: Some(u64::MAX / 2),
+            max_groups: Some(usize::MAX / 2),
+        };
+        let guarded = EngineOptions {
+            threads: 4,
+            morsel_rows: 7,
+            limits: generous,
+            cancel: Some(CancelToken::new()),
+            ..EngineOptions::default()
+        };
+        let plain = EngineOptions { threads: 4, morsel_rows: 7, ..EngineOptions::default() };
+        let serial = themis_query::execute(&catalog, &query).expect(&sql);
+        let serial_guarded = execute_guarded(&catalog, &query, &guarded).expect(&sql);
+        prop_assert_eq!(&serial, &serial_guarded, "serial guarded diverged: {}", &sql);
+        let parallel = themis_query::execute_parallel(&catalog, &query, &plain).expect(&sql);
+        let parallel_guarded =
+            themis_query::execute_parallel(&catalog, &query, &guarded).expect(&sql);
+        prop_assert_eq!(&parallel, &parallel_guarded, "parallel guarded diverged: {}", &sql);
     }
 }
 

@@ -38,6 +38,56 @@ pub fn rows_strategy() -> impl Strategy<Value = Vec<(u32, u32, u32, f64)>> {
     )
 }
 
+/// Adversarial row sets for governance and robustness suites: the shapes
+/// most likely to blow past a budget or starve a morsel.
+///
+/// * **empty** — zero rows: guards must fire no fault and charge nothing on
+///   either engine;
+/// * **blowup** — every row shares one join key, so a self-join on it
+///   produces |R|² pairs from a small input (the case row budgets exist
+///   for);
+/// * **full-cardinality** — values cycle through the whole domain product,
+///   maximizing distinct `GROUP BY a, b, c` groups per row (the case group
+///   budgets exist for).
+pub fn adversarial_rows_strategy() -> impl Strategy<Value = Vec<(u32, u32, u32, f64)>> {
+    (0u32..3, 1usize..60, 0u32..SIZES[1]).prop_map(|(shape, n, key)| match shape {
+        0 => Vec::new(),
+        1 => (0..n)
+            .map(|i| (i as u32 % SIZES[0], key, key % SIZES[2], 1.0 + (i % 4) as f64))
+            .collect(),
+        _ => (0..n)
+            .map(|i| {
+                let i = i as u32;
+                (
+                    i % SIZES[0],
+                    (i / SIZES[0]) % SIZES[1],
+                    (i / (SIZES[0] * SIZES[1])) % SIZES[2],
+                    0.5 + (i % 3) as f64,
+                )
+            })
+            .collect(),
+    })
+}
+
+/// Adversarial query shapes to pair with [`adversarial_rows_strategy`]:
+/// self-join blowups on the shared key, maximum-cardinality `GROUP BY`, and
+/// a zero-selectivity filter (the all-rows-masked path).
+pub fn adversarial_query_strategy() -> impl Strategy<Value = String> {
+    (0u32..5).prop_map(|shape| {
+        match shape {
+            0 => "SELECT COUNT(*) AS n FROM t x, t y WHERE x.b = y.b",
+            1 => {
+                "SELECT x.a, COUNT(*) AS n FROM t x, t y WHERE x.b = y.b \
+                 GROUP BY x.a ORDER BY n DESC"
+            }
+            2 => "SELECT a, b, c, COUNT(*) AS n, AVG(b) FROM t GROUP BY a, b, c",
+            3 => "SELECT a, COUNT(*) AS n FROM t WHERE a <= -1 GROUP BY a",
+            _ => "SELECT COUNT(*) AS n, MIN(c), MAX(a) FROM t WHERE a <= -1",
+        }
+        .to_string()
+    })
+}
+
 /// A random single-table query over `t`, assembled from independently drawn
 /// clause choices. Always contains COUNT(*) aliased `n` so every query is a
 /// valid aggregate query.

@@ -61,6 +61,7 @@ fn sessions() -> &'static (ThemisSession, ThemisSession) {
         let engine = |threads| EngineOptions {
             threads,
             morsel_rows: 7,
+            ..EngineOptions::default()
         };
         (
             ThemisSession::with_engine(model.clone(), engine(1)),
