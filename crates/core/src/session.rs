@@ -111,11 +111,24 @@ impl ThemisSession {
     /// take the hybrid union of sample groups and BN-replicate consensus
     /// groups. The FROM table name(s) are bound to the reweighted sample.
     pub fn sql(&self, sql: &str) -> Result<Answer, ThemisError> {
+        self.sql_with(sql, &self.engine)
+    }
+
+    /// [`ThemisSession::sql`] with explicit per-call engine options instead
+    /// of the session's own.
+    ///
+    /// This is what lets one session be *shared*: a server holds a single
+    /// `Arc<ThemisSession>` (one model, one replicate cache — the expensive
+    /// simulation paid exactly once) while every connection carries its own
+    /// [`EngineOptions`] — per-connection deadlines, budgets, cancel token,
+    /// and thread width — passed here per query. `&self` only: concurrent
+    /// callers never contend on session state.
+    pub fn sql_with(&self, sql: &str, engine: &EngineOptions) -> Result<Answer, ThemisError> {
         let start = Instant::now();
         let query = Self::parse(sql)?;
         let (result, route) = match route::decide(&self.model, &query) {
             Decision::Sample { .. } => (
-                route::run_on(self.model.sample_arc(), &query, &self.engine)?,
+                route::run_on(self.model.sample_arc(), &query, engine)?,
                 Route::Sample,
             ),
             Decision::BnPoint {
@@ -130,7 +143,7 @@ impl ThemisSession {
             Decision::Hybrid { .. } => route::hybrid_sql(
                 self.model.sample_arc(),
                 &query,
-                &self.engine,
+                engine,
                 self.replicates(),
             )?,
         };
@@ -146,16 +159,33 @@ impl ThemisSession {
     /// plan, a hybrid route reports `degrades_to = Some(Sample)` — the route
     /// a tripped BN phase falls back to.
     pub fn explain(&self, sql: &str) -> Result<Explain, ThemisError> {
+        self.explain_with(sql, &self.engine)
+    }
+
+    /// [`ThemisSession::explain`] with explicit per-call engine options (the
+    /// degradation prediction depends on which limits are armed, so a shared
+    /// session must explain against the *caller's* options).
+    pub fn explain_with(&self, sql: &str, engine: &EngineOptions) -> Result<Explain, ThemisError> {
         let query = Self::parse(sql)?;
-        Ok(route::decide(&self.model, &query).explain(&self.engine))
+        Ok(route::decide(&self.model, &query).explain(engine))
     }
 
     /// SQL over the reweighted sample only (no routing, no BN) — the
     /// behaviour of the pure reweighting baselines.
     pub fn sql_sample_only(&self, sql: &str) -> Result<Answer, ThemisError> {
+        self.sql_sample_only_with(sql, &self.engine)
+    }
+
+    /// [`ThemisSession::sql_sample_only`] with explicit per-call engine
+    /// options.
+    pub fn sql_sample_only_with(
+        &self,
+        sql: &str,
+        engine: &EngineOptions,
+    ) -> Result<Answer, ThemisError> {
         let start = Instant::now();
         let query = Self::parse(sql)?;
-        let result = route::run_on(self.model.sample_arc(), &query, &self.engine)?;
+        let result = route::run_on(self.model.sample_arc(), &query, engine)?;
         Ok(Answer {
             result,
             route: Route::Sample,
@@ -167,12 +197,21 @@ impl ThemisSession {
     /// each cached replicate; groups present in *all* replicates are
     /// returned with averaged values.
     pub fn sql_bn_only(&self, sql: &str) -> Result<Answer, ThemisError> {
+        self.sql_bn_only_with(sql, &self.engine)
+    }
+
+    /// [`ThemisSession::sql_bn_only`] with explicit per-call engine options.
+    pub fn sql_bn_only_with(
+        &self,
+        sql: &str,
+        engine: &EngineOptions,
+    ) -> Result<Answer, ThemisError> {
         let start = Instant::now();
         if self.model.bayesian_network().is_none() {
             return Err(ThemisError::NoBayesNet);
         }
         let query = Self::parse(sql)?;
-        let result = route::bn_only_sql(&query, &self.engine, self.replicates())?;
+        let result = route::bn_only_sql(&query, engine, self.replicates())?;
         let k_agreed = self.replicates().len();
         Ok(Answer {
             result,

@@ -1,0 +1,182 @@
+//! Route mix and per-route latency of the open-world session (ROADMAP
+//! item 6: the route-mix bench emits `BENCH_routes.json`).
+//!
+//! Not a criterion target: this bench builds a biased-sample world where
+//! every §4.3 route genuinely fires — scalar queries stay on the reweighted
+//! sample, grouped queries go hybrid (sample groups + BN-agreed open-world
+//! groups), and point predicates on labels absent from the sample route to
+//! pure BN inference — then times each route and tallies the route mix of a
+//! rotating mixed workload, exactly as the server exports it per
+//! connection.
+
+use std::time::Instant;
+use themis_bench::report::{self, Jv};
+use themis_core::{Route, Themis, ThemisConfig, ThemisSession};
+use themis_data::{AttrId, Attribute, Domain, Relation, Schema};
+use themis_query::EngineOptions;
+
+const REPS: usize = 7;
+const MIXED_QUERIES: usize = 300;
+
+/// Best-of-`REPS` wall-clock seconds.
+fn best_of<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// A 50 000-row population over moderate domains, sampled with a hard bias
+/// (`a < 10` only), so labels `a = 10..16` exist in the aggregates but not
+/// in the sample: the open-world gap every route decision is about.
+fn world() -> ThemisSession {
+    let sizes = [16usize, 12, 8];
+    let schema = Schema::new(vec![
+        Attribute::new("a", Domain::indexed("a", sizes[0])),
+        Attribute::new("b", Domain::indexed("b", sizes[1])),
+        Attribute::new("c", Domain::indexed("c", sizes[2])),
+    ]);
+    let mut pop = Relation::new(schema);
+    for i in 0..50_000usize {
+        pop.push_row(&[
+            ((i * 7 + i / 13) % sizes[0]) as u32,
+            ((i * 5 + 1) % sizes[1]) as u32,
+            ((i * 11 + i / 7) % sizes[2]) as u32,
+        ]);
+    }
+    let aggregates = themis_aggregates::AggregateSet::from_results(vec![
+        themis_aggregates::AggregateResult::compute(&pop, &[AttrId(0)]),
+        themis_aggregates::AggregateResult::compute(&pop, &[AttrId(1), AttrId(2)]),
+    ]);
+    let n = pop.len() as f64;
+    let rows: Vec<usize> = (0..pop.len())
+        .filter(|&r| pop.value(r, AttrId(0)) < 10)
+        .take(5_000)
+        .collect();
+    let sample = pop.select_rows(&rows);
+    let config = ThemisConfig {
+        bn_sample_size: Some(2_000),
+        ..ThemisConfig::default()
+    };
+    ThemisSession::new(Themis::build(sample, aggregates, n, config))
+}
+
+fn route_kind(route: &Route) -> &'static str {
+    match route {
+        Route::Sample => "sample",
+        Route::BayesNet { .. } => "bayes_net",
+        Route::Hybrid { .. } => "hybrid",
+        Route::Degraded { .. } => "degraded",
+    }
+}
+
+fn main() {
+    report::banner(
+        "route-mix",
+        "per-route latency and route distribution of a mixed open-world workload",
+    );
+    let session = world();
+    let engine = EngineOptions::default();
+
+    // One workload per route the decision function can pick.
+    let workloads: [(&str, &str, &str); 4] = [
+        ("scalar_sample", "SELECT COUNT(*) AS n FROM t", "sample"),
+        (
+            "grouped_hybrid",
+            "SELECT a, COUNT(*) AS n FROM t GROUP BY a",
+            "hybrid",
+        ),
+        (
+            "bn_point",
+            "SELECT COUNT(*) AS n FROM t WHERE a = '12'",
+            "bayes_net",
+        ),
+        (
+            "grouped_filtered",
+            "SELECT b, COUNT(*) AS n, AVG(c) FROM t WHERE a <> 3 GROUP BY b ORDER BY n DESC",
+            "hybrid",
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json_workloads = Vec::new();
+    for (name, sql, expected_route) in workloads {
+        // Warm the replicate cache and pin the route before timing.
+        let answer = session.sql_with(sql, &engine).expect(sql);
+        assert_eq!(
+            route_kind(&answer.route),
+            expected_route,
+            "{name}: route drifted"
+        );
+        let best = best_of(|| {
+            std::hint::black_box(session.sql_with(sql, &engine).expect(sql));
+        });
+        rows.push(vec![
+            name.to_string(),
+            expected_route.to_string(),
+            report::f(best * 1e3),
+        ]);
+        json_workloads.push(Jv::Obj(vec![
+            ("name".into(), Jv::Str(name.into())),
+            ("sql".into(), Jv::Str(sql.into())),
+            ("route".into(), Jv::Str(expected_route.into())),
+            ("best_ms".into(), Jv::Num(best * 1e3)),
+        ]));
+    }
+    report::table(&["workload", "route", "best ms"], &rows);
+
+    // Mixed traffic: rotate through the workloads and tally what the
+    // decision function actually picked, as the server's per-route
+    // counters would.
+    let mut counts = [("sample", 0u64), ("bayes_net", 0), ("hybrid", 0), ("degraded", 0)];
+    let start = Instant::now();
+    for i in 0..MIXED_QUERIES {
+        let (_, sql, _) = workloads[i % workloads.len()];
+        let answer = session.sql_with(sql, &engine).expect(sql);
+        let kind = route_kind(&answer.route);
+        if let Some(slot) = counts.iter_mut().find(|(k, _)| *k == kind) {
+            slot.1 += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "\nmixed workload: {MIXED_QUERIES} queries in {:.2}s ({:.0} q/s); route mix: {}",
+        elapsed,
+        MIXED_QUERIES as f64 / elapsed,
+        counts
+            .iter()
+            .map(|(k, c)| format!("{k}={c}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+
+    let record = Jv::Obj(vec![
+        ("bench".into(), Jv::Str("route_mix".into())),
+        ("population_rows".into(), Jv::Int(50_000)),
+        ("sample_rows".into(), Jv::Int(5_000)),
+        ("reps".into(), Jv::Int(REPS as u64)),
+        ("workloads".into(), Jv::Arr(json_workloads)),
+        ("mixed_queries".into(), Jv::Int(MIXED_QUERIES as u64)),
+        ("mixed_elapsed_s".into(), Jv::Num(elapsed)),
+        (
+            "mixed_qps".into(),
+            Jv::Num(MIXED_QUERIES as f64 / elapsed),
+        ),
+        (
+            "route_mix".into(),
+            Jv::Obj(
+                counts
+                    .iter()
+                    .map(|(k, c)| ((*k).to_string(), Jv::Int(*c)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    match report::write_bench_json("routes", &record) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_routes.json: {e}"),
+    }
+}

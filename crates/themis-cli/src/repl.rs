@@ -8,12 +8,19 @@
 //! answer. Engine configuration is explicit [`EngineOptions`] owned by the
 //! shell — `main` seeds it from `THEMIS_THREADS` once at startup, and
 //! `\threads` mutates it; no library code ever reads the environment.
+//!
+//! `\connect <addr>` switches the shell into client mode against a running
+//! `themis-served`: SQL, `\explain`, and the governance commands all travel
+//! the wire (governance becomes a per-connection `set` on the server), and
+//! `\disconnect` returns to the local model. Answers keep their provenance
+//! footer either way — the `Route` stamp crosses the wire intact.
 
 use std::time::Duration;
 use themis_aggregates::{AggregateResult, AggregateSet};
 use themis_core::{EngineOptions, Route, Themis, ThemisConfig, ThemisSession};
 use themis_data::ingest::{ingest_csv, ColumnSpec};
 use themis_data::{AttrId, Relation};
+use themis_serve::{Client, SetRequest};
 
 /// What the loop should do after a line.
 #[derive(Debug, PartialEq)]
@@ -34,6 +41,9 @@ pub struct Session {
     engine: EngineOptions,
     model: Option<ThemisSession>,
     last_route: Option<Route>,
+    /// Client-mode connection to a `themis-served` (`\connect`), with the
+    /// address it was opened against for status messages.
+    remote: Option<(String, Client)>,
 }
 
 impl Session {
@@ -53,6 +63,7 @@ impl Session {
             engine,
             model: None,
             last_route: None,
+            remote: None,
         }
     }
 
@@ -79,6 +90,9 @@ impl Session {
             Some("threads") => Outcome::Continue(self.cmd_threads(&parts[1..])),
             Some("deadline") => Outcome::Continue(self.cmd_deadline(&parts[1..])),
             Some("budget") => Outcome::Continue(self.cmd_budget(&parts[1..])),
+            Some("connect") => Outcome::Continue(self.cmd_connect(&parts[1..])),
+            Some("disconnect") => Outcome::Continue(self.cmd_disconnect()),
+            Some("stats") => Outcome::Continue(self.cmd_stats()),
             Some("explain") => {
                 // Re-split from the raw command so the SQL keeps its
                 // original spacing.
@@ -259,6 +273,9 @@ impl Session {
                     if let Some(session) = &mut self.model {
                         session.set_engine(self.engine.clone());
                     }
+                    if let Some(pushed) = self.push_remote_engine() {
+                        return pushed;
+                    }
                     format!("query engine: {}", self.engine.describe())
                 }
                 _ => "thread count must be a positive integer".into(),
@@ -318,19 +335,112 @@ impl Session {
     }
 
     /// Push the shell's engine options into the built session (if any) and
-    /// report the governance state that resulted.
+    /// the connected server (if any), and report the governance state that
+    /// resulted.
     fn apply_engine(&mut self) -> String {
         if let Some(session) = &mut self.model {
             session.set_engine(self.engine.clone());
         }
+        if let Some(pushed) = self.push_remote_engine() {
+            return pushed;
+        }
         format!("governance: {}", self.engine.limits.describe())
     }
 
+    /// Mirror the shell's engine options to the connected server as a
+    /// per-connection `set`. Returns the message to print when connected
+    /// (`None` when there is no connection, so callers fall through to the
+    /// local description).
+    fn push_remote_engine(&mut self) -> Option<String> {
+        let (addr, client) = self.remote.as_mut()?;
+        let request = SetRequest {
+            deadline_ms: Some(
+                self.engine
+                    .limits
+                    .deadline
+                    .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64),
+            ),
+            max_rows: Some(self.engine.limits.max_rows),
+            max_groups: Some(self.engine.limits.max_groups.map(|g| g as u64)),
+            threads: Some(self.engine.threads as u64),
+            morsel_rows: None,
+            fault: None,
+        };
+        let addr = addr.clone();
+        Some(match client.set(&request) {
+            Ok(Ok(_)) => format!(
+                "governance on {addr}: {} ({} threads)",
+                self.engine.limits.describe(),
+                self.engine.threads
+            ),
+            Ok(Err(e)) => format!("server rejected settings: {e}"),
+            Err(e) => self.drop_remote(&format!("connection to {addr} lost: {e}")),
+        })
+    }
+
+    /// `\connect <addr>` — switch into client mode against a running
+    /// `themis-served`; the connection immediately inherits the shell's
+    /// governance settings.
+    fn cmd_connect(&mut self, args: &[&str]) -> String {
+        let [addr] = args else {
+            return "usage: \\connect <host:port>".into();
+        };
+        match Client::connect(*addr) {
+            Ok(client) => {
+                self.remote = Some((addr.to_string(), client));
+                let pushed = self
+                    .push_remote_engine()
+                    .unwrap_or_else(|| "governance: default".into());
+                format!(
+                    "connected to {addr}; SQL now runs on the server (\\disconnect to return)\n{pushed}"
+                )
+            }
+            Err(e) => format!("cannot connect to {addr}: {e}"),
+        }
+    }
+
+    /// `\disconnect` — drop the server connection and return to the local
+    /// model (if one is built).
+    fn cmd_disconnect(&mut self) -> String {
+        match self.remote.take() {
+            Some((addr, _)) => format!("disconnected from {addr}"),
+            None => "not connected".into(),
+        }
+    }
+
+    /// `\stats` — the connected server's counters (connections, queries,
+    /// per-route and per-degrade-reason tallies), verbatim.
+    fn cmd_stats(&mut self) -> String {
+        let Some((addr, client)) = self.remote.as_mut() else {
+            return "not connected (\\connect <host:port>)".into();
+        };
+        let addr = addr.clone();
+        match client.stats() {
+            Ok(Ok(stats)) => format!("server {addr}: {stats}"),
+            Ok(Err(e)) => format!("error: {e}"),
+            Err(e) => self.drop_remote(&format!("connection to {addr} lost: {e}")),
+        }
+    }
+
+    /// Tear down a dead connection and return the message to show.
+    fn drop_remote(&mut self, message: &str) -> String {
+        self.remote = None;
+        message.to_string()
+    }
+
     /// `\explain <sql>` — show where the query would be routed, without
-    /// executing it.
-    fn cmd_explain(&self, sql: &str) -> String {
+    /// executing it. In client mode the server answers.
+    fn cmd_explain(&mut self, sql: &str) -> String {
         if sql.is_empty() {
             return "usage: \\explain <sql>".into();
+        }
+        if let Some((addr, client)) = self.remote.as_mut() {
+            let addr = addr.clone();
+            return match client.explain(sql) {
+                Ok(Ok(explain)) => explain.to_string(),
+                Ok(Err(e)) => format!("error: {e}"),
+                Err(e) => self.drop_remote(&format!("connection to {addr} lost: {e}")),
+            };
         }
         let Some(session) = &self.model else {
             return "build the model first (\\build)".into();
@@ -366,6 +476,9 @@ impl Session {
             None => out.push_str("population size: unset\n"),
         }
         out.push_str(&format!("query engine: {}\n", self.engine.describe()));
+        if let Some((addr, _)) = &self.remote {
+            out.push_str(&format!("connected to: {addr} (client mode)\n"));
+        }
         if let Some(route) = &self.last_route {
             out.push_str(&format!("last route: {route}\n"));
         }
@@ -380,6 +493,22 @@ impl Session {
     }
 
     fn sql(&mut self, sql: &str) -> String {
+        if let Some((addr, client)) = self.remote.as_mut() {
+            let addr = addr.clone();
+            return match client.query(sql) {
+                Ok(Ok(answer)) => {
+                    let footer = format!(
+                        "-- {} [{:.1} ms on {addr}]",
+                        answer.route,
+                        answer.elapsed.as_secs_f64() * 1e3
+                    );
+                    self.last_route = Some(answer.route.clone());
+                    format!("{}{footer}", answer.result)
+                }
+                Ok(Err(e)) => format!("error: {e}"),
+                Err(e) => self.drop_remote(&format!("connection to {addr} lost: {e}")),
+            };
+        }
         let Some(session) = &self.model else {
             return "build the model first (\\build)".into();
         };
@@ -418,6 +547,9 @@ commands:
                                                (Sample / BayesNet / Hybrid)
   \\route                                       provenance of the last answer
   \\status                                      show session state
+  \\connect <host:port>                         client mode: run SQL on a themis-served
+  \\disconnect                                  leave client mode
+  \\stats                                       connected server's counters
   \\quit                                        exit
 anything else is executed as SQL against the model, e.g.
   SELECT origin_state, COUNT(*) FROM flights GROUP BY origin_state;";
@@ -678,6 +810,134 @@ mod tests {
             panic!()
         };
         assert!(out.contains("-- Hybrid ("), "{out}");
+    }
+
+    #[test]
+    fn connect_mode_runs_sql_on_the_server() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::Arc;
+        use themis_data::{Attribute, Domain, Schema};
+        use themis_serve::{ServerConfig, ThemisServer};
+
+        let schema = Schema::new(vec![
+            Attribute::new("a", Domain::indexed("a", 4)),
+            Attribute::new("b", Domain::indexed("b", 3)),
+        ]);
+        let mut pop = Relation::new(schema);
+        for i in 0..400usize {
+            pop.push_row(&[(i % 4) as u32, ((i / 4) % 3) as u32]);
+        }
+        let aggregates = AggregateSet::from_results(vec![AggregateResult::compute(
+            &pop,
+            &[AttrId(0)],
+        )]);
+        let rows: Vec<usize> = (0..pop.len()).step_by(4).collect();
+        let sample = pop.select_rows(&rows);
+        let world = Arc::new(ThemisSession::new(Themis::build(
+            sample,
+            aggregates,
+            pop.len() as f64,
+            ThemisConfig::default(),
+        )));
+        let server =
+            ThemisServer::bind("127.0.0.1:0", world, ServerConfig::default()).expect("bind");
+        let handle = server.handle();
+        let addr = server.local_addr().to_string();
+        let results = rayon::Pool::new(2)
+            .try_par_indexed(2, |task| {
+                if task == 0 {
+                    server.serve().map_err(|e| format!("serve failed: {e}"))
+                } else {
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        let mut s = Session::new();
+                        let Outcome::Continue(out) = s.handle(&format!("\\connect {addr}"))
+                        else {
+                            panic!("connect")
+                        };
+                        assert!(out.contains("connected to"), "{out}");
+                        // SQL travels the wire; the footer names the server.
+                        let Outcome::Continue(out) =
+                            s.handle("SELECT a, COUNT(*) AS n FROM t GROUP BY a")
+                        else {
+                            panic!("sql")
+                        };
+                        assert!(out.contains(&format!("ms on {addr}")), "{out}");
+                        let Outcome::Continue(route) = s.handle("\\route") else {
+                            panic!("route")
+                        };
+                        assert!(!route.contains("no query executed yet"), "{route}");
+                        // Explain is answered by the server too.
+                        let Outcome::Continue(out) =
+                            s.handle("\\explain SELECT COUNT(*) AS n FROM t")
+                        else {
+                            panic!("explain")
+                        };
+                        assert!(out.contains("route:"), "{out}");
+                        // Governance commands become per-connection `set`s.
+                        let Outcome::Continue(out) = s.handle("\\budget rows 1") else {
+                            panic!("budget")
+                        };
+                        assert!(out.contains("governance on"), "{out}");
+                        let Outcome::Continue(out) = s.handle("SELECT COUNT(*) AS n FROM t")
+                        else {
+                            panic!("strict sql")
+                        };
+                        assert!(out.contains("row budget exceeded"), "{out}");
+                        s.handle("\\budget off");
+                        let Outcome::Continue(out) = s.handle("SELECT COUNT(*) AS n FROM t")
+                        else {
+                            panic!("recovered sql")
+                        };
+                        assert!(out.contains("-- "), "{out}");
+                        // Server counters are one command away.
+                        let Outcome::Continue(out) = s.handle("\\stats") else {
+                            panic!("stats")
+                        };
+                        assert!(out.contains("\"queries\""), "{out}");
+                        let Outcome::Continue(out) = s.handle("\\disconnect") else {
+                            panic!("disconnect")
+                        };
+                        assert!(out.contains("disconnected"), "{out}");
+                        // Back on the local (unbuilt) model.
+                        let Outcome::Continue(out) = s.handle("SELECT COUNT(*) AS n FROM t")
+                        else {
+                            panic!("local sql")
+                        };
+                        assert!(out.contains("\\build"), "{out}");
+                    }));
+                    handle.shutdown();
+                    caught.map_err(|payload| {
+                        payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "driver panicked".to_string())
+                    })
+                }
+            })
+            .expect("orchestration pool");
+        for r in results {
+            if let Err(message) = r {
+                panic!("{message}");
+            }
+        }
+    }
+
+    #[test]
+    fn connect_usage_and_disconnect_without_connection() {
+        let mut s = Session::new();
+        assert!(matches!(
+            s.handle("\\connect"),
+            Outcome::Continue(ref m) if m.contains("usage")
+        ));
+        assert!(matches!(
+            s.handle("\\disconnect"),
+            Outcome::Continue(ref m) if m.contains("not connected")
+        ));
+        assert!(matches!(
+            s.handle("\\stats"),
+            Outcome::Continue(ref m) if m.contains("not connected")
+        ));
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! A demo Themis server over a small built-in open-world dataset.
+//!
+//! ```text
+//! themis-served [ADDR]          # default 127.0.0.1:7878
+//! ```
+//!
+//! Builds a deterministic three-attribute world (a biased sample of a
+//! 2 000-row population, BN enabled) and serves it until killed. Point the
+//! CLI at it with `\connect 127.0.0.1:7878`, or talk to it by hand:
+//!
+//! ```text
+//! printf '%s\n' '{"op":"query","sql":"SELECT a, COUNT(*) AS n FROM t GROUP BY a"}' | nc 127.0.0.1 7878
+//! ```
+
+use std::sync::Arc;
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_core::{Themis, ThemisConfig, ThemisSession};
+use themis_data::{AttrId, Attribute, Domain, Relation, Schema};
+use themis_serve::{ServerConfig, ThemisServer};
+
+/// The same skewed world the differential suites use: population with many
+/// groups, sample biased to small `a` so hybrid routes genuinely add BN
+/// groups.
+fn demo_world() -> ThemisSession {
+    let sizes = [5usize, 4, 3];
+    let schema = Schema::new(vec![
+        Attribute::new("a", Domain::indexed("a", sizes[0])),
+        Attribute::new("b", Domain::indexed("b", sizes[1])),
+        Attribute::new("c", Domain::indexed("c", sizes[2])),
+    ]);
+    let mut pop = Relation::new(schema);
+    for i in 0..2_000usize {
+        pop.push_row(&[
+            ((i * 7 + i / 13) % sizes[0]) as u32,
+            ((i * 5 + 1) % sizes[1]) as u32,
+            ((i * 11 + i / 7) % sizes[2]) as u32,
+        ]);
+    }
+    let aggregates = AggregateSet::from_results(vec![
+        AggregateResult::compute(&pop, &[AttrId(0)]),
+        AggregateResult::compute(&pop, &[AttrId(1), AttrId(2)]),
+    ]);
+    let n = pop.len() as f64;
+    let rows: Vec<usize> = (0..pop.len())
+        .filter(|&r| pop.value(r, AttrId(0)) < 3)
+        .take(300)
+        .collect();
+    let sample = pop.select_rows(&rows);
+    let config = ThemisConfig {
+        bn_sample_size: Some(500),
+        ..ThemisConfig::default()
+    };
+    ThemisSession::new(Themis::build(sample, aggregates, n, config))
+}
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let server = ThemisServer::bind(addr.as_str(), Arc::new(demo_world()), ServerConfig::default())?;
+    println!(
+        "themis-served: serving table `t` on {} ({} workers, {} concurrent queries)",
+        server.local_addr(),
+        ServerConfig::default().workers,
+        ServerConfig::default().max_concurrent_queries,
+    );
+    server.serve()
+}

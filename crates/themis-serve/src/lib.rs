@@ -1,0 +1,37 @@
+//! # themis-serve
+//!
+//! The serving layer: many concurrent sessions over **one shared world**.
+//!
+//! The expensive part of an open-world Themis deployment is simulating the
+//! K Bayesian-network forward-sample replicates. A [`ThemisServer`] holds a
+//! single `Arc<ThemisSession>` — catalog, BN, and the session's
+//! `OnceLock`-cached replicates — so a million clients pay that cost
+//! exactly once; per-connection state is just an
+//! [`themis_core::EngineOptions`] (governance policy), never model data.
+//!
+//! The wire protocol is line-delimited JSON over TCP ([`protocol`]), built
+//! on `std::net` alone — no external dependencies. Responses carry the
+//! [`themis_core::Route`] provenance stamp, so a client can always tell a
+//! pure sample answer from a BN-backed one from a degraded one, and the
+//! server aggregates those stamps into per-route / per-degrade-reason
+//! counters ([`stats::ServerStats`], exported by the `stats` op).
+//!
+//! Threading goes exclusively through `shims/rayon` ([`ThemisServer::serve`]
+//! runs its accept workers on a [`rayon::Pool`] and therefore blocks; see
+//! [`server`] for the orchestration pattern). [`Client`] is the matching
+//! blocking client used by the CLI's `\connect` mode, the load-driver
+//! bench, and the differential test harness.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, ClientError, Outcome};
+pub use json::Json;
+pub use protocol::{SetRequest, WireAnswer, WireError};
+pub use server::{ServerConfig, ServerHandle, ThemisServer};
+pub use stats::ServerStats;

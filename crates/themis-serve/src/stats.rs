@@ -1,0 +1,199 @@
+//! Server observability: lock-free counters keyed on the `Route`/`Answer`
+//! provenance stamps.
+//!
+//! Every answer's [`Route`] and every error increments exactly one counter
+//! family, so the `stats` op exposes the live route mix — how many answers
+//! came straight from the reweighted sample, how many needed the BN, how
+//! many degraded and *why* — without any per-query allocation or locking.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use themis_core::{DegradeReason, Route, ThemisError};
+use themis_query::{ExecError, Trip};
+
+/// Monotonic counters for one server instance. All increments are
+/// `Relaxed`: the counters are observability, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// `query` requests executed (successes and errors, excluding busy
+    /// rejections).
+    pub queries: AtomicU64,
+    /// `query` requests that returned an error response.
+    pub errors: AtomicU64,
+    /// `query` requests rejected at admission (`busy`).
+    pub busy_rejections: AtomicU64,
+    /// Queries currently executing (gauge).
+    pub active_queries: AtomicU64,
+    /// Answers routed entirely to the reweighted sample.
+    pub route_sample: AtomicU64,
+    /// Answers routed to the Bayesian network.
+    pub route_bayes_net: AtomicU64,
+    /// Answers routed hybrid (sample ∪ BN consensus).
+    pub route_hybrid: AtomicU64,
+    /// Answers that degraded to their sample part.
+    pub route_degraded: AtomicU64,
+    /// Degradations caused by the deadline.
+    pub degrade_deadline: AtomicU64,
+    /// Degradations caused by the row budget.
+    pub degrade_row_budget: AtomicU64,
+    /// Degradations caused by the group budget.
+    pub degrade_group_budget: AtomicU64,
+    /// Degradations caused by a contained worker failure.
+    pub degrade_worker_failure: AtomicU64,
+    /// Governed errors: deadline exceeded outright.
+    pub trip_deadline: AtomicU64,
+    /// Governed errors: query cancelled.
+    pub trip_cancelled: AtomicU64,
+    /// Governed errors: row budget exceeded outright.
+    pub trip_row_budget: AtomicU64,
+    /// Governed errors: group budget exceeded outright.
+    pub trip_group_budget: AtomicU64,
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        ServerStats::default()
+    }
+
+    /// Record a successful answer's route.
+    pub fn record_route(&self, route: &Route) {
+        let counter = match route {
+            Route::Sample => &self.route_sample,
+            Route::BayesNet { .. } => &self.route_bayes_net,
+            Route::Hybrid { .. } => &self.route_hybrid,
+            Route::Degraded { reason, .. } => {
+                match reason {
+                    DegradeReason::DeadlineExceeded => &self.degrade_deadline,
+                    DegradeReason::RowBudgetExceeded => &self.degrade_row_budget,
+                    DegradeReason::GroupBudgetExceeded => &self.degrade_group_budget,
+                    DegradeReason::WorkerFailure => &self.degrade_worker_failure,
+                }
+                .fetch_add(1, Ordering::Relaxed);
+                &self.route_degraded
+            }
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a query error (after admission — busy rejections have their
+    /// own counter).
+    pub fn record_error(&self, err: &ThemisError) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        if let ThemisError::Exec(ExecError::Governed(trip)) = err {
+            match trip {
+                Trip::Deadline => &self.trip_deadline,
+                Trip::Cancelled => &self.trip_cancelled,
+                Trip::RowBudget { .. } => &self.trip_row_budget,
+                Trip::GroupBudget { .. } => &self.trip_group_budget,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The `stats` response body. Field order is part of the wire protocol
+    /// (the golden tests pin it).
+    pub fn body(&self) -> Json {
+        let n = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
+        Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("op".to_string(), Json::Str("stats".to_string())),
+            (
+                "stats".to_string(),
+                Json::Obj(vec![
+                    ("connections".to_string(), n(&self.connections)),
+                    ("queries".to_string(), n(&self.queries)),
+                    ("errors".to_string(), n(&self.errors)),
+                    ("busy_rejections".to_string(), n(&self.busy_rejections)),
+                    ("active_queries".to_string(), n(&self.active_queries)),
+                    (
+                        "routes".to_string(),
+                        Json::Obj(vec![
+                            ("sample".to_string(), n(&self.route_sample)),
+                            ("bayes_net".to_string(), n(&self.route_bayes_net)),
+                            ("hybrid".to_string(), n(&self.route_hybrid)),
+                            ("degraded".to_string(), n(&self.route_degraded)),
+                        ]),
+                    ),
+                    (
+                        "degrade_reasons".to_string(),
+                        Json::Obj(vec![
+                            ("deadline_exceeded".to_string(), n(&self.degrade_deadline)),
+                            (
+                                "row_budget_exceeded".to_string(),
+                                n(&self.degrade_row_budget),
+                            ),
+                            (
+                                "group_budget_exceeded".to_string(),
+                                n(&self.degrade_group_budget),
+                            ),
+                            (
+                                "worker_failure".to_string(),
+                                n(&self.degrade_worker_failure),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "trips".to_string(),
+                        Json::Obj(vec![
+                            ("deadline".to_string(), n(&self.trip_deadline)),
+                            ("cancelled".to_string(), n(&self.trip_cancelled)),
+                            ("row_budget".to_string(), n(&self.trip_row_budget)),
+                            ("group_budget".to_string(), n(&self.trip_group_budget)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use themis_core::RouteKind;
+
+    #[test]
+    fn routes_and_errors_land_in_their_counters() {
+        let stats = ServerStats::new();
+        stats.record_route(&Route::Sample);
+        stats.record_route(&Route::Sample);
+        stats.record_route(&Route::BayesNet { k_agreed: 25 });
+        stats.record_route(&Route::Hybrid {
+            sample_groups: 1,
+            bn_groups_added: 2,
+        });
+        stats.record_route(&Route::Degraded {
+            planned: RouteKind::Hybrid,
+            reason: DegradeReason::WorkerFailure,
+        });
+        stats.record_error(&ThemisError::Exec(ExecError::Governed(Trip::RowBudget {
+            limit: 10,
+        })));
+        stats.record_error(&ThemisError::NoBayesNet);
+        let j = stats.body();
+        let stats_obj = j.get("stats").unwrap();
+        let routes = stats_obj.get("routes").unwrap();
+        assert_eq!(routes.get("sample").and_then(Json::as_u64), Some(2));
+        assert_eq!(routes.get("bayes_net").and_then(Json::as_u64), Some(1));
+        assert_eq!(routes.get("hybrid").and_then(Json::as_u64), Some(1));
+        assert_eq!(routes.get("degraded").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            stats_obj
+                .get("degrade_reasons")
+                .and_then(|d| d.get("worker_failure"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            stats_obj
+                .get("trips")
+                .and_then(|t| t.get("row_budget"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(stats_obj.get("errors").and_then(Json::as_u64), Some(2));
+    }
+}

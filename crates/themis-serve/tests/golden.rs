@@ -1,0 +1,188 @@
+//! Wire-protocol golden tests: a fixture corpus of request/response lines
+//! driven through a live server, asserting the **exact serialized shape** of
+//! every response — valid queries, governance trips, injected faults,
+//! malformed JSON, oversized lines, and busy admission rejections. The
+//! protocol cannot drift silently: any byte-level change to a response
+//! shows up as a fixture diff here.
+//!
+//! Fixture format (`tests/fixtures/wire_golden.txt`, one corpus per server
+//! config): `#` lines are comments, `>>> ` prefixes a request line sent
+//! verbatim, `<<< ` prefixes the expected response line. The only
+//! normalization is `"elapsed_us":<n>` → `"elapsed_us":0`, the one
+//! nondeterministic field in the protocol.
+//!
+//! The world is the deterministic biased-sample world shared with the
+//! differential suites; replicate simulation is seeded by the model config,
+//! so even hybrid-route rows are byte-stable.
+
+use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_core::{Themis, ThemisConfig, ThemisSession};
+use themis_data::{AttrId, Attribute, Domain, Relation, Schema};
+use themis_serve::{Client, ServerConfig, ThemisServer};
+
+fn world() -> Arc<ThemisSession> {
+    static WORLD: OnceLock<Arc<ThemisSession>> = OnceLock::new();
+    Arc::clone(WORLD.get_or_init(|| {
+        let sizes = [5usize, 4, 3];
+        let schema = Schema::new(vec![
+            Attribute::new("a", Domain::indexed("a", sizes[0])),
+            Attribute::new("b", Domain::indexed("b", sizes[1])),
+            Attribute::new("c", Domain::indexed("c", sizes[2])),
+        ]);
+        let mut pop = Relation::new(schema);
+        for i in 0..2_000usize {
+            pop.push_row(&[
+                ((i * 7 + i / 13) % sizes[0]) as u32,
+                ((i * 5 + 1) % sizes[1]) as u32,
+                ((i * 11 + i / 7) % sizes[2]) as u32,
+            ]);
+        }
+        let aggregates = AggregateSet::from_results(vec![
+            AggregateResult::compute(&pop, &[AttrId(0)]),
+            AggregateResult::compute(&pop, &[AttrId(1), AttrId(2)]),
+        ]);
+        let n = pop.len() as f64;
+        let rows: Vec<usize> = (0..pop.len())
+            .filter(|&r| pop.value(r, AttrId(0)) < 3)
+            .take(300)
+            .collect();
+        let sample = pop.select_rows(&rows);
+        let config = ThemisConfig {
+            bn_sample_size: Some(500),
+            ..ThemisConfig::default()
+        };
+        Arc::new(ThemisSession::new(Themis::build(sample, aggregates, n, config)))
+    }))
+}
+
+/// Replace the one nondeterministic response field with a fixed value.
+fn normalize(line: &str) -> String {
+    let needle = "\"elapsed_us\":";
+    let Some(start) = line.find(needle) else {
+        return line.to_string();
+    };
+    let digits_start = start + needle.len();
+    let digits_end = line[digits_start..]
+        .find(|c: char| !c.is_ascii_digit())
+        .map(|i| digits_start + i)
+        .unwrap_or(line.len());
+    format!("{}0{}", &line[..digits_start], &line[digits_end..])
+}
+
+/// Parse the fixture into (request, expected-response) pairs.
+fn parse_fixture(text: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    let mut pending: Option<String> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(request) = line.strip_prefix(">>> ") {
+            assert!(
+                pending.is_none(),
+                "fixture line {}: request without a response before it",
+                lineno + 1
+            );
+            pending = Some(request.to_string());
+        } else if let Some(response) = line.strip_prefix("<<< ") {
+            let request = pending
+                .take()
+                .unwrap_or_else(|| panic!("fixture line {}: response without request", lineno + 1));
+            pairs.push((request, response.to_string()));
+        } else {
+            panic!("fixture line {}: expected '#', '>>> ', or '<<< '", lineno + 1);
+        }
+    }
+    assert!(pending.is_none(), "fixture ends with an unanswered request");
+    pairs
+}
+
+/// Run every request of a fixture on one connection against `config`,
+/// asserting each normalized response equals the fixture's. On mismatch the
+/// panic carries the full actual transcript, ready to paste.
+fn run_golden(fixture: &str, config: ServerConfig) {
+    let pairs = parse_fixture(fixture);
+    let server = ThemisServer::bind("127.0.0.1:0", world(), config).expect("bind");
+    let handle = server.handle();
+    let addr = server.local_addr();
+    let results = rayon::Pool::new(2)
+        .try_par_indexed(2, |task| {
+            if task == 0 {
+                server.serve().map_err(|e| format!("serve failed: {e}"))
+            } else {
+                let caught = catch_unwind(AssertUnwindSafe(|| drive(addr, &pairs)));
+                handle.shutdown();
+                caught.map_err(|payload| {
+                    payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "driver panicked".to_string())
+                })
+            }
+        })
+        .expect("orchestration pool");
+    for r in results {
+        if let Err(message) = r {
+            panic!("{message}");
+        }
+    }
+}
+
+fn drive(addr: SocketAddr, pairs: &[(String, String)]) {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut transcript = String::new();
+    let mut failed = false;
+    for (request, expected) in pairs {
+        let actual = normalize(&client.roundtrip_raw(request).expect("transport"));
+        if &actual != expected {
+            failed = true;
+        }
+        transcript.push_str(">>> ");
+        transcript.push_str(request);
+        transcript.push_str("\n<<< ");
+        transcript.push_str(&actual);
+        transcript.push('\n');
+    }
+    assert!(
+        !failed,
+        "wire protocol drifted from the golden fixture.\n\
+         Actual transcript (normalized):\n{transcript}"
+    );
+}
+
+/// The main corpus: queries on every route, explain, set echoes, a
+/// governance trip, an injected worker panic, malformed and oversized
+/// input, and the final deterministic stats snapshot.
+#[test]
+fn wire_protocol_matches_golden_fixture() {
+    run_golden(
+        include_str!("fixtures/wire_golden.txt"),
+        ServerConfig {
+            workers: 1,
+            max_concurrent_queries: 4,
+            threads: 1,
+            morsel_rows: 7,
+            max_line_bytes: 512,
+            allow_fault_injection: true,
+            ..ServerConfig::default()
+        },
+    );
+}
+
+/// Admission rejection: a server with zero query capacity answers every
+/// query with a typed `busy` error and counts it.
+#[test]
+fn busy_rejections_match_golden_fixture() {
+    run_golden(
+        include_str!("fixtures/wire_busy.txt"),
+        ServerConfig {
+            workers: 1,
+            max_concurrent_queries: 0,
+            ..ServerConfig::default()
+        },
+    );
+}

@@ -462,6 +462,123 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Worker loss on the wire: fault isolation across server connections.
+// ---------------------------------------------------------------------------
+
+/// An injected worker panic inside one connection's query surfaces as that
+/// client's typed `internal` error while concurrent connections on the same
+/// server complete normally — worker loss is contained to the query that
+/// hit it, and the faulted connection itself survives to answer again once
+/// its fault plan is cleared.
+#[test]
+fn injected_worker_panic_is_isolated_to_its_connection() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+    use themis_core::ThemisSession;
+    use themis_serve::{Client, ServerConfig, SetRequest, ThemisServer};
+
+    let pop = big_relation();
+    let aggregates = AggregateSet::from_results(vec![
+        AggregateResult::compute(&pop, &[AttrId(0)]),
+        AggregateResult::compute(&pop, &[AttrId(1), AttrId(2)]),
+    ]);
+    let n = pop.len() as f64;
+    let sample_rows: Vec<usize> = (0..pop.len()).step_by(5).collect();
+    let sample = pop.select_rows(&sample_rows);
+    let world = Arc::new(ThemisSession::new(Themis::build(
+        sample,
+        aggregates,
+        n,
+        ThemisConfig::default(),
+    )));
+    let config = ServerConfig {
+        workers: 3,
+        max_concurrent_queries: 3,
+        threads: 2,
+        morsel_rows: 7,
+        allow_fault_injection: true,
+        ..ServerConfig::default()
+    };
+    let engine = EngineOptions {
+        threads: 2,
+        morsel_rows: 7,
+        ..EngineOptions::default()
+    };
+    let sql = "SELECT COUNT(*) AS n FROM t";
+    let oracle = world.sql_with(sql, &engine).expect("oracle");
+
+    let server = ThemisServer::bind("127.0.0.1:0", Arc::clone(&world), config).expect("bind");
+    let handle = server.handle();
+    let addr = server.local_addr();
+    let results = rayon::Pool::new(2)
+        .try_par_indexed(2, |task| {
+            if task == 0 {
+                server.serve().map_err(|e| format!("serve failed: {e}"))
+            } else {
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    rayon::Pool::new(3)
+                        .try_par_indexed(3, |i| {
+                            let mut client = Client::connect(addr).expect("connect");
+                            if i == 0 {
+                                // The saboteur: arm a worker panic, watch it
+                                // come back as a typed error, clear it, and
+                                // keep using the same connection.
+                                client
+                                    .set(&SetRequest {
+                                        fault: Some(FaultPlan::PanicAtMorsel { morsel: 0 }),
+                                        ..SetRequest::default()
+                                    })
+                                    .expect("transport")
+                                    .expect("set");
+                                let err = client
+                                    .query(sql)
+                                    .expect("transport")
+                                    .expect_err("armed fault must trip");
+                                assert_eq!(err.kind, "internal", "{err}");
+                                assert!(
+                                    err.message.contains("injected worker panic at morsel 0"),
+                                    "{err}"
+                                );
+                                client
+                                    .set(&SetRequest {
+                                        fault: Some(FaultPlan::None),
+                                        ..SetRequest::default()
+                                    })
+                                    .expect("transport")
+                                    .expect("set");
+                            }
+                            // Every connection — including the recovered
+                            // saboteur — gets the oracle's exact answer.
+                            for _ in 0..3 {
+                                let wire = client
+                                    .query(sql)
+                                    .expect("transport")
+                                    .unwrap_or_else(|e| panic!("client {i}: {e}"));
+                                assert_eq!(wire.result, oracle.result, "client {i}");
+                                assert_eq!(wire.route, oracle.route, "client {i}");
+                            }
+                        })
+                        .expect("client pool");
+                }));
+                handle.shutdown();
+                caught.map_err(|payload| {
+                    payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "driver panicked".to_string())
+                })
+            }
+        })
+        .expect("orchestration pool");
+    for r in results {
+        if let Err(message) = r {
+            panic!("{message}");
+        }
+    }
+}
+
 #[test]
 fn noisy_aggregate_totals_disagreeing_with_n_still_work() {
     // Aggregate total (14) disagrees with the declared population size

@@ -1,0 +1,238 @@
+//! Server-vs-session differential harness: the whole random-query corpus
+//! shared with `exec_differential.rs` / `session_differential.rs` is driven
+//! through the TCP wire protocol, and every response must be
+//! **bit-identical** — same rows, same `Route` provenance, same typed error
+//! and trip kind — to a direct `ThemisSession` oracle answering the same
+//! query with the same `EngineOptions`.
+//!
+//! The corpus runs at 1, 2, and 8 concurrent client connections against a
+//! fresh server per level. Bit-identity across concurrency levels holds
+//! because the world is shared immutably (one `Arc<ThemisSession>`, one
+//! seeded replicate cache) and per-connection state is only governance
+//! policy: nothing a neighboring connection does may perturb an answer.
+//!
+//! The corpus itself is generated manually from the shared
+//! `query_strategy()` with a fixed-seed `TestRng`, honoring
+//! `PROPTEST_CASES`, so the acceptance run (`PROPTEST_CASES=500`) replays
+//! the exact same 500 queries the proptest suites would.
+
+use proptest::strategy::Strategy;
+use proptest::test_runner::{ProptestConfig, TestRng};
+use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+use themis_aggregates::{AggregateResult, AggregateSet};
+use themis_core::{Answer, Explain, Themis, ThemisConfig, ThemisError, ThemisSession};
+use themis_data::{AttrId, Relation};
+use themis_query::{EngineOptions, Limits};
+use themis_serve::protocol::{decode_error, themis_error_body};
+use themis_serve::{Client, ServerConfig, ThemisServer, WireError};
+use themis_tests::querygen::{query_strategy, test_schema, SIZES};
+
+/// The same skewed open-world dataset as `session_differential.rs`: a
+/// 2 000-row population, a 300-row sample biased to `a < 3`, BN enabled.
+fn world() -> Arc<ThemisSession> {
+    static WORLD: OnceLock<Arc<ThemisSession>> = OnceLock::new();
+    Arc::clone(WORLD.get_or_init(|| {
+        let mut pop = Relation::new(test_schema());
+        for i in 0..2_000usize {
+            pop.push_row(&[
+                (i * 7 + i / 13) as u32 % SIZES[0],
+                (i * 5 + 1) as u32 % SIZES[1],
+                (i * 11 + i / 7) as u32 % SIZES[2],
+            ]);
+        }
+        let aggregates = AggregateSet::from_results(vec![
+            AggregateResult::compute(&pop, &[AttrId(0)]),
+            AggregateResult::compute(&pop, &[AttrId(1), AttrId(2)]),
+        ]);
+        let n = pop.len() as f64;
+        let rows: Vec<usize> = (0..pop.len())
+            .filter(|&r| pop.value(r, AttrId(0)) < 3)
+            .take(300)
+            .collect();
+        let sample = pop.select_rows(&rows);
+        let config = ThemisConfig {
+            bn_sample_size: Some(500),
+            ..ThemisConfig::default()
+        };
+        Arc::new(ThemisSession::new(Themis::build(sample, aggregates, n, config)))
+    }))
+}
+
+/// The engine every server connection runs with, mirrored exactly by the
+/// oracle. Small morsels so multi-morsel merging is exercised.
+fn engine() -> EngineOptions {
+    EngineOptions {
+        threads: 1,
+        morsel_rows: 7,
+        ..EngineOptions::default()
+    }
+}
+
+/// The oracle's view of a strict connection (`set {"max_rows": 1}`).
+fn strict_engine() -> EngineOptions {
+    EngineOptions {
+        limits: Limits {
+            max_rows: Some(1),
+            ..Limits::default()
+        },
+        ..engine()
+    }
+}
+
+/// What the wire must carry for an oracle error: run the oracle's
+/// `ThemisError` through the protocol's own encoder and decode it back.
+fn expected_error(err: &ThemisError) -> WireError {
+    decode_error(&themis_error_body(err)).expect("protocol encodes every ThemisError")
+}
+
+/// `PROPTEST_CASES` random queries from the shared generator plus fixed
+/// shapes the generator cannot produce: an unknown column, a parse error,
+/// and a point predicate on a label absent from the biased sample (the pure
+/// BN route).
+fn corpus() -> &'static Vec<String> {
+    static CORPUS: OnceLock<Vec<String>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let cases = ProptestConfig::default().cases;
+        let mut rng = TestRng::for_test("server_differential");
+        let strategy = query_strategy();
+        let mut corpus: Vec<String> =
+            (0..cases).map(|_| strategy.generate(&mut rng)).collect();
+        corpus.push("SELECT COUNT(*) AS n FROM t WHERE zzz = '1'".to_string());
+        corpus.push("SELECT COUNT(*) FROM".to_string());
+        corpus.push("SELECT COUNT(*) AS n FROM t WHERE a = '4'".to_string());
+        corpus.push("SELECT a, COUNT(*) AS n FROM t WHERE a = '4' GROUP BY a".to_string());
+        corpus
+    })
+}
+
+/// The oracle's answer and explain for one query, pre-encoded on the error
+/// side so comparisons against the wire are exact.
+struct Expected {
+    answer: Result<Answer, WireError>,
+    explain: Result<Explain, WireError>,
+}
+
+fn oracle() -> &'static Vec<Expected> {
+    static ORACLE: OnceLock<Vec<Expected>> = OnceLock::new();
+    ORACLE.get_or_init(|| {
+        let session = world();
+        let engine = engine();
+        corpus()
+            .iter()
+            .map(|sql| Expected {
+                answer: session.sql_with(sql, &engine).map_err(|e| expected_error(&e)),
+                explain: session
+                    .explain_with(sql, &engine)
+                    .map_err(|e| expected_error(&e)),
+            })
+            .collect()
+    })
+}
+
+/// One client: replay its `idx % clients == slot` share of the corpus and
+/// assert every response is bit-identical to the oracle, then trip a row
+/// budget via `set` and check the governed error matches the oracle too.
+fn drive_client(addr: SocketAddr, slot: usize, clients: usize) {
+    let corpus = corpus();
+    let oracle = oracle();
+    let mut client = Client::connect(addr).expect("connect");
+    for (idx, sql) in corpus.iter().enumerate() {
+        if idx % clients != slot {
+            continue;
+        }
+        let wire = client.query(sql).expect("transport");
+        match (&wire, &oracle[idx].answer) {
+            (Ok(w), Ok(o)) => {
+                assert_eq!(w.result, o.result, "rows diverged from session: {sql}");
+                assert_eq!(w.route, o.route, "route diverged from session: {sql}");
+            }
+            (Err(w), Err(o)) => assert_eq!(w, o, "error diverged from session: {sql}"),
+            (w, o) => panic!(
+                "{sql}: wire and session disagree on success: {w:?} vs oracle {:?}",
+                o.as_ref().map(|a| &a.route)
+            ),
+        }
+        let wire_explain = client.explain(sql).expect("transport");
+        match (&wire_explain, &oracle[idx].explain) {
+            (Ok(w), Ok(o)) => assert_eq!(w, o, "explain diverged from session: {sql}"),
+            (Err(w), Err(o)) => assert_eq!(w, o, "explain error diverged: {sql}"),
+            (w, o) => panic!("{sql}: wire and session disagree on explain: {w:?} vs {o:?}"),
+        }
+    }
+    // Governance differential: a strict per-connection budget must trip on
+    // the wire exactly as `Limits` trips in the session.
+    let strict_sql = "SELECT a, COUNT(*) AS n FROM t GROUP BY a";
+    client
+        .set(&themis_serve::SetRequest {
+            max_rows: Some(Some(1)),
+            ..themis_serve::SetRequest::default()
+        })
+        .expect("transport")
+        .expect("set");
+    let wire = client
+        .query(strict_sql)
+        .expect("transport")
+        .expect_err("row budget of 1 must trip");
+    let direct = world()
+        .sql_with(strict_sql, &strict_engine())
+        .expect_err("oracle trips too");
+    assert_eq!(wire, expected_error(&direct), "governed trip diverged");
+}
+
+/// Serve the shared world and replay the corpus over `clients` concurrent
+/// connections, partitioned by index.
+fn run_level(clients: usize) {
+    let config = ServerConfig {
+        workers: clients,
+        max_concurrent_queries: clients,
+        threads: 1,
+        morsel_rows: 7,
+        ..ServerConfig::default()
+    };
+    let server = ThemisServer::bind("127.0.0.1:0", world(), config).expect("bind");
+    let handle = server.handle();
+    let addr = server.local_addr();
+    let results = rayon::Pool::new(2)
+        .try_par_indexed(2, |task| {
+            if task == 0 {
+                server.serve().map_err(|e| format!("serve failed: {e}"))
+            } else {
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    rayon::Pool::new(clients)
+                        .try_par_indexed(clients, |slot| drive_client(addr, slot, clients))
+                        .expect("client pool");
+                }));
+                handle.shutdown();
+                caught.map_err(|payload| {
+                    payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "driver panicked".to_string())
+                })
+            }
+        })
+        .expect("orchestration pool");
+    for r in results {
+        if let Err(message) = r {
+            panic!("{message}");
+        }
+    }
+}
+
+#[test]
+fn one_client_matches_the_session_bit_for_bit() {
+    run_level(1);
+}
+
+#[test]
+fn two_concurrent_clients_match_the_session_bit_for_bit() {
+    run_level(2);
+}
+
+#[test]
+fn eight_concurrent_clients_match_the_session_bit_for_bit() {
+    run_level(8);
+}
