@@ -61,7 +61,10 @@ pub use error::ThemisError;
 pub use metrics::{group_by_error, percent_difference};
 pub use model::{ReweightMethod, Themis, ThemisConfig};
 pub use route::{DegradeReason, Explain, Route, RouteKind};
-pub use session::{Answer, ThemisSession};
+pub use session::{Analyzed, Answer, ThemisSession};
 // Re-exported so session users configure the engine without importing
 // themis-query directly.
-pub use themis_query::{CancelToken, EngineOptions, FaultPlan, Limits};
+pub use themis_query::{
+    saturating_micros, CancelToken, EngineOptions, FaultPlan, Limits, QueryTrace, TraceSink,
+    TraceSpan,
+};

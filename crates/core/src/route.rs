@@ -508,6 +508,9 @@ fn replicate_consensus(
         if phase_deadline.is_some_and(|d| Instant::now() >= d) {
             return Err(Trip::Deadline.into());
         }
+        // One child span per replicate (the loop is serial, so span
+        // nesting stays well-formed at every thread count).
+        let _span = opts.trace.span("replicate");
         let result = run_on(replicate, query, opts)?;
         let m = result.to_map();
         if template.is_none() {
@@ -570,12 +573,22 @@ pub(crate) fn hybrid_sql(
     opts: &EngineOptions,
     replicates: &[Arc<Relation>],
 ) -> Result<(QueryResult, Route), ExecError> {
+    let trace = &opts.trace;
+    let _hybrid_span = trace.span("hybrid");
     let inner = without_order_limit(query);
-    let mut merged = run_on(sample, &inner, opts)?;
+    let mut merged = {
+        let _span = trace.span("execute:sample");
+        run_on(sample, &inner, opts)?
+    };
     let sample_groups = merged.rows.len();
     let mut bn_groups_added = 0;
-    match replicate_consensus(replicates, &inner, opts) {
+    let consensus = {
+        let _span = trace.span("consensus");
+        replicate_consensus(replicates, &inner, opts)
+    };
+    match consensus {
         Ok(Some(consensus)) => {
+            let _span = trace.span("merge");
             let existing: HashSet<Vec<String>> = merged.to_map().into_keys().collect();
             let k = replicates.len() as f64;
             // themis-lint: allow(deterministic-iteration) reason=finish_merged below sorts merged rows by group prefix before ORDER BY/LIMIT applies
@@ -586,6 +599,10 @@ pub(crate) fn hybrid_sql(
                 merged.rows.push(consensus_row(group, sums, k));
                 bn_groups_added += 1;
             }
+            trace.add_counts(&[
+                ("bn_groups_added", bn_groups_added as u64),
+                ("sample_groups", sample_groups as u64),
+            ]);
         }
         Ok(None) => {}
         // Graceful degradation: the sample part is already a debiased
@@ -597,6 +614,11 @@ pub(crate) fn hybrid_sql(
             let Some(reason) = DegradeReason::from_error(&err) else {
                 return Err(err);
             };
+            {
+                let _span = trace.span("degrade");
+                trace.note("fallback", "Sample");
+                trace.note("reason", &reason.to_string());
+            }
             finish_merged(&mut merged, query)?;
             return Ok((
                 merged,

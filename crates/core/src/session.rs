@@ -22,8 +22,8 @@ use crate::route::{self, Decision, Explain, Route};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use themis_data::{AttrId, GroupKey, Relation};
-use themis_query::{EngineOptions, ExecError, QueryResult, Value};
-use themis_sql::Query;
+use themis_query::{EngineOptions, ExecError, QueryResult, QueryTrace, TraceSink, Value};
+use themis_sql::{Query, SelectItem};
 use std::collections::HashMap;
 
 /// A query result with its provenance: which debiasing component answered
@@ -45,6 +45,27 @@ impl Answer {
     pub fn scalar(&self) -> Option<f64> {
         self.result.scalar()
     }
+}
+
+/// `EXPLAIN ANALYZE` output: the executed [`Answer`] plus the
+/// [`QueryTrace`] collected while producing it, and the router's group
+/// cardinality estimate next to what actually came back.
+///
+/// Produced by [`ThemisSession::analyze`]. The answer is **bit-identical**
+/// to what [`ThemisSession::sql`] returns for the same query and engine
+/// options — tracing only observes, it never steers execution.
+#[derive(Debug, Clone)]
+pub struct Analyzed {
+    /// The executed answer, identical to the untraced one.
+    pub answer: Answer,
+    /// The span tree collected during execution.
+    pub trace: QueryTrace,
+    /// Upper-bound estimate of the output group count before execution:
+    /// the product of the grouping columns' domain sizes (1 for scalar
+    /// queries; saturating).
+    pub estimated_groups: u64,
+    /// Groups actually returned (rows of the answer, after any `LIMIT`).
+    pub actual_groups: u64,
 }
 
 /// A query session over a built [`Themis`] model. See the module docs.
@@ -125,8 +146,55 @@ impl ThemisSession {
     /// callers never contend on session state.
     pub fn sql_with(&self, sql: &str, engine: &EngineOptions) -> Result<Answer, ThemisError> {
         let start = Instant::now();
-        let query = Self::parse(sql)?;
-        let (result, route) = match route::decide(&self.model, &query) {
+        let (_, result, route) = self.routed(sql, engine)?;
+        Ok(Answer {
+            result,
+            route,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// The one routed execution path behind [`ThemisSession::sql_with`] and
+    /// [`ThemisSession::analyze_with`]: parse, decide, execute. Spans go to
+    /// `engine.trace` (no-ops on the default disabled sink), and tracing
+    /// never touches the result — both entry points produce bit-identical
+    /// answers.
+    fn routed(
+        &self,
+        sql: &str,
+        engine: &EngineOptions,
+    ) -> Result<(Query, QueryResult, Route), ThemisError> {
+        let trace = &engine.trace;
+        let _query_span = trace.span("query");
+        let query = {
+            let _span = trace.span("parse");
+            Self::parse(sql)?
+        };
+        let decision = {
+            let _span = trace.span("route");
+            let decision = route::decide(&self.model, &query);
+            if trace.is_enabled() {
+                let kind = match &decision {
+                    Decision::Sample { .. } => "sample",
+                    Decision::BnPoint { .. } => "bn_point",
+                    Decision::Hybrid { .. } => "hybrid",
+                };
+                trace.note("decision", kind);
+                if matches!(decision, Decision::Hybrid { .. }) {
+                    // Observed *before* `self.replicates()` forces the
+                    // cache below, so the note reflects whether this query
+                    // pays the simulation or reuses it.
+                    let cache = if self.replicates.get().is_some() {
+                        "hit"
+                    } else {
+                        "miss"
+                    };
+                    trace.note("replicate_cache", cache);
+                }
+            }
+            decision
+        };
+        let (result, route) = match decision {
             Decision::Sample { .. } => (
                 route::run_on(self.model.sample_arc(), &query, engine)?,
                 Route::Sample,
@@ -136,10 +204,13 @@ impl ThemisSession {
                 values,
                 column,
                 ..
-            } => (
-                route::bn_point_result(&self.model, &attrs, &values, column)?,
-                Route::BayesNet { k_agreed: 0 },
-            ),
+            } => {
+                let _span = trace.span("bn_point");
+                (
+                    route::bn_point_result(&self.model, &attrs, &values, column)?,
+                    Route::BayesNet { k_agreed: 0 },
+                )
+            }
             Decision::Hybrid { .. } => route::hybrid_sql(
                 self.model.sample_arc(),
                 &query,
@@ -147,11 +218,65 @@ impl ThemisSession {
                 self.replicates(),
             )?,
         };
-        Ok(Answer {
-            result,
-            route,
-            elapsed: start.elapsed(),
+        Ok((query, result, route))
+    }
+
+    /// `EXPLAIN ANALYZE`: run `sql` exactly as [`ThemisSession::sql`] would
+    /// — same routing, same engine, bit-identical answer — while collecting
+    /// a [`QueryTrace`] of the execution, and compare the router's group
+    /// estimate with what actually came back.
+    pub fn analyze(&self, sql: &str) -> Result<Analyzed, ThemisError> {
+        self.analyze_with(sql, &self.engine)
+    }
+
+    /// [`ThemisSession::analyze`] with explicit per-call engine options.
+    /// Any sink already present in `engine` is ignored: analysis always
+    /// collects into its own fresh sink.
+    pub fn analyze_with(&self, sql: &str, engine: &EngineOptions) -> Result<Analyzed, ThemisError> {
+        let sink = TraceSink::enabled();
+        let mut traced_engine = engine.clone();
+        traced_engine.trace = sink.clone();
+        let start = Instant::now();
+        let (query, result, route) = self.routed(sql, &traced_engine)?;
+        let elapsed = start.elapsed();
+        let trace = sink.finish();
+        let estimated_groups = self.estimated_groups(&query);
+        let actual_groups = result.rows.len() as u64;
+        Ok(Analyzed {
+            answer: Answer {
+                result,
+                route,
+                elapsed,
+            },
+            trace,
+            estimated_groups,
+            actual_groups,
         })
+    }
+
+    /// Upper bound on a query's output group count, from the sample
+    /// schema: the product of the distinct grouping columns' domain sizes.
+    /// Scalar queries estimate 1; unknown columns contribute nothing (the
+    /// engine rejects them later anyway).
+    fn estimated_groups(&self, query: &Query) -> u64 {
+        let schema = self.model.reweighted_sample().schema();
+        let mut seen: Vec<String> = Vec::new();
+        let mut estimate: u64 = 1;
+        let bare_columns = query.select.iter().filter_map(|item| match item {
+            SelectItem::Column(c) => Some(c),
+            _ => None,
+        });
+        for col in query.group_by.iter().chain(bare_columns) {
+            let lower = col.column.to_ascii_lowercase();
+            if seen.contains(&lower) {
+                continue;
+            }
+            seen.push(lower);
+            if let Some(attr) = schema.attr_id(&col.column) {
+                estimate = estimate.saturating_mul(schema.domain(attr).size() as u64);
+            }
+        }
+        estimate
     }
 
     /// The routing decision for `sql`, without executing it. The returned

@@ -1,7 +1,10 @@
 //! Load driver for the Themis server (ROADMAP item 1): hammer an
 //! in-process `ThemisServer` with N concurrent clients over the real TCP
 //! wire and report p50/p99 round-trip latency, QPS, and the per-route mix
-//! the server's `stats` op exports — written to `BENCH_server.json`.
+//! the server's `stats` op exports — written to `BENCH_server.json`. As a
+//! CI gate it finishes with a metrics smoke check: the `metrics` op's
+//! registry export must count exactly the driven load (printed as
+//! `metrics-smoke: ok (queries=N)`).
 //!
 //! ```text
 //! server_load [CLIENTS] [QUERIES_PER_CLIENT]      # defaults: 4, 200
@@ -128,12 +131,13 @@ fn main() {
                 // Pull the server's own counters before shutting it down.
                 let mut observer = Client::connect(addr).expect("connect");
                 let stats = observer.stats().expect("transport").expect("stats");
+                let metrics = observer.metrics().expect("transport").expect("metrics");
                 handle.shutdown();
-                Some((per_client, wall, stats))
+                Some((per_client, wall, stats, metrics))
             }
         })
         .expect("orchestration pool");
-    let (per_client, wall, stats) = outcomes
+    let (per_client, wall, stats, registry) = outcomes
         .pop()
         .flatten()
         .expect("driver task reports its measurements");
@@ -204,4 +208,26 @@ fn main() {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write BENCH_server.json: {e}"),
     }
+
+    // Metrics smoke (CI gate): the registry's `metrics` op must agree with
+    // the load we just generated — exactly `total` queries counted, and
+    // the latency histogram saw every one of them.
+    let registry_queries = registry
+        .get("server.queries")
+        .and_then(Json::as_u64)
+        .expect("metrics export carries server.queries");
+    assert_eq!(
+        registry_queries, total as u64,
+        "metrics registry disagrees with the driven load"
+    );
+    let latency_count = registry
+        .get("server.query_latency_us")
+        .and_then(|h| h.get("count"))
+        .and_then(Json::as_u64)
+        .expect("metrics export carries the latency histogram");
+    assert_eq!(
+        latency_count, total as u64,
+        "latency histogram missed successful queries"
+    );
+    println!("metrics-smoke: ok (queries={registry_queries})");
 }

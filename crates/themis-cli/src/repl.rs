@@ -17,7 +17,7 @@
 
 use std::time::Duration;
 use themis_aggregates::{AggregateResult, AggregateSet};
-use themis_core::{EngineOptions, Route, Themis, ThemisConfig, ThemisSession};
+use themis_core::{saturating_micros, EngineOptions, Route, Themis, ThemisConfig, ThemisSession};
 use themis_data::ingest::{ingest_csv, ColumnSpec};
 use themis_data::{AttrId, Relation};
 use themis_serve::{Client, SetRequest};
@@ -44,6 +44,9 @@ pub struct Session {
     /// Client-mode connection to a `themis-served` (`\connect`), with the
     /// address it was opened against for status messages.
     remote: Option<(String, Client)>,
+    /// `\trace on`: every SQL answer also prints its span tree (locally via
+    /// `session.analyze`, remotely via the `"trace":true` request flag).
+    trace_on: bool,
 }
 
 impl Session {
@@ -64,6 +67,7 @@ impl Session {
             model: None,
             last_route: None,
             remote: None,
+            trace_on: false,
         }
     }
 
@@ -93,6 +97,8 @@ impl Session {
             Some("connect") => Outcome::Continue(self.cmd_connect(&parts[1..])),
             Some("disconnect") => Outcome::Continue(self.cmd_disconnect()),
             Some("stats") => Outcome::Continue(self.cmd_stats()),
+            Some("metrics") => Outcome::Continue(self.cmd_metrics()),
+            Some("trace") => Outcome::Continue(self.cmd_trace(&parts[1..])),
             Some("explain") => {
                 // Re-split from the raw command so the SQL keeps its
                 // original spacing.
@@ -354,11 +360,13 @@ impl Session {
     fn push_remote_engine(&mut self) -> Option<String> {
         let (addr, client) = self.remote.as_mut()?;
         let request = SetRequest {
+            // Through the saturating helper (not a lossy `as` cast) so the
+            // value survives the f64 wire encoding exactly.
             deadline_ms: Some(
                 self.engine
                     .limits
                     .deadline
-                    .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64),
+                    .map(|d| saturating_micros(d) / 1_000),
             ),
             max_rows: Some(self.engine.limits.max_rows),
             max_groups: Some(self.engine.limits.max_groups.map(|g| g as u64)),
@@ -422,6 +430,38 @@ impl Session {
         }
     }
 
+    /// `\metrics` — the connected server's metrics registry export:
+    /// counters, gauges, and the query-latency histogram (p50/p90/p99).
+    fn cmd_metrics(&mut self) -> String {
+        let Some((addr, client)) = self.remote.as_mut() else {
+            return "not connected (\\connect <host:port>)".into();
+        };
+        let addr = addr.clone();
+        match client.metrics() {
+            Ok(Ok(metrics)) => format!("server {addr}: {metrics}"),
+            Ok(Err(e)) => format!("error: {e}"),
+            Err(e) => self.drop_remote(&format!("connection to {addr} lost: {e}")),
+        }
+    }
+
+    /// `\trace [on|off]` — toggle per-query tracing. While on, every SQL
+    /// answer is followed by the span tree that produced it; answers stay
+    /// bit-identical to untraced runs.
+    fn cmd_trace(&mut self, args: &[&str]) -> String {
+        match args {
+            [] => format!("trace: {}", if self.trace_on { "on" } else { "off" }),
+            ["on"] => {
+                self.trace_on = true;
+                "trace: on (answers now include their span tree)".into()
+            }
+            ["off"] => {
+                self.trace_on = false;
+                "trace: off".into()
+            }
+            _ => "usage: \\trace [on|off]".into(),
+        }
+    }
+
     /// Tear down a dead connection and return the message to show.
     fn drop_remote(&mut self, message: &str) -> String {
         self.remote = None;
@@ -476,6 +516,9 @@ impl Session {
             None => out.push_str("population size: unset\n"),
         }
         out.push_str(&format!("query engine: {}\n", self.engine.describe()));
+        if self.trace_on {
+            out.push_str("trace: on\n");
+        }
         if let Some((addr, _)) = &self.remote {
             out.push_str(&format!("connected to: {addr} (client mode)\n"));
         }
@@ -493,8 +536,24 @@ impl Session {
     }
 
     fn sql(&mut self, sql: &str) -> String {
+        let trace_on = self.trace_on;
         if let Some((addr, client)) = self.remote.as_mut() {
             let addr = addr.clone();
+            if trace_on {
+                return match client.query_traced(sql) {
+                    Ok(Ok((answer, trace))) => {
+                        let footer = format!(
+                            "-- {} [{:.1} ms on {addr}]",
+                            answer.route,
+                            answer.elapsed.as_secs_f64() * 1e3
+                        );
+                        self.last_route = Some(answer.route.clone());
+                        format!("{}{footer}\ntrace:\n{}", answer.result, trace.render())
+                    }
+                    Ok(Err(e)) => format!("error: {e}"),
+                    Err(e) => self.drop_remote(&format!("connection to {addr} lost: {e}")),
+                };
+            }
             return match client.query(sql) {
                 Ok(Ok(answer)) => {
                     let footer = format!(
@@ -512,6 +571,26 @@ impl Session {
         let Some(session) = &self.model else {
             return "build the model first (\\build)".into();
         };
+        if trace_on {
+            return match session.analyze(sql) {
+                Ok(analyzed) => {
+                    let footer = format!(
+                        "-- {} [{:.1} ms]",
+                        analyzed.answer.route,
+                        analyzed.answer.elapsed.as_secs_f64() * 1e3
+                    );
+                    self.last_route = Some(analyzed.answer.route.clone());
+                    format!(
+                        "{}{footer}\ntrace:\n{}groups: estimated {}, actual {}",
+                        analyzed.answer.result,
+                        analyzed.trace.render(),
+                        analyzed.estimated_groups,
+                        analyzed.actual_groups
+                    )
+                }
+                Err(e) => format!("error: {e}"),
+            };
+        }
         match session.sql(sql) {
             Ok(answer) => {
                 let footer = format!(
@@ -546,10 +625,14 @@ commands:
   \\explain <sql>                               show where a query would route
                                                (Sample / BayesNet / Hybrid)
   \\route                                       provenance of the last answer
+  \\trace [on|off]                              print each answer's span tree
+                                               (EXPLAIN ANALYZE; answers unchanged)
   \\status                                      show session state
   \\connect <host:port>                         client mode: run SQL on a themis-served
   \\disconnect                                  leave client mode
   \\stats                                       connected server's counters
+  \\metrics                                     connected server's metrics registry
+                                               (incl. query-latency p50/p90/p99)
   \\quit                                        exit
 anything else is executed as SQL against the model, e.g.
   SELECT origin_state, COUNT(*) FROM flights GROUP BY origin_state;";
@@ -813,6 +896,52 @@ mod tests {
     }
 
     #[test]
+    fn trace_toggle_prints_span_tree_and_leaves_answers_identical() {
+        let mut s = full_session();
+        let sql = "SELECT state, COUNT(*) FROM flights GROUP BY state";
+        let Outcome::Continue(untraced) = s.handle(sql) else {
+            panic!()
+        };
+        let Outcome::Continue(out) = s.handle("\\trace on") else {
+            panic!()
+        };
+        assert!(out.contains("trace: on"), "{out}");
+        let Outcome::Continue(traced) = s.handle(sql) else {
+            panic!()
+        };
+        // The answer table is bit-identical; tracing only appends.
+        assert_eq!(
+            untraced.split("\n-- ").next(),
+            traced.split("\n-- ").next(),
+            "{traced}"
+        );
+        assert!(traced.contains("trace:"), "{traced}");
+        assert!(traced.contains("query ["), "{traced}");
+        assert!(traced.contains("hybrid ["), "{traced}");
+        assert!(traced.contains("rows_scanned="), "{traced}");
+        // EXPLAIN ANALYZE extras: estimated vs actual group counts.
+        assert!(traced.contains("groups: estimated 2, actual 2"), "{traced}");
+        // Status reflects the toggle; `off` restores plain answers.
+        let Outcome::Continue(status) = s.handle("\\status") else {
+            panic!()
+        };
+        assert!(status.contains("trace: on"), "{status}");
+        s.handle("\\trace off");
+        let Outcome::Continue(out) = s.handle(sql) else {
+            panic!()
+        };
+        assert!(!out.contains("trace:"), "{out}");
+        assert!(matches!(
+            s.handle("\\trace maybe"),
+            Outcome::Continue(ref m) if m.contains("usage")
+        ));
+        assert!(matches!(
+            s.handle("\\trace"),
+            Outcome::Continue(ref m) if m.contains("trace: off")
+        ));
+    }
+
+    #[test]
     fn connect_mode_runs_sql_on_the_server() {
         use std::panic::{catch_unwind, AssertUnwindSafe};
         use std::sync::Arc;
@@ -894,6 +1023,24 @@ mod tests {
                             panic!("stats")
                         };
                         assert!(out.contains("\"queries\""), "{out}");
+                        // …and so is the metrics registry export.
+                        let Outcome::Continue(out) = s.handle("\\metrics") else {
+                            panic!("metrics")
+                        };
+                        assert!(out.contains("\"server.queries\""), "{out}");
+                        assert!(out.contains("\"server.query_latency_us\""), "{out}");
+                        assert!(out.contains("\"p99_us\""), "{out}");
+                        // `\trace on` travels as the `"trace":true` flag.
+                        s.handle("\\trace on");
+                        let Outcome::Continue(out) =
+                            s.handle("SELECT a, COUNT(*) AS n FROM t GROUP BY a")
+                        else {
+                            panic!("traced sql")
+                        };
+                        assert!(out.contains("trace:"), "{out}");
+                        assert!(out.contains("query ["), "{out}");
+                        assert!(out.contains("rows_scanned="), "{out}");
+                        s.handle("\\trace off");
                         let Outcome::Continue(out) = s.handle("\\disconnect") else {
                             panic!("disconnect")
                         };
@@ -936,6 +1083,10 @@ mod tests {
         ));
         assert!(matches!(
             s.handle("\\stats"),
+            Outcome::Continue(ref m) if m.contains("not connected")
+        ));
+        assert!(matches!(
+            s.handle("\\metrics"),
             Outcome::Continue(ref m) if m.contains("not connected")
         ));
     }

@@ -1,0 +1,7 @@
+//! fixture-path: crates/themis-obs/src/env_demo.rs
+//! expect: no-env-reads @ crates/themis-obs/src/env_demo.rs:6
+// The observability layer must stay configuration-free: tracing is enabled
+// by an explicit TraceSink handle, never by ambient environment state.
+fn tracing_enabled() -> bool {
+    std::env::var("THEMIS_TRACE").is_ok()
+}

@@ -1,0 +1,7 @@
+//! fixture-path: crates/themis-obs/src/hist_demo.rs
+//! expect: no-panic-in-libs @ crates/themis-obs/src/hist_demo.rs:6
+// A metrics layer that can panic takes the query down with it; bucket
+// lookups must stay total.
+fn bucket_count(buckets: &[u64], index: usize) -> u64 {
+    *buckets.get(index).unwrap()
+}

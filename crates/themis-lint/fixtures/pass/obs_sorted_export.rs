@@ -1,0 +1,9 @@
+//! fixture-path: crates/themis-obs/src/export_demo.rs
+// The registry export pattern: HashMap state is fine as long as every
+// iteration that reaches output is sorted first (deterministic-iteration).
+use std::collections::HashMap;
+fn export(metrics: HashMap<String, u64>) -> Vec<(String, u64)> {
+    let mut out: Vec<(String, u64)> = metrics.into_iter().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}

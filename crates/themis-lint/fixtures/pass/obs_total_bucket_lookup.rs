@@ -1,0 +1,9 @@
+//! fixture-path: crates/themis-obs/src/bucket_demo.rs
+// Total bucket lookup: saturate to the overflow bucket instead of
+// indexing (the no-panic discipline for the histogram hot path).
+fn bucket_count(buckets: &[u64], index: usize) -> u64 {
+    buckets
+        .get(index.min(buckets.len().saturating_sub(1)))
+        .copied()
+        .unwrap_or(0)
+}

@@ -1,0 +1,33 @@
+//! # themis-obs
+//!
+//! Dependency-free observability for the Themis stack.
+//!
+//! Two halves, both built on `std` alone:
+//!
+//! * [`trace`] — a per-query **span tree** ([`QueryTrace`]) collected
+//!   through an explicit [`TraceSink`] handle. The sink is threaded through
+//!   `EngineOptions` (no environment reads, no globals): a disabled sink is
+//!   a `None` and every instrumentation call short-circuits on it, so
+//!   tracing is provably free when off. Span *counters* (morsels, rows
+//!   scanned, rows masked, groups folded, guard checks) are tallied per
+//!   morsel and summed, which makes them independent of thread count —
+//!   traced execution is bit-identical to untraced execution, and trace
+//!   *structure* is identical at 1, 2, or 8 threads; only wall times vary.
+//!
+//! * [`metrics`] — a [`MetricsRegistry`] of atomic [`Counter`]s,
+//!   [`Gauge`]s, and log-linear [`Histogram`]s. Histograms answer
+//!   p50/p90/p99 from bucket lower bounds (deterministic, no sampling);
+//!   the registry export is sorted by metric name so serializing it is
+//!   reproducible byte for byte.
+//!
+//! All durations are serialized through [`saturating_micros`], which caps
+//! at 2^53 µs — the largest integer magnitude `f64` can represent exactly —
+//! so timestamps survive a JSON round-trip bit-identically.
+
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricValue, MetricsRegistry};
+pub use trace::{saturating_micros, QueryTrace, SpanGuard, TraceSink, TraceSpan, MAX_EXACT_MICROS};

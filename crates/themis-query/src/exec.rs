@@ -105,10 +105,11 @@ pub fn execute_guarded(
 ) -> Result<QueryResult, ExecError> {
     let guard = QueryGuard::arm(opts);
     let morsel_rows = opts.morsel_rows.max(1);
+    let _span = opts.trace.span("execute_serial");
     crate::guard::contain_panics(|| {
         let mut result = match query.from.len() {
-            1 => scan_guarded(catalog, query, morsel_rows, &guard)?,
-            2 => join_guarded(catalog, query, morsel_rows, &guard)?,
+            1 => scan_guarded(catalog, query, morsel_rows, &guard, &opts.trace)?,
+            2 => join_guarded(catalog, query, morsel_rows, &guard, &opts.trace)?,
             n => return Err(ExecError::Unsupported(format!("{n} tables in FROM"))),
         };
         if let Some(order) = &query.order_by {
@@ -117,6 +118,7 @@ pub fn execute_guarded(
         if let Some(limit) = query.limit {
             result.rows.truncate(limit);
         }
+        opts.trace.add("groups_out", result.rows.len() as u64);
         Ok(result)
     })
 }
@@ -702,6 +704,7 @@ fn scan_guarded(
     query: &Query,
     morsel_rows: usize,
     guard: &QueryGuard,
+    trace: &themis_obs::TraceSink,
 ) -> Result<QueryResult, ExecError> {
     let ScanPlan {
         rel,
@@ -713,22 +716,40 @@ fn scan_guarded(
     let numeric = agg_numeric_tables(&select, &bindings);
     let mut groups = new_groups(&select);
     let mut meter = RowMeter::new(guard);
+    let mut morsels = 0u64;
+    let mut rows_masked = 0u64;
+    let mut rows_folded = 0u64;
     'rows: for r in 0..rel.len() {
         if r % morsel_rows == 0 {
             meter.flush()?;
+            morsels += 1;
             guard.at_morsel((r / morsel_rows) as u64)?;
             guard.check_groups(groups.len())?;
         }
         meter.tick()?;
         for (attr, mask) in &masks {
             if !mask[rel.value(r, *attr) as usize] {
+                rows_masked += 1;
                 continue 'rows;
             }
         }
+        rows_folded += 1;
         fold_into(&select, &bindings, &numeric, &mut groups, &[r], weights[r]);
     }
     meter.flush()?;
     guard.check_groups(groups.len())?;
+    if trace.is_enabled() {
+        // Same counter names and — because the guarded drive loop mirrors
+        // the morsel decomposition exactly — the same totals as the
+        // parallel engine's per-morsel tallies.
+        trace.add_counts(&[
+            ("guard_checks", morsels + meter.checks()),
+            ("morsels", morsels),
+            ("rows_folded", rows_folded),
+            ("rows_masked", rows_masked),
+            ("rows_scanned", rel.len() as u64),
+        ]);
+    }
     Ok(finalize_groups(&select, &bindings, groups))
 }
 
@@ -869,20 +890,26 @@ fn join_guarded(
     query: &Query,
     morsel_rows: usize,
     guard: &QueryGuard,
+    trace: &themis_obs::TraceSink,
 ) -> Result<QueryResult, ExecError> {
     let plan = plan_join(catalog, query)?;
     let (left, right) = (plan.left, plan.right);
     let numeric = agg_numeric_tables(&plan.select, &plan.bindings);
     let mut meter = RowMeter::new(guard);
+    let mut morsels = 0u64;
+    let mut rows_masked = 0u64;
+    let mut pairs_folded = 0u64;
 
     let mut built: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
     for row in 0..right.len() {
         if row % morsel_rows == 0 {
             meter.flush()?;
+            morsels += 1;
             guard.at_morsel((row / morsel_rows) as u64)?;
         }
         meter.tick()?;
         if !plan.passes(1, row) {
+            rows_masked += 1;
             continue;
         }
         let key: Vec<u32> = plan
@@ -899,11 +926,13 @@ fn join_guarded(
     for (lrow, &lweight) in lw.iter().enumerate() {
         if lrow % morsel_rows == 0 {
             meter.flush()?;
+            morsels += 1;
             guard.at_morsel((lrow / morsel_rows) as u64)?;
             guard.check_groups(groups.len())?;
         }
         meter.tick()?;
         if !plan.passes(0, lrow) {
+            rows_masked += 1;
             continue;
         }
         let key: Vec<u32> = plan
@@ -914,6 +943,7 @@ fn join_guarded(
         if let Some(matches) = built.get(&key) {
             for &rrow in matches {
                 meter.tick()?;
+                pairs_folded += 1;
                 fold_into(
                     &plan.select,
                     &plan.bindings,
@@ -927,6 +957,15 @@ fn join_guarded(
     }
     meter.flush()?;
     guard.check_groups(groups.len())?;
+    if trace.is_enabled() {
+        trace.add_counts(&[
+            ("guard_checks", morsels + meter.checks()),
+            ("morsels", morsels),
+            ("pairs_folded", pairs_folded),
+            ("rows_masked", rows_masked),
+            ("rows_scanned", (right.len() + left.len()) as u64),
+        ]);
+    }
     Ok(finalize_groups(&plan.select, &plan.bindings, groups))
 }
 

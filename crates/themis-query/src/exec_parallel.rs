@@ -46,6 +46,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use themis_data::Relation;
+use themis_obs::TraceSink;
 use themis_sql::Query;
 
 /// Rows per morsel. Fixed (not derived from the thread count) so that the
@@ -82,10 +83,16 @@ pub struct EngineOptions {
     /// Deterministic fault injection for tests; [`FaultPlan::None`] in
     /// production configurations.
     pub fault_plan: FaultPlan,
+    /// Trace sink for query observability. Disabled by default: every
+    /// instrumentation call short-circuits on a `None` inside the sink, so
+    /// untraced execution pays one branch per morsel. Like
+    /// [`CancelToken`], sinks compare by identity, which keeps
+    /// `EngineOptions` comparable.
+    pub trace: TraceSink,
 }
 
 impl Default for EngineOptions {
-    /// Hardware threads, default morsel size, no limits or faults.
+    /// Hardware threads, default morsel size, no limits, faults, or tracing.
     fn default() -> Self {
         EngineOptions {
             threads: rayon::available_threads(),
@@ -93,6 +100,7 @@ impl Default for EngineOptions {
             limits: Limits::default(),
             cancel: None,
             fault_plan: FaultPlan::default(),
+            trace: TraceSink::default(),
         }
     }
 }
@@ -140,6 +148,7 @@ pub fn execute_parallel(
     opts: &EngineOptions,
 ) -> Result<QueryResult, ExecError> {
     let guard = QueryGuard::arm(opts);
+    let _span = opts.trace.span("execute_parallel");
     let mut result = match query.from.len() {
         1 => scan_parallel(catalog, query, opts, &guard)?,
         2 => join_parallel(catalog, query, opts, &guard)?,
@@ -151,6 +160,7 @@ pub fn execute_parallel(
     if let Some(limit) = query.limit {
         result.rows.truncate(limit);
     }
+    opts.trace.add("groups_out", result.rows.len() as u64);
     Ok(result)
 }
 
@@ -455,21 +465,40 @@ fn scan_parallel(
     let weights = rel.weights();
 
     let morsel_rows = opts.morsel_rows.max(1);
+    // Hoisted so the hot loop sees a plain bool; counters are morsel-local
+    // and batched into the sink with one lock per morsel, which also makes
+    // their totals independent of thread count (morsels always partition
+    // the input the same way).
+    let traced = opts.trace.is_enabled();
     let pool = Pool::new(opts.threads);
     let morsels = first_error_wins(pool.try_par_ranges(rel.len(), morsel_rows, |range| {
         guard.at_morsel((range.start / morsel_rows) as u64)?;
         let mut meter = RowMeter::new(guard);
         let mut block = GroupBlock::new(spec.codec, spec.n_aggs());
+        let rows_scanned = range.len() as u64;
+        let mut rows_masked = 0u64;
+        let mut rows_folded = 0u64;
         'rows: for r in range {
             meter.tick()?;
             for (col, mask) in &mask_cols {
                 if !mask[col[r] as usize] {
+                    rows_masked += 1;
                     continue 'rows;
                 }
             }
+            rows_folded += 1;
             spec.fold(&mut block, &[r], weights[r]);
         }
         meter.flush()?;
+        if traced {
+            opts.trace.add_counts(&[
+                ("guard_checks", 1 + meter.checks()),
+                ("morsels", 1),
+                ("rows_folded", rows_folded),
+                ("rows_masked", rows_masked),
+                ("rows_scanned", rows_scanned),
+            ]);
+        }
         // Early per-morsel group check (sparse only: dense blocks are
         // bounded by DENSE_GROUP_LIMIT and scanning them per morsel would
         // cost more than it saves). A morsel's groups are a subset of the
@@ -512,6 +541,7 @@ fn join_parallel(
     };
 
     let morsel_rows = opts.morsel_rows.max(1);
+    let traced = opts.trace.is_enabled();
     let pool = Pool::new(opts.threads);
     let partitions = pool.threads();
 
@@ -533,15 +563,30 @@ fn join_parallel(
             guard.at_morsel((range.start / morsel_rows) as u64)?;
             let mut meter = RowMeter::new(guard);
             let mut buckets: Vec<Bucket> = vec![Vec::new(); partitions];
+            let rows_scanned = range.len() as u64;
+            let mut rows_masked = 0u64;
             for row in range {
                 meter.tick()?;
                 if !plan.passes(1, row) {
+                    rows_masked += 1;
                     continue;
                 }
                 let key = right_key(row);
                 buckets[partition_of(&key, partitions)].push((key, row));
             }
             meter.flush()?;
+            if traced {
+                // Guard checks in the partition-fold tasks below are *not*
+                // counted: there is one per partition and partitions track
+                // the pool size, so counting them would make traces differ
+                // across thread counts.
+                opts.trace.add_counts(&[
+                    ("guard_checks", 1 + meter.checks()),
+                    ("morsels", 1),
+                    ("rows_masked", rows_masked),
+                    ("rows_scanned", rows_scanned),
+                ]);
+            }
             Ok(buckets)
         }))?;
     let parts: Vec<HashMap<Vec<u32>, Vec<usize>>> =
@@ -570,9 +615,13 @@ fn join_parallel(
         guard.at_morsel((range.start / morsel_rows) as u64)?;
         let mut meter = RowMeter::new(guard);
         let mut block = GroupBlock::new(spec.codec, spec.n_aggs());
+        let rows_scanned = range.len() as u64;
+        let mut rows_masked = 0u64;
+        let mut pairs_folded = 0u64;
         for lrow in range {
             meter.tick()?;
             if !plan.passes(0, lrow) {
+                rows_masked += 1;
                 continue;
             }
             let key: Vec<u32> = plan
@@ -585,11 +634,21 @@ fn join_parallel(
                     // Joined pairs are charged too: a key-skew blowup trips
                     // the row budget even when the inputs are small.
                     meter.tick()?;
+                    pairs_folded += 1;
                     spec.fold(&mut block, &[lrow, rrow], lw[lrow] * rw[rrow]);
                 }
             }
         }
         meter.flush()?;
+        if traced {
+            opts.trace.add_counts(&[
+                ("guard_checks", 1 + meter.checks()),
+                ("morsels", 1),
+                ("pairs_folded", pairs_folded),
+                ("rows_masked", rows_masked),
+                ("rows_scanned", rows_scanned),
+            ]);
+        }
         if matches!(spec.codec, KeyCodec::Sparse) {
             guard.check_groups(block.keys.len())?;
         }

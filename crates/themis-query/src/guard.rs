@@ -311,11 +311,22 @@ impl QueryGuard {
 pub(crate) struct RowMeter<'g> {
     guard: &'g QueryGuard,
     pending: u64,
+    /// Flushes that actually ran a cooperative check. Together with the
+    /// one `at_morsel` check per morsel this is the trace's `guard_checks`
+    /// counter — a pure function of the rows the morsel examined, so it is
+    /// identical at every thread count (unlike e.g. the join build's
+    /// per-partition checks, which scale with the pool size and are
+    /// deliberately *not* counted).
+    checks: u64,
 }
 
 impl<'g> RowMeter<'g> {
     pub(crate) fn new(guard: &'g QueryGuard) -> Self {
-        RowMeter { guard, pending: 0 }
+        RowMeter {
+            guard,
+            pending: 0,
+            checks: 0,
+        }
     }
 
     /// Count one examined row.
@@ -333,11 +344,17 @@ impl<'g> RowMeter<'g> {
     /// boundaries and at the end of each morsel, so charges are exact.
     pub(crate) fn flush(&mut self) -> Result<(), ExecError> {
         if self.pending > 0 {
+            self.checks += 1;
             self.guard.charge_rows(self.pending)?;
             self.pending = 0;
             self.guard.check()?;
         }
         Ok(())
+    }
+
+    /// Cooperative checks this meter has run (for trace counters).
+    pub(crate) fn checks(&self) -> u64 {
+        self.checks
     }
 }
 

@@ -37,6 +37,17 @@
 //! the serial engine under the same guard, used by the fault-injection
 //! differential suites.
 //!
+//! ## Observability
+//!
+//! [`EngineOptions`] carries a [`TraceSink`] (from `themis-obs`,
+//! re-exported here). When enabled, both engines tally per-morsel counters
+//! — `morsels`, `rows_scanned`, `rows_masked`, `rows_folded` /
+//! `pairs_folded`, `guard_checks`, `groups_out` — into the innermost open
+//! span. Counters are summed per morsel, never per worker, so a trace's
+//! counter totals are identical at every thread count; tracing never
+//! touches result values, so traced execution is bit-identical to
+//! untraced. The default sink is disabled and costs one branch per morsel.
+//!
 //! ## Catalogs share relations
 //!
 //! [`Catalog`] stores tables behind [`std::sync::Arc`], so binding the same
@@ -56,4 +67,5 @@ pub use catalog::Catalog;
 pub use exec::{apply_order_by, execute, execute_guarded, run_sql, ExecError};
 pub use exec_parallel::{execute_parallel, EngineOptions, DEFAULT_MORSEL_ROWS};
 pub use guard::{CancelToken, FaultPlan, Limits, QueryGuard, Trip, GUARD_STRIDE};
+pub use themis_obs::{saturating_micros, QueryTrace, TraceSink, TraceSpan};
 pub use value::{cmp_group_prefix, QueryResult, Value};

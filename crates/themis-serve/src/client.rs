@@ -10,9 +10,10 @@
 
 use crate::json::Json;
 use crate::protocol::{
-    decode_answer, decode_error, decode_explain, request_line, set_to_json, SetRequest,
-    WireAnswer, WireError,
+    decode_answer, decode_error, decode_explain, request_line, set_to_json, trace_from_json,
+    SetRequest, WireAnswer, WireError,
 };
+use themis_core::QueryTrace;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -114,6 +115,25 @@ impl Client {
         self.request(request_line("query", sql), decode_answer)
     }
 
+    /// Execute SQL with `"trace":true`: the answer plus the server-side
+    /// span tree. The answer is bit-identical to an untraced [`Client::query`].
+    pub fn query_traced(&mut self, sql: &str) -> Outcome<(WireAnswer, QueryTrace)> {
+        let line = Json::Obj(vec![
+            ("op".to_string(), Json::Str("query".to_string())),
+            ("sql".to_string(), Json::Str(sql.to_string())),
+            ("trace".to_string(), Json::Bool(true)),
+        ])
+        .to_string();
+        self.request(line, |j| {
+            let answer = decode_answer(j)?;
+            let trace = trace_from_json(
+                j.get("trace")
+                    .ok_or_else(|| "traced answer needs a \"trace\" array".to_string())?,
+            )?;
+            Ok((answer, trace))
+        })
+    }
+
     /// Ask for the routing decision without executing.
     pub fn explain(&mut self, sql: &str) -> Outcome<Explain> {
         self.request(request_line("explain", sql), decode_explain)
@@ -137,6 +157,18 @@ impl Client {
                 j.get("stats")
                     .cloned()
                     .ok_or_else(|| "stats response needs a \"stats\" object".to_string())
+            },
+        )
+    }
+
+    /// Fetch the server's metrics registry export (sorted by name).
+    pub fn metrics(&mut self) -> Outcome<Json> {
+        self.request(
+            Json::Obj(vec![("op".to_string(), Json::Str("metrics".to_string()))]).to_string(),
+            |j| {
+                j.get("metrics")
+                    .cloned()
+                    .ok_or_else(|| "metrics response needs a \"metrics\" object".to_string())
             },
         )
     }

@@ -5,10 +5,11 @@
 //!
 //! | request | shape |
 //! |---|---|
-//! | query   | `{"op":"query","sql":"SELECT …"}` |
+//! | query   | `{"op":"query","sql":"SELECT …"}` — add `"trace":true` for a span tree |
 //! | explain | `{"op":"explain","sql":"SELECT …"}` |
 //! | set     | `{"op":"set","deadline_ms":50,"max_rows":null,…}` |
 //! | stats   | `{"op":"stats"}` |
+//! | metrics | `{"op":"metrics"}` |
 //!
 //! Successful responses are `{"ok":true,"op":…,…}`; failures are
 //! `{"ok":false,"error":{"kind":…,"message":…}}` with a structured
@@ -29,9 +30,19 @@
 use crate::json::Json;
 use std::time::Duration;
 use themis_core::{
-    Answer, DegradeReason, EngineOptions, Explain, FaultPlan, Route, RouteKind, ThemisError,
+    Answer, DegradeReason, EngineOptions, Explain, FaultPlan, QueryTrace, Route, RouteKind,
+    ThemisError, TraceSpan,
 };
+use themis_obs::saturating_micros;
 use themis_query::{ExecError, QueryResult, Trip, Value};
+
+/// Whole milliseconds through the same saturating path as
+/// [`saturating_micros`] — every duration this module serializes goes
+/// through one of these two helpers, so f64 precision loss is impossible
+/// by construction at any magnitude.
+fn saturating_millis(d: Duration) -> u64 {
+    saturating_micros(d) / 1_000
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +51,9 @@ pub enum Request {
     Query {
         /// The SQL text.
         sql: String,
+        /// Collect and return a query trace (`"trace":true`). Tracing is
+        /// observation-only: the answer stays bit-identical.
+        trace: bool,
     },
     /// Return the routing decision without executing.
     Explain {
@@ -50,6 +64,9 @@ pub enum Request {
     Set(SetRequest),
     /// Return the server's counters.
     Stats,
+    /// Return the server's metrics registry (counters, gauges, latency
+    /// histogram summaries), sorted by name.
+    Metrics,
 }
 
 /// Fields of a `set` request. Each option is three-state: absent (leave as
@@ -115,13 +132,20 @@ pub fn parse_request(j: &Json) -> Result<Request, String> {
                 .ok_or_else(|| format!("\"{op}\" request needs a string \"sql\""))?
                 .to_string();
             Ok(if op == "query" {
-                Request::Query { sql }
+                let trace = match j.get("trace") {
+                    None => false,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or_else(|| "\"trace\" must be a boolean".to_string())?,
+                };
+                Request::Query { sql, trace }
             } else {
                 Request::Explain { sql }
             })
         }
         "set" => Ok(Request::Set(parse_set(j)?)),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         other => Err(format!("unknown op \"{other}\"")),
     }
 }
@@ -344,13 +368,20 @@ pub fn route_from_json(j: &Json) -> Result<Route, String> {
 
 /// Encode a successful `query` response.
 pub fn answer_body(answer: &Answer) -> Json {
+    answer_body_with_trace(answer, None)
+}
+
+/// Encode a successful `query` response, appending a `"trace"` member when
+/// the request asked for one. The untraced body is byte-identical to
+/// [`answer_body`]: tracing only ever *adds* the final key.
+pub fn answer_body_with_trace(answer: &Answer, trace: Option<&QueryTrace>) -> Json {
     let rows = answer
         .result
         .rows
         .iter()
         .map(|row| Json::Arr(row.iter().map(cell_to_json).collect()))
         .collect();
-    Json::Obj(vec![
+    let mut body = vec![
         ("ok".to_string(), Json::Bool(true)),
         ("op".to_string(), Json::Str("query".to_string())),
         (
@@ -372,9 +403,125 @@ pub fn answer_body(answer: &Answer) -> Json {
         ("route".to_string(), route_to_json(&answer.route)),
         (
             "elapsed_us".to_string(),
-            Json::Num(answer.elapsed.as_micros().min(u64::MAX as u128) as f64),
+            Json::Num(saturating_micros(answer.elapsed) as f64),
         ),
-    ])
+    ];
+    if let Some(trace) = trace {
+        body.push(("trace".to_string(), trace_to_json(trace)));
+    }
+    Json::Obj(body)
+}
+
+/// Encode a [`QueryTrace`] as an array of span objects. Key order within a
+/// span is fixed (`name`, `elapsed_us`, `counters`, `notes`, `children`)
+/// and empty members are omitted; counters and notes are already sorted by
+/// key when a span closes, so the serialization is deterministic — the
+/// only wall-clock-dependent fields carry the `_us` suffix the golden
+/// normalizer zeroes.
+pub fn trace_to_json(trace: &QueryTrace) -> Json {
+    Json::Arr(trace.spans.iter().map(span_to_json).collect())
+}
+
+fn span_to_json(span: &TraceSpan) -> Json {
+    let mut obj = vec![
+        ("name".to_string(), Json::Str(span.name.clone())),
+        (
+            "elapsed_us".to_string(),
+            Json::Num(span.elapsed_us as f64),
+        ),
+    ];
+    if !span.counters.is_empty() {
+        obj.push((
+            "counters".to_string(),
+            Json::Obj(
+                span.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        ));
+    }
+    if !span.notes.is_empty() {
+        obj.push((
+            "notes".to_string(),
+            Json::Obj(
+                span.notes
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    if !span.children.is_empty() {
+        obj.push((
+            "children".to_string(),
+            Json::Arr(span.children.iter().map(span_to_json).collect()),
+        ));
+    }
+    Json::Obj(obj)
+}
+
+/// Decode a trace (inverse of [`trace_to_json`]).
+pub fn trace_from_json(j: &Json) -> Result<QueryTrace, String> {
+    let spans = j
+        .as_arr()
+        .ok_or_else(|| "trace must be an array of spans".to_string())?
+        .iter()
+        .map(span_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(QueryTrace { spans })
+}
+
+fn span_from_json(j: &Json) -> Result<TraceSpan, String> {
+    let name = j
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "span needs a string \"name\"".to_string())?
+        .to_string();
+    let elapsed_us = j
+        .get("elapsed_us")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "span needs an integer \"elapsed_us\"".to_string())?;
+    let counters = match j.get("counters") {
+        None => Vec::new(),
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("counter \"{k}\" must be a non-negative integer"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("\"counters\" must be an object".to_string()),
+    };
+    let notes = match j.get("notes") {
+        None => Vec::new(),
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|s| (k.clone(), s.to_string()))
+                    .ok_or_else(|| format!("note \"{k}\" must be a string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("\"notes\" must be an object".to_string()),
+    };
+    let children = match j.get("children") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| "\"children\" must be an array".to_string())?
+            .iter()
+            .map(span_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    Ok(TraceSpan {
+        name,
+        elapsed_us,
+        counters,
+        notes,
+        children,
+    })
 }
 
 /// A `query` response decoded back into engine types — what the
@@ -507,12 +654,7 @@ pub fn set_body(engine: &EngineOptions) -> Json {
                 ),
                 (
                     "deadline_ms".to_string(),
-                    opt_num(
-                        engine
-                            .limits
-                            .deadline
-                            .map(|d| d.as_millis().min(u64::MAX as u128) as u64),
-                    ),
+                    opt_num(engine.limits.deadline.map(saturating_millis)),
                 ),
                 ("max_rows".to_string(), opt_num(engine.limits.max_rows)),
                 (
@@ -693,7 +835,7 @@ pub fn set_to_json(set: &SetRequest) -> Json {
                         ("morsel".to_string(), Json::Num(*morsel as f64)),
                         (
                             "delay_ms".to_string(),
-                            Json::Num(delay.as_millis().min(u64::MAX as u128) as f64),
+                            Json::Num(saturating_millis(*delay) as f64),
                         ),
                     ],
                 ),
@@ -727,9 +869,25 @@ mod tests {
         assert_eq!(
             parse_request(&q).unwrap(),
             Request::Query {
-                sql: "SELECT COUNT(*) AS n FROM t".to_string()
+                sql: "SELECT COUNT(*) AS n FROM t".to_string(),
+                trace: false,
             }
         );
+        let traced =
+            Json::parse(r#"{"op":"query","sql":"SELECT COUNT(*) AS n FROM t","trace":true}"#)
+                .unwrap();
+        assert!(matches!(
+            parse_request(&traced),
+            Ok(Request::Query { trace: true, .. })
+        ));
+        assert!(parse_request(
+            &Json::parse(r#"{"op":"query","sql":"SELECT 1","trace":1}"#).unwrap()
+        )
+        .is_err());
+        assert!(matches!(
+            parse_request(&Json::parse(r#"{"op":"metrics"}"#).unwrap()),
+            Ok(Request::Metrics)
+        ));
         let e = Json::parse(r#"{"op":"explain","sql":"SELECT 1"}"#).unwrap();
         assert!(matches!(parse_request(&e), Ok(Request::Explain { .. })));
         assert!(matches!(
@@ -917,6 +1075,83 @@ mod tests {
         assert_eq!(
             wire.result.rows[0][1],
             Value::Num(0.30000000000000004),
+        );
+    }
+
+    #[test]
+    fn traces_roundtrip_and_only_extend_the_answer() {
+        let trace = QueryTrace {
+            spans: vec![TraceSpan {
+                name: "query".to_string(),
+                elapsed_us: 120,
+                counters: vec![],
+                notes: vec![],
+                children: vec![
+                    TraceSpan {
+                        name: "parse".to_string(),
+                        elapsed_us: 3,
+                        counters: vec![],
+                        notes: vec![],
+                        children: vec![],
+                    },
+                    TraceSpan {
+                        name: "execute_parallel".to_string(),
+                        elapsed_us: 90,
+                        counters: vec![
+                            ("morsels".to_string(), 4),
+                            ("rows_scanned".to_string(), 25),
+                        ],
+                        notes: vec![("decision".to_string(), "sample".to_string())],
+                        children: vec![],
+                    },
+                ],
+            }],
+        };
+        let j = Json::parse(&trace_to_json(&trace).to_string()).unwrap();
+        assert_eq!(trace_from_json(&j).unwrap(), trace);
+        assert!(trace_from_json(&Json::parse(r#"[{"name":"x"}]"#).unwrap()).is_err());
+
+        let answer = Answer {
+            result: QueryResult {
+                columns: vec!["n".to_string()],
+                rows: vec![vec![Value::Num(1.0)]],
+                group_arity: 0,
+            },
+            route: Route::Sample,
+            elapsed: Duration::from_micros(7),
+        };
+        let plain = answer_body(&answer).to_string();
+        let traced = answer_body_with_trace(&answer, Some(&trace)).to_string();
+        // Tracing appends the final `"trace"` member and changes nothing else.
+        assert!(traced.starts_with(plain.trim_end_matches('}')), "{traced}");
+        assert!(traced.contains("\"trace\":["), "{traced}");
+        assert_eq!(answer_body_with_trace(&answer, None).to_string(), plain);
+    }
+
+    #[test]
+    fn durations_saturate_instead_of_losing_precision() {
+        // Below the cap: exact.
+        assert_eq!(saturating_millis(Duration::from_millis(75)), 75);
+        // Above 2^53 µs the old `as_micros() as f64` cast silently rounded;
+        // the helper pins the value at the largest f64-exact magnitude.
+        let huge = Duration::from_secs(u64::MAX / 2);
+        assert_eq!(
+            saturating_millis(huge),
+            themis_obs::MAX_EXACT_MICROS / 1_000
+        );
+        let answer = Answer {
+            result: QueryResult {
+                columns: vec![],
+                rows: vec![],
+                group_arity: 0,
+            },
+            route: Route::Sample,
+            elapsed: huge,
+        };
+        let wire = decode_answer(&Json::parse(&answer_body(&answer).to_string()).unwrap()).unwrap();
+        assert_eq!(
+            wire.elapsed,
+            Duration::from_micros(themis_obs::MAX_EXACT_MICROS)
         );
     }
 

@@ -48,15 +48,19 @@
 
 use crate::json::Json;
 use crate::protocol::{
-    answer_body, error_body, explain_body, parse_request, set_body, themis_error_body, Request,
+    answer_body_with_trace, error_body, explain_body, parse_request, set_body, themis_error_body,
+    Request,
 };
 use crate::stats::ServerStats;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use themis_core::{EngineOptions, FaultPlan, Limits, ThemisSession};
+use themis_core::{
+    saturating_micros, EngineOptions, FaultPlan, Limits, ThemisSession, TraceSink,
+};
+use themis_obs::Gauge;
 
 /// Server policy knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -211,7 +215,7 @@ impl ThemisServer {
                         self.wake_peer();
                         return;
                     }
-                    self.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    self.stats.connections.inc();
                     self.serve_connection(stream);
                 }
                 Err(_) => {
@@ -251,6 +255,9 @@ impl ThemisServer {
             limits: self.config.default_limits.clone(),
             cancel: None,
             fault_plan: FaultPlan::None,
+            // Tracing is per-request: `dispatch` swaps in an enabled sink
+            // for queries sent with `"trace": true`.
+            trace: TraceSink::disabled(),
         };
         loop {
             let frame = match read_frame(&mut reader, self.config.max_line_bytes) {
@@ -303,12 +310,12 @@ impl ThemisServer {
             Err(message) => return error_body("malformed", &message, None),
         };
         match request {
-            Request::Query { sql } => {
+            Request::Query { sql, trace } => {
                 let Some(_permit) = Permit::acquire(
                     &self.stats.active_queries,
                     self.config.max_concurrent_queries,
                 ) else {
-                    self.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    self.stats.busy_rejections.inc();
                     return error_body(
                         "busy",
                         &format!(
@@ -318,11 +325,26 @@ impl ThemisServer {
                         None,
                     );
                 };
-                self.stats.queries.fetch_add(1, Ordering::Relaxed);
-                match self.world.sql_with(&sql, engine) {
-                    Ok(answer) => {
+                self.stats.queries.inc();
+                // Tracing is per-request: swap an enabled sink into a clone
+                // of the connection's options, never the options themselves.
+                let outcome = if trace {
+                    let sink = TraceSink::enabled();
+                    let mut traced_engine = engine.clone();
+                    traced_engine.trace = sink.clone();
+                    self.world
+                        .sql_with(&sql, &traced_engine)
+                        .map(|answer| (answer, Some(sink.finish())))
+                } else {
+                    self.world.sql_with(&sql, engine).map(|answer| (answer, None))
+                };
+                match outcome {
+                    Ok((answer, query_trace)) => {
                         self.stats.record_route(&answer.route);
-                        answer_body(&answer)
+                        self.stats
+                            .query_latency_us
+                            .record(saturating_micros(answer.elapsed));
+                        answer_body_with_trace(&answer, query_trace.as_ref())
                     }
                     Err(err) => {
                         self.stats.record_error(&err);
@@ -339,6 +361,7 @@ impl ThemisServer {
                 set_body(engine)
             }
             Request::Stats => self.stats.body(),
+            Request::Metrics => self.stats.metrics_body(),
         }
     }
 }
@@ -346,27 +369,18 @@ impl ThemisServer {
 /// An admission permit: holds one slot of the concurrent-query gauge,
 /// released on drop (success *and* error paths alike).
 struct Permit<'a> {
-    gauge: &'a AtomicU64,
+    gauge: &'a Gauge,
 }
 
 impl<'a> Permit<'a> {
-    fn acquire(gauge: &'a AtomicU64, max: usize) -> Option<Permit<'a>> {
-        gauge
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |current| {
-                if (current as usize) < max {
-                    Some(current + 1)
-                } else {
-                    None
-                }
-            })
-            .ok()
-            .map(|_| Permit { gauge })
+    fn acquire(gauge: &'a Gauge, max: usize) -> Option<Permit<'a>> {
+        gauge.try_inc_below(max as u64).then(|| Permit { gauge })
     }
 }
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        self.gauge.fetch_sub(1, Ordering::AcqRel);
+        self.gauge.dec();
     }
 }
 

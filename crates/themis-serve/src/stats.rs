@@ -1,61 +1,120 @@
-//! Server observability: lock-free counters keyed on the `Route`/`Answer`
-//! provenance stamps.
+//! Server observability: a [`MetricsRegistry`] of lock-free counters keyed
+//! on the `Route`/`Answer` provenance stamps.
 //!
 //! Every answer's [`Route`] and every error increments exactly one counter
 //! family, so the `stats` op exposes the live route mix — how many answers
 //! came straight from the reweighted sample, how many needed the BN, how
 //! many degraded and *why* — without any per-query allocation or locking.
+//! The same handles are registered under dotted names in a
+//! [`MetricsRegistry`], whose sorted export backs the `metrics` op; a
+//! log-linear histogram of successful query latencies rides along and
+//! yields p50/p90/p99 without external dependencies.
 
 use crate::json::Json;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use themis_core::{DegradeReason, Route, ThemisError};
+use themis_obs::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry};
 use themis_query::{ExecError, Trip};
 
-/// Monotonic counters for one server instance. All increments are
-/// `Relaxed`: the counters are observability, not synchronization.
-#[derive(Debug, Default)]
+/// Counters for one server instance, registered in a [`MetricsRegistry`].
+///
+/// The named fields are `Arc` handles into `registry`, hoisted so the hot
+/// path records without a name lookup. All increments are relaxed atomics:
+/// the counters are observability, not synchronization.
+#[derive(Debug)]
 pub struct ServerStats {
+    registry: MetricsRegistry,
     /// Connections accepted.
-    pub connections: AtomicU64,
+    pub connections: Arc<Counter>,
     /// `query` requests executed (successes and errors, excluding busy
     /// rejections).
-    pub queries: AtomicU64,
+    pub queries: Arc<Counter>,
     /// `query` requests that returned an error response.
-    pub errors: AtomicU64,
+    pub errors: Arc<Counter>,
     /// `query` requests rejected at admission (`busy`).
-    pub busy_rejections: AtomicU64,
-    /// Queries currently executing (gauge).
-    pub active_queries: AtomicU64,
+    pub busy_rejections: Arc<Counter>,
+    /// Queries currently executing. Doubles as the admission slot: the
+    /// server's concurrency permit acquires via [`Gauge::try_inc_below`].
+    pub active_queries: Arc<Gauge>,
     /// Answers routed entirely to the reweighted sample.
-    pub route_sample: AtomicU64,
+    pub route_sample: Arc<Counter>,
     /// Answers routed to the Bayesian network.
-    pub route_bayes_net: AtomicU64,
+    pub route_bayes_net: Arc<Counter>,
     /// Answers routed hybrid (sample ∪ BN consensus).
-    pub route_hybrid: AtomicU64,
+    pub route_hybrid: Arc<Counter>,
     /// Answers that degraded to their sample part.
-    pub route_degraded: AtomicU64,
+    pub route_degraded: Arc<Counter>,
     /// Degradations caused by the deadline.
-    pub degrade_deadline: AtomicU64,
+    pub degrade_deadline: Arc<Counter>,
     /// Degradations caused by the row budget.
-    pub degrade_row_budget: AtomicU64,
+    pub degrade_row_budget: Arc<Counter>,
     /// Degradations caused by the group budget.
-    pub degrade_group_budget: AtomicU64,
+    pub degrade_group_budget: Arc<Counter>,
     /// Degradations caused by a contained worker failure.
-    pub degrade_worker_failure: AtomicU64,
+    pub degrade_worker_failure: Arc<Counter>,
     /// Governed errors: deadline exceeded outright.
-    pub trip_deadline: AtomicU64,
+    pub trip_deadline: Arc<Counter>,
     /// Governed errors: query cancelled.
-    pub trip_cancelled: AtomicU64,
+    pub trip_cancelled: Arc<Counter>,
     /// Governed errors: row budget exceeded outright.
-    pub trip_row_budget: AtomicU64,
+    pub trip_row_budget: Arc<Counter>,
     /// Governed errors: group budget exceeded outright.
-    pub trip_group_budget: AtomicU64,
+    pub trip_group_budget: Arc<Counter>,
+    /// Latency of *successful* queries, microseconds. Successes only so the
+    /// histogram count is deterministic under golden fixtures that mix in
+    /// error responses.
+    pub query_latency_us: Arc<Histogram>,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats::new()
+    }
 }
 
 impl ServerStats {
     /// Fresh zeroed counters.
     pub fn new() -> Self {
-        ServerStats::default()
+        let registry = MetricsRegistry::new();
+        let connections = registry.counter("server.connections");
+        let queries = registry.counter("server.queries");
+        let errors = registry.counter("server.errors");
+        let busy_rejections = registry.counter("server.busy_rejections");
+        let active_queries = registry.gauge("server.active_queries");
+        let route_sample = registry.counter("server.routes.sample");
+        let route_bayes_net = registry.counter("server.routes.bayes_net");
+        let route_hybrid = registry.counter("server.routes.hybrid");
+        let route_degraded = registry.counter("server.routes.degraded");
+        let degrade_deadline = registry.counter("server.degrade.deadline_exceeded");
+        let degrade_row_budget = registry.counter("server.degrade.row_budget_exceeded");
+        let degrade_group_budget = registry.counter("server.degrade.group_budget_exceeded");
+        let degrade_worker_failure = registry.counter("server.degrade.worker_failure");
+        let trip_deadline = registry.counter("server.trips.deadline");
+        let trip_cancelled = registry.counter("server.trips.cancelled");
+        let trip_row_budget = registry.counter("server.trips.row_budget");
+        let trip_group_budget = registry.counter("server.trips.group_budget");
+        let query_latency_us = registry.histogram("server.query_latency_us");
+        ServerStats {
+            registry,
+            connections,
+            queries,
+            errors,
+            busy_rejections,
+            active_queries,
+            route_sample,
+            route_bayes_net,
+            route_hybrid,
+            route_degraded,
+            degrade_deadline,
+            degrade_row_budget,
+            degrade_group_budget,
+            degrade_worker_failure,
+            trip_deadline,
+            trip_cancelled,
+            trip_row_budget,
+            trip_group_budget,
+            query_latency_us,
+        }
     }
 
     /// Record a successful answer's route.
@@ -71,17 +130,17 @@ impl ServerStats {
                     DegradeReason::GroupBudgetExceeded => &self.degrade_group_budget,
                     DegradeReason::WorkerFailure => &self.degrade_worker_failure,
                 }
-                .fetch_add(1, Ordering::Relaxed);
+                .inc();
                 &self.route_degraded
             }
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
 
     /// Record a query error (after admission — busy rejections have their
     /// own counter).
     pub fn record_error(&self, err: &ThemisError) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
         if let ThemisError::Exec(ExecError::Governed(trip)) = err {
             match trip {
                 Trip::Deadline => &self.trip_deadline,
@@ -89,14 +148,14 @@ impl ServerStats {
                 Trip::RowBudget { .. } => &self.trip_row_budget,
                 Trip::GroupBudget { .. } => &self.trip_group_budget,
             }
-            .fetch_add(1, Ordering::Relaxed);
+            .inc();
         }
     }
 
     /// The `stats` response body. Field order is part of the wire protocol
     /// (the golden tests pin it).
     pub fn body(&self) -> Json {
-        let n = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
+        let n = |c: &Counter| Json::Num(c.get() as f64);
         Json::Obj(vec![
             ("ok".to_string(), Json::Bool(true)),
             ("op".to_string(), Json::Str("stats".to_string())),
@@ -107,7 +166,10 @@ impl ServerStats {
                     ("queries".to_string(), n(&self.queries)),
                     ("errors".to_string(), n(&self.errors)),
                     ("busy_rejections".to_string(), n(&self.busy_rejections)),
-                    ("active_queries".to_string(), n(&self.active_queries)),
+                    (
+                        "active_queries".to_string(),
+                        Json::Num(self.active_queries.get() as f64),
+                    ),
                     (
                         "routes".to_string(),
                         Json::Obj(vec![
@@ -146,6 +208,37 @@ impl ServerStats {
                     ),
                 ]),
             ),
+        ])
+    }
+
+    /// The `metrics` response body: every registered metric, sorted by
+    /// name. Counters and gauges serialize as numbers; histograms as
+    /// `{count, p50_us, p90_us, p99_us, sum_us}` objects — the `_us` keys
+    /// are wall-clock-dependent, so golden normalization zeroes them while
+    /// `count` stays exact.
+    pub fn metrics_body(&self) -> Json {
+        let metrics = self
+            .registry
+            .export()
+            .into_iter()
+            .map(|(name, value)| {
+                let json = match value {
+                    MetricValue::Counter(v) | MetricValue::Gauge(v) => Json::Num(v as f64),
+                    MetricValue::Histogram(s) => Json::Obj(vec![
+                        ("count".to_string(), Json::Num(s.count as f64)),
+                        ("p50_us".to_string(), Json::Num(s.p50 as f64)),
+                        ("p90_us".to_string(), Json::Num(s.p90 as f64)),
+                        ("p99_us".to_string(), Json::Num(s.p99 as f64)),
+                        ("sum_us".to_string(), Json::Num(s.sum as f64)),
+                    ]),
+                };
+                (name, json)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("op".to_string(), Json::Str("metrics".to_string())),
+            ("metrics".to_string(), Json::Obj(metrics)),
         ])
     }
 }
@@ -195,5 +288,36 @@ mod tests {
             Some(1)
         );
         assert_eq!(stats_obj.get("errors").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn metrics_body_is_sorted_and_complete() {
+        let stats = ServerStats::new();
+        stats.queries.add(3);
+        stats.record_route(&Route::Sample);
+        stats.query_latency_us.record(100);
+        stats.query_latency_us.record(1_000);
+        let body = stats.metrics_body();
+        assert_eq!(body.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(body.get("op"), Some(&Json::Str("metrics".to_string())));
+        let Some(Json::Obj(metrics)) = body.get("metrics") else {
+            panic!("metrics must be an object");
+        };
+        // Sorted by name, regardless of registration order.
+        let names: Vec<&str> = metrics.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(names.len(), 18);
+        let get = |k: &str| metrics.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert_eq!(get("server.queries").and_then(Json::as_u64), Some(3));
+        assert_eq!(get("server.routes.sample").and_then(Json::as_u64), Some(1));
+        let hist = get("server.query_latency_us").unwrap();
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(hist.get("sum_us").and_then(Json::as_u64), Some(1_100));
+        assert!(hist.get("p50_us").and_then(Json::as_u64).unwrap() <= 100);
+        // Serialization round-trips deterministically.
+        let wire = body.to_string();
+        assert_eq!(Json::parse(&wire).unwrap().to_string(), wire);
     }
 }

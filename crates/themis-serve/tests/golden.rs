@@ -8,8 +8,9 @@
 //! Fixture format (`tests/fixtures/wire_golden.txt`, one corpus per server
 //! config): `#` lines are comments, `>>> ` prefixes a request line sent
 //! verbatim, `<<< ` prefixes the expected response line. The only
-//! normalization is `"elapsed_us":<n>` → `"elapsed_us":0`, the one
-//! nondeterministic field in the protocol.
+//! normalization is `"<key>_us":<n>` → `"<key>_us":0` — wall-clock fields
+//! (answer and span timings, latency-histogram summaries) all carry the
+//! `_us` suffix; everything else is byte-exact.
 //!
 //! The world is the deterministic biased-sample world shared with the
 //! differential suites; replicate simulation is seeded by the model config,
@@ -58,18 +59,29 @@ fn world() -> Arc<ThemisSession> {
     }))
 }
 
-/// Replace the one nondeterministic response field with a fixed value.
+/// Replace every wall-clock field with a fixed value. All nondeterministic
+/// protocol fields — `elapsed_us` on answers and trace spans, the latency
+/// histogram's `p50_us`/`p90_us`/`p99_us`/`sum_us` — carry the `_us` key
+/// suffix by convention, so this one rewrite (`"<key>_us":<digits>` →
+/// `"<key>_us":0`) keeps every fixture byte-stable.
 fn normalize(line: &str) -> String {
-    let needle = "\"elapsed_us\":";
-    let Some(start) = line.find(needle) else {
-        return line.to_string();
-    };
-    let digits_start = start + needle.len();
-    let digits_end = line[digits_start..]
-        .find(|c: char| !c.is_ascii_digit())
-        .map(|i| digits_start + i)
-        .unwrap_or(line.len());
-    format!("{}0{}", &line[..digits_start], &line[digits_end..])
+    let needle = "_us\":";
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(pos) = rest.find(needle) {
+        let after = pos + needle.len();
+        out.push_str(&rest[..after]);
+        let digits_end = rest[after..]
+            .find(|c: char| !c.is_ascii_digit())
+            .map(|i| after + i)
+            .unwrap_or(rest.len());
+        if digits_end > after {
+            out.push('0');
+        }
+        rest = &rest[digits_end..];
+    }
+    out.push_str(rest);
+    out
 }
 
 /// Parse the fixture into (request, expected-response) pairs.
@@ -168,6 +180,25 @@ fn wire_protocol_matches_golden_fixture() {
             morsel_rows: 7,
             max_line_bytes: 512,
             allow_fault_injection: true,
+            ..ServerConfig::default()
+        },
+    );
+}
+
+/// Observability corpus: the `metrics` op before and after a query mix,
+/// traced queries (`"trace":true`) on the sample and hybrid routes, and
+/// the stats snapshot — all byte-stable after `_us` normalization.
+#[test]
+fn observability_ops_match_golden_fixture() {
+    run_golden(
+        include_str!("fixtures/wire_obs.txt"),
+        ServerConfig {
+            workers: 1,
+            max_concurrent_queries: 4,
+            threads: 1,
+            morsel_rows: 7,
+            max_line_bytes: 2048,
+            allow_fault_injection: false,
             ..ServerConfig::default()
         },
     );

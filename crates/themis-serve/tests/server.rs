@@ -298,6 +298,122 @@ fn concurrent_connections_share_one_world_and_counters_add_up() {
     });
 }
 
+/// Satellite exactness check: N concurrent clients each issue a *known*
+/// query mix, and every stats/metrics counter must land on the exact
+/// predicted total — not "roughly N", exactly N. Admission is sized so no
+/// busy rejection can occur; the injected fault panics at a morsel index
+/// only the 500-row BN replicates reach (morsel_rows=7 ⇒ the 300-row
+/// sample scan has 43 morsels, a replicate 72), so every faulted hybrid
+/// degrades deterministically instead of erroring outright.
+#[test]
+fn known_query_mix_produces_exact_counters() {
+    const CLIENTS: usize = 4;
+    let config = ServerConfig {
+        workers: CLIENTS + 1,
+        max_concurrent_queries: CLIENTS + 1,
+        morsel_rows: 7,
+        allow_fault_injection: true,
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr| {
+        rayon::Pool::new(CLIENTS)
+            .try_par_indexed(CLIENTS, |i| {
+                let mut client = Client::connect(addr).expect("connect");
+                let scalar = "SELECT COUNT(*) AS n FROM t";
+                let grouped = "SELECT a, COUNT(*) AS n FROM t GROUP BY a";
+                // 1. Trip the row budget: one error, one row-budget trip.
+                client
+                    .set(&SetRequest {
+                        max_rows: Some(Some(5)),
+                        ..SetRequest::default()
+                    })
+                    .expect("transport")
+                    .expect("set");
+                let err = client
+                    .query(scalar)
+                    .expect("transport")
+                    .expect_err("budget must trip");
+                assert_eq!(err.trip, Some(Trip::RowBudget { limit: 5 }), "client {i}");
+                client
+                    .set(&SetRequest {
+                        max_rows: Some(None),
+                        ..SetRequest::default()
+                    })
+                    .expect("transport")
+                    .expect("set");
+                // 2. Two sample-route scalars and one hybrid group-by.
+                for _ in 0..2 {
+                    client.query(scalar).expect("transport").expect("scalar");
+                }
+                client.query(grouped).expect("transport").expect("grouped");
+                // 3. A worker failure confined to the consensus phase: the
+                // hybrid degrades to its sample part.
+                client
+                    .set(&SetRequest {
+                        fault: Some(themis_core::FaultPlan::PanicAtMorsel { morsel: 50 }),
+                        ..SetRequest::default()
+                    })
+                    .expect("transport")
+                    .expect("set");
+                let degraded = client.query(grouped).expect("transport").expect("degraded");
+                assert!(
+                    matches!(degraded.route, themis_core::Route::Degraded { .. }),
+                    "client {i}: {:?}",
+                    degraded.route
+                );
+                client
+                    .set(&SetRequest {
+                        fault: Some(themis_core::FaultPlan::None),
+                        ..SetRequest::default()
+                    })
+                    .expect("transport")
+                    .expect("set");
+            })
+            .expect("client pool");
+        // Every tally is an exact function of the mix above.
+        let n = CLIENTS as u64;
+        let mut checker = Client::connect(addr).expect("connect");
+        let stats = checker.stats().expect("transport").expect("stats");
+        assert_eq!(stats.get("queries").and_then(Json::as_u64), Some(5 * n));
+        assert_eq!(stats.get("errors").and_then(Json::as_u64), Some(n));
+        assert_eq!(stats.get("busy_rejections").and_then(Json::as_u64), Some(0));
+        assert_eq!(stats.get("active_queries").and_then(Json::as_u64), Some(0));
+        assert_eq!(stats.get("connections").and_then(Json::as_u64), Some(n + 1));
+        let routes = stats.get("routes").expect("routes");
+        assert_eq!(routes.get("sample").and_then(Json::as_u64), Some(2 * n));
+        assert_eq!(routes.get("hybrid").and_then(Json::as_u64), Some(n));
+        assert_eq!(routes.get("degraded").and_then(Json::as_u64), Some(n));
+        assert_eq!(routes.get("bayes_net").and_then(Json::as_u64), Some(0));
+        let reasons = stats.get("degrade_reasons").expect("degrade_reasons");
+        assert_eq!(
+            reasons.get("worker_failure").and_then(Json::as_u64),
+            Some(n),
+            "{stats}"
+        );
+        let trips = stats.get("trips").expect("trips");
+        assert_eq!(trips.get("row_budget").and_then(Json::as_u64), Some(n));
+        assert_eq!(trips.get("deadline").and_then(Json::as_u64), Some(0));
+        // The metrics registry sees the same world: counters match the
+        // stats body, and the latency histogram counted exactly the
+        // successful queries.
+        let metrics = checker.metrics().expect("transport").expect("metrics");
+        assert_eq!(
+            metrics.get("server.queries").and_then(Json::as_u64),
+            Some(5 * n)
+        );
+        assert_eq!(
+            metrics.get("server.errors").and_then(Json::as_u64),
+            Some(n)
+        );
+        assert_eq!(
+            metrics.get("server.routes.degraded").and_then(Json::as_u64),
+            Some(n)
+        );
+        let latency = metrics.get("server.query_latency_us").expect("latency");
+        assert_eq!(latency.get("count").and_then(Json::as_u64), Some(4 * n));
+    });
+}
+
 #[test]
 fn blank_lines_are_ignored_keepalives() {
     with_server(ServerConfig::default(), |addr| {

@@ -2,7 +2,9 @@
 //! `ThemisSession` with `EngineOptions { threads: 1 }` and `{ threads: 4 }`
 //! must produce **bit-identical** `Answer`s — same `Route`, same rows, same
 //! row order — on the random-query generator shared with
-//! `exec_differential.rs`.
+//! `exec_differential.rs`. A second suite holds the observability layer to
+//! the same bar: `analyze()` answers equal untraced `sql()` answers, and
+//! the collected trace *structure* is identical at widths 1, 2, and 8.
 //!
 //! Bit-identity (not epsilon agreement) holds because both sessions drive
 //! the morsel engine with the same `morsel_rows`: the morsel decomposition,
@@ -41,11 +43,10 @@ fn biased_sample(pop: &Relation) -> Relation {
     pop.select_rows(&rows)
 }
 
-/// One model, two sessions differing only in thread count. Small morsels so
-/// multi-morsel merging is actually exercised at both thread counts.
-fn sessions() -> &'static (ThemisSession, ThemisSession) {
-    static SESSIONS: OnceLock<(ThemisSession, ThemisSession)> = OnceLock::new();
-    SESSIONS.get_or_init(|| {
+/// The one model every session in this suite shares.
+fn model() -> &'static Themis {
+    static MODEL: OnceLock<Themis> = OnceLock::new();
+    MODEL.get_or_init(|| {
         let pop = population();
         let aggregates = AggregateSet::from_results(vec![
             AggregateResult::compute(&pop, &[AttrId(0)]),
@@ -57,16 +58,38 @@ fn sessions() -> &'static (ThemisSession, ThemisSession) {
             bn_sample_size: Some(500),
             ..ThemisConfig::default()
         };
-        let model = Themis::build(sample, aggregates, n, config);
-        let engine = |threads| EngineOptions {
-            threads,
-            morsel_rows: 7,
-            ..EngineOptions::default()
-        };
+        Themis::build(sample, aggregates, n, config)
+    })
+}
+
+/// Engine options at a given width: small morsels so multi-morsel merging
+/// is actually exercised at every thread count.
+fn engine(threads: usize) -> EngineOptions {
+    EngineOptions {
+        threads,
+        morsel_rows: 7,
+        ..EngineOptions::default()
+    }
+}
+
+/// One model, two sessions differing only in thread count.
+fn sessions() -> &'static (ThemisSession, ThemisSession) {
+    static SESSIONS: OnceLock<(ThemisSession, ThemisSession)> = OnceLock::new();
+    SESSIONS.get_or_init(|| {
         (
-            ThemisSession::with_engine(model.clone(), engine(1)),
-            ThemisSession::with_engine(model, engine(4)),
+            ThemisSession::with_engine(model().clone(), engine(1)),
+            ThemisSession::with_engine(model().clone(), engine(4)),
         )
+    })
+}
+
+/// Three more sessions over the same model for the trace-determinism
+/// suite: widths 1, 2, and 8. Kept separate from [`sessions`] so each
+/// suite's replicate caches advance in lockstep with its own query stream.
+fn traced_sessions() -> &'static [ThemisSession; 3] {
+    static SESSIONS: OnceLock<[ThemisSession; 3]> = OnceLock::new();
+    SESSIONS.get_or_init(|| {
+        [1, 2, 8].map(|threads| ThemisSession::with_engine(model().clone(), engine(threads)))
     })
 }
 
@@ -86,6 +109,39 @@ proptest! {
         }
         // explain is engine-independent too, and agrees between sessions.
         prop_assert_eq!(one.explain(&sql).ok(), four.explain(&sql).ok());
+    }
+
+    /// Satellite acceptance for the observability layer: tracing observes,
+    /// never steers. For random queries, `analyze()` answers are
+    /// bit-identical to untraced `sql()` answers, and the trace *structure*
+    /// — span names, nesting, counters, notes; not wall times — is
+    /// identical at widths 1, 2, and 8.
+    #[test]
+    fn trace_structure_is_deterministic_across_thread_counts(sql in query_strategy()) {
+        let [one, two, eight] = traced_sessions();
+        // Analyze on every session *before* the untraced baseline runs:
+        // `sql()` would prime session one's replicate cache and skew the
+        // `replicate_cache` note against the still-cold other widths.
+        let analyzed: Vec<_> = [one, two, eight].iter().map(|s| s.analyze(&sql)).collect();
+        let baseline = one.sql(&sql);
+        let mut structures: Vec<String> = Vec::new();
+        for outcome in analyzed {
+            match (outcome, &baseline) {
+                (Ok(analyzed), Ok(answer)) => {
+                    prop_assert_eq!(&analyzed.answer.route, &answer.route, "route diverged under tracing: {}", &sql);
+                    prop_assert_eq!(&analyzed.answer.result, &answer.result, "rows diverged under tracing: {}", &sql);
+                    prop_assert_eq!(analyzed.actual_groups, answer.result.rows.len() as u64);
+                    prop_assert!(!analyzed.trace.is_empty(), "analyze produced no spans: {}", &sql);
+                    prop_assert!(analyzed.trace.find("query").is_some(), "no root span: {}", &sql);
+                    structures.push(analyzed.trace.structure());
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(&a, b, "errors diverged under tracing: {}", &sql),
+                (a, b) => panic!("{sql}: traced and untraced disagree on success: {a:?} vs {b:?}"),
+            }
+        }
+        for pair in structures.windows(2) {
+            prop_assert_eq!(&pair[0], &pair[1], "trace structure diverged across widths: {}", &sql);
+        }
     }
 }
 
