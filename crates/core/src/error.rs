@@ -24,6 +24,9 @@ pub enum ThemisError {
         /// differs from sample 0's.
         index: usize,
     },
+    /// An ingest batch was rejected (arity or unknown label) before any row
+    /// was applied — the world is unchanged.
+    Ingest(themis_live::IngestError),
 }
 
 impl fmt::Display for ThemisError {
@@ -37,6 +40,7 @@ impl fmt::Display for ThemisError {
             ThemisError::SchemaMismatch { index } => {
                 write!(f, "sample {index} does not share sample 0's schema")
             }
+            ThemisError::Ingest(e) => write!(f, "{e}"),
         }
     }
 }
@@ -45,8 +49,15 @@ impl std::error::Error for ThemisError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ThemisError::Exec(e) => Some(e),
+            ThemisError::Ingest(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<themis_live::IngestError> for ThemisError {
+    fn from(e: themis_live::IngestError) -> Self {
+        ThemisError::Ingest(e)
     }
 }
 

@@ -61,7 +61,10 @@ pub use error::ThemisError;
 pub use metrics::{group_by_error, percent_difference};
 pub use model::{ReweightMethod, Themis, ThemisConfig};
 pub use route::{DegradeReason, Explain, Route, RouteKind};
-pub use session::{Analyzed, Answer, ThemisSession};
+pub use session::{Analyzed, Answer, IngestReport, ThemisSession};
+// Re-exported so server and CLI layers see the live-data types through one
+// front door.
+pub use themis_live::{IngestError, LiveSnapshot, LiveStats};
 // Re-exported so session users configure the engine without importing
 // themis-query directly.
 pub use themis_query::{

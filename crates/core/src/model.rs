@@ -106,6 +106,29 @@ impl Themis {
         }
     }
 
+    /// Assemble a model from already-computed parts — the incremental-ingest
+    /// path (`ThemisSession::ingest`), which recomputes weights and relearns
+    /// the BN itself (reusing the extended incidence matrix) and must not
+    /// pay [`Themis::build`]'s from-scratch reweighting again. `sample` must
+    /// already carry its final weights.
+    pub(crate) fn from_parts(
+        sample: Relation,
+        aggregates: AggregateSet,
+        population_size: f64,
+        bn: Option<BayesianNetwork>,
+        config: ThemisConfig,
+        ipf_report: Option<IpfReport>,
+    ) -> Self {
+        Self {
+            sample: Arc::new(sample),
+            aggregates,
+            population_size,
+            bn,
+            config,
+            ipf_report,
+        }
+    }
+
     /// Build a model from *multiple* samples of the same population — the
     /// paper's §8 future-work item "integrate multiple samples into the
     /// debiasing process". The samples are unioned into one relation (each

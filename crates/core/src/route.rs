@@ -204,6 +204,13 @@ pub struct Explain {
     /// armed limits or an injected fault plan, `None` when nothing can
     /// degrade (no limits, or the route has no BN phase to abandon).
     pub degrades_to: Option<RouteKind>,
+    /// Whether executing this query now would serve a resident answer-cache
+    /// entry: `Some(true)` = cache hit, `Some(false)` = cache enabled but
+    /// the fingerprint is not resident, `None` = no cache, or the query
+    /// would bypass it (trace / fault plan / cancel token). Filled in by
+    /// `ThemisSession::explain_with` from the *same* probe function
+    /// execution uses, so explain and execution cannot disagree.
+    pub cached: Option<bool>,
 }
 
 impl fmt::Display for Explain {
@@ -211,6 +218,9 @@ impl fmt::Display for Explain {
         write!(f, "route: {} — {}", self.route, self.reason)?;
         if let Some(fallback) = self.degrades_to {
             write!(f, " (degrades to {fallback} if limits trip)")?;
+        }
+        if self.cached == Some(true) {
+            write!(f, " [cached]")?;
         }
         Ok(())
     }
@@ -254,6 +264,9 @@ impl Decision {
             route,
             reason: reason.clone(),
             degrades_to,
+            // The decision function cannot see the session's cache; the
+            // session fills this in (`None` stays for cache-off sessions).
+            cached: None,
         }
     }
 }

@@ -1,5 +1,6 @@
 //! The session query API: explicit engine configuration, answer
-//! provenance, and cached BN replicates.
+//! provenance, cached BN replicates, the plan-fingerprint answer cache,
+//! and streaming ingest.
 //!
 //! A [`ThemisSession`] owns a built [`Themis`] model plus an
 //! [`EngineOptions`], and is the intended way to *query* a model:
@@ -8,21 +9,43 @@
 //!   produced it and the wall-clock time it took;
 //! * [`ThemisSession::explain`] returns the routing decision without
 //!   executing (and, by construction, cannot disagree with the route an
-//!   actual execution takes: both call the same decision function);
+//!   actual execution takes: both call the same decision function — the
+//!   same invariant covers the cache verdict, see below);
 //! * the K forward-sample BN replicates (§4.2.4) are simulated **once** per
-//!   session and reused by every hybrid / BN-only query instead of being
-//!   re-simulated per call;
+//!   world generation and reused by every hybrid / BN-only query instead of
+//!   being re-simulated per call;
 //! * query setup never deep-clones a relation: the reweighted sample and
 //!   each cached replicate live behind [`Arc`], and binding them into a
 //!   per-query catalog is a pointer bump.
+//!
+//! ## Live data
+//!
+//! The model lives behind a generation-counted [`Arc`] swap (a `World`).
+//! Readers pin the current generation with one `Arc` bump and never block;
+//! [`ThemisSession::ingest`] builds a successor world off to the side —
+//! incrementally extending the IPF incidence matrix, relearning the BN, and
+//! re-simulating replicates *only if the BN parameters actually moved* —
+//! then swaps it in. In-flight queries finish on their pinned generation.
+//!
+//! An optional [`AnswerCache`] (off by default; see
+//! [`ThemisSession::with_answer_cache`]) memoizes full answers by canonical
+//! plan fingerprint. Hits hand back the stored result bit-identical to the
+//! populating execution. Traced, fault-injected, and cancellable queries
+//! bypass the cache entirely, and degraded answers never populate it.
 
 use crate::error::ThemisError;
-use crate::model::Themis;
+use crate::model::{ReweightMethod, Themis};
 use crate::route::{self, Decision, Explain, Route};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
+use themis_aggregates::IncidenceMatrix;
 use themis_data::{AttrId, GroupKey, Relation};
-use themis_query::{EngineOptions, ExecError, QueryResult, QueryTrace, TraceSink, Value};
+use themis_live::{plan_fingerprint, AnswerCache, Fingerprint, LiveSnapshot, LiveStats};
+use themis_obs::Counter;
+use themis_query::{
+    EngineOptions, ExecError, FaultPlan, QueryResult, QueryTrace, TraceSink, Value,
+};
+use themis_reweight::{ipf_on_incidence, linreg_weights, uniform_weights};
 use themis_sql::{Query, SelectItem};
 use std::collections::HashMap;
 
@@ -68,15 +91,75 @@ pub struct Analyzed {
     pub actual_groups: u64,
 }
 
+/// What an ingest did — returned by [`ThemisSession::ingest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReport {
+    /// The table name the batch was addressed to (the cache-invalidation
+    /// tag; the session serves its one relation under any `FROM` name).
+    pub table: String,
+    /// Rows appended by this batch.
+    pub rows_added: usize,
+    /// Total sample rows after the ingest.
+    pub sample_rows: usize,
+    /// The new world generation.
+    pub generation: u64,
+    /// Whether the relearned BN's parameters (or the effective replicate
+    /// size) moved — if so, replicates are re-simulated lazily.
+    pub bn_moved: bool,
+    /// Replicates carried over unchanged into the new generation (0 when
+    /// the BN moved, or when none had been simulated yet).
+    pub replicates_kept: usize,
+    /// Cache entries eagerly dropped because their plan touches `table`.
+    pub cache_entries_dropped: usize,
+}
+
+/// One immutable generation of the queryable world: the model plus its
+/// lazily simulated replicates. Queries pin a generation with one `Arc`
+/// bump and keep using it even while an ingest swaps in a successor.
+#[derive(Debug)]
+struct World {
+    model: Arc<Themis>,
+    generation: u64,
+    /// Lazily simulated, then reused by every query against this
+    /// generation. The simulation is deterministic in the model's seed, so
+    /// caching changes latency, never answers.
+    replicates: OnceLock<Vec<Arc<Relation>>>,
+    /// Set when an ingest invalidated previously simulated replicates: the
+    /// live counter to bump when the lazy re-simulation actually runs, so
+    /// obs can assert "an ingest that moved nothing re-simulated nothing".
+    resim_counter: Option<Arc<Counter>>,
+    /// The IPF incidence matrix covering this generation's sample, carried
+    /// by ingest-created worlds so the *next* ingest extends it instead of
+    /// rebuilding from scratch.
+    incidence: Option<IncidenceMatrix>,
+}
+
+impl World {
+    /// The cached K forward-sample replicates (empty without a BN).
+    fn replicates(&self) -> &[Arc<Relation>] {
+        self.replicates.get_or_init(|| {
+            let reps = route::simulate_replicates(&self.model);
+            if let Some(counter) = &self.resim_counter {
+                counter.add(reps.len() as u64);
+            }
+            reps
+        })
+    }
+}
+
 /// A query session over a built [`Themis`] model. See the module docs.
 #[derive(Debug)]
 pub struct ThemisSession {
-    model: Themis,
+    world: RwLock<Arc<World>>,
     engine: EngineOptions,
-    /// Lazily simulated, then reused by every query in this session. The
-    /// simulation is deterministic in the model's seed, so caching changes
-    /// latency, never answers.
-    replicates: OnceLock<Vec<Arc<Relation>>>,
+    /// `None` = answer cache disabled (the default — benches and the
+    /// differential oracles run uncached).
+    cache: Option<AnswerCache<Answer>>,
+    live: LiveStats,
+    /// Serializes ingests. Readers never take this lock: they pin the
+    /// current world through the brief `RwLock` read guard in
+    /// [`ThemisSession::pinned`].
+    ingest_lock: Mutex<()>,
 }
 
 impl ThemisSession {
@@ -88,20 +171,87 @@ impl ThemisSession {
     /// Session with explicit engine options.
     pub fn with_engine(model: Themis, engine: EngineOptions) -> Self {
         ThemisSession {
-            model,
+            world: RwLock::new(Arc::new(World {
+                model: Arc::new(model),
+                generation: 0,
+                replicates: OnceLock::new(),
+                resim_counter: None,
+                incidence: None,
+            })),
             engine,
-            replicates: OnceLock::new(),
+            cache: None,
+            live: LiveStats::new(),
+            ingest_lock: Mutex::new(()),
         }
     }
 
-    /// The underlying model.
-    pub fn model(&self) -> &Themis {
-        &self.model
+    /// Builder form of [`ThemisSession::set_answer_cache`].
+    pub fn with_answer_cache(mut self, entries: usize) -> Self {
+        self.set_answer_cache(entries);
+        self
     }
 
-    /// Consume the session, handing the model back.
+    /// Enable (or resize — existing contents are dropped) the answer
+    /// cache, bounded at roughly `entries` answers.
+    pub fn set_answer_cache(&mut self, entries: usize) {
+        self.cache = Some(AnswerCache::new(entries));
+        self.live.cache_entries.set(0);
+    }
+
+    /// Disable the answer cache and drop its contents.
+    pub fn disable_answer_cache(&mut self) {
+        self.cache = None;
+        self.live.cache_entries.set(0);
+    }
+
+    /// Whether the answer cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The live-data metrics bundle (cache and ingest counters).
+    pub fn live_stats(&self) -> &LiveStats {
+        &self.live
+    }
+
+    /// A point-in-time copy of every live metric.
+    pub fn live_snapshot(&self) -> LiveSnapshot {
+        self.live.snapshot()
+    }
+
+    /// The current world generation (0 until the first ingest).
+    pub fn generation(&self) -> u64 {
+        self.pinned().generation
+    }
+
+    /// Pin the current world generation: the read lock is held only for an
+    /// `Arc` bump, so queries never block behind an ingest swap.
+    fn pinned(&self) -> Arc<World> {
+        Arc::clone(
+            &self
+                .world
+                .read()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
+    }
+
+    /// The underlying model — the current generation's. The handle stays
+    /// valid (and unchanged) across later ingests.
+    pub fn model(&self) -> Arc<Themis> {
+        Arc::clone(&self.pinned().model)
+    }
+
+    /// Consume the session, handing the current generation's model back.
     pub fn into_model(self) -> Themis {
-        self.model
+        let world = self
+            .world
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let model = match Arc::try_unwrap(world) {
+            Ok(w) => w.model,
+            Err(shared) => Arc::clone(&shared.model),
+        };
+        Arc::try_unwrap(model).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// The engine configuration queries run with.
@@ -115,15 +265,55 @@ impl ThemisSession {
         self.engine = engine;
     }
 
-    /// The cached K forward-sample replicates (empty without a BN).
-    fn replicates(&self) -> &[Arc<Relation>] {
-        self.replicates
-            .get_or_init(|| route::simulate_replicates(&self.model))
+    /// Test-facing view of the current generation's replicates (forces the
+    /// simulation).
+    #[cfg(test)]
+    fn replicates(&self) -> Vec<Arc<Relation>> {
+        self.pinned().replicates().to_vec()
     }
 
     fn parse(sql: &str) -> Result<Query, ThemisError> {
         themis_sql::parse(sql)
             .map_err(|e| ThemisError::Exec(ExecError::Parse(e.to_string())))
+    }
+
+    /// Why a query must skip the answer cache, if it must. Feeds both
+    /// execution ([`ThemisSession::sql_with`]) and
+    /// [`ThemisSession::explain_with`] through
+    /// [`ThemisSession::cache_fingerprint`] — the PR 3 invariant (explain
+    /// and execution share one decision function) extended to the cache:
+    ///
+    /// * an enabled trace changes span structure on a hit, so traced
+    ///   queries never consult or populate;
+    /// * a fault plan makes execution diverge from any cached answer;
+    /// * a cancel token can stop execution mid-way — a cached answer would
+    ///   mask the cancellation.
+    fn cache_bypass(engine: &EngineOptions) -> Option<&'static str> {
+        if engine.trace.is_enabled() {
+            Some("trace")
+        } else if engine.fault_plan != FaultPlan::None {
+            Some("fault-plan")
+        } else if engine.cancel.is_some() {
+            Some("cancel")
+        } else {
+            None
+        }
+    }
+
+    /// The one cache-probe decision: `None` when the cache is off or the
+    /// engine options force a bypass, otherwise the fingerprint both
+    /// execution and explain key on.
+    fn cache_fingerprint(
+        &self,
+        world: &World,
+        query: &Query,
+        engine: &EngineOptions,
+    ) -> Option<Fingerprint> {
+        self.cache.as_ref()?;
+        if Self::cache_bypass(engine).is_some() {
+            return None;
+        }
+        Some(plan_fingerprint(query, &engine.limits, world.generation))
     }
 
     /// Run a SQL query with §4.3 routing: in-sample point queries and plain
@@ -146,12 +336,51 @@ impl ThemisSession {
     /// callers never contend on session state.
     pub fn sql_with(&self, sql: &str, engine: &EngineOptions) -> Result<Answer, ThemisError> {
         let start = Instant::now();
-        let (_, result, route) = self.routed(sql, engine)?;
-        Ok(Answer {
+        let world = self.pinned();
+        // One probe decision, shared with explain: None = cache off or
+        // bypassed, Some = the key to consult and (on a miss) populate.
+        let fingerprint = match &self.cache {
+            None => None,
+            Some(_) => match Self::cache_bypass(engine) {
+                Some(_reason) => {
+                    self.live.cache_bypasses.inc();
+                    None
+                }
+                None => {
+                    let query = Self::parse(sql)?;
+                    self.cache_fingerprint(&world, &query, engine)
+                }
+            },
+        };
+        if let (Some(cache), Some(fp)) = (&self.cache, &fingerprint) {
+            if let Some(hit) = cache.get(fp) {
+                self.live.cache_hits.inc();
+                // The stored result/route are returned untransformed —
+                // bit-identical to the execution that populated the entry.
+                return Ok(Answer {
+                    result: hit.result.clone(),
+                    route: hit.route.clone(),
+                    elapsed: start.elapsed(),
+                });
+            }
+            self.live.cache_misses.inc();
+        }
+        let (_, result, route) = self.routed(&world, sql, engine)?;
+        let answer = Answer {
             result,
             route,
             elapsed: start.elapsed(),
-        })
+        };
+        if let (Some(cache), Some(fp)) = (&self.cache, &fingerprint) {
+            // A governance-tripped (degraded) answer is not the plan's true
+            // answer; it must never be served to an untripped caller.
+            if answer.route.degraded().is_none() {
+                let evicted = cache.insert(fp, Arc::new(answer.clone()));
+                self.live.cache_evictions.add(evicted as u64);
+                self.live.cache_entries.set(cache.len() as u64);
+            }
+        }
+        Ok(answer)
     }
 
     /// The one routed execution path behind [`ThemisSession::sql_with`] and
@@ -161,6 +390,7 @@ impl ThemisSession {
     /// answers.
     fn routed(
         &self,
+        world: &World,
         sql: &str,
         engine: &EngineOptions,
     ) -> Result<(Query, QueryResult, Route), ThemisError> {
@@ -170,9 +400,15 @@ impl ThemisSession {
             let _span = trace.span("parse");
             Self::parse(sql)?
         };
+        if trace.is_enabled() && self.cache.is_some() {
+            // Traced queries bypass the answer cache (see
+            // `cache_bypass`); record that on the span so EXPLAIN ANALYZE
+            // output explains why a hot query still executed.
+            trace.note("cache", "bypass");
+        }
         let decision = {
             let _span = trace.span("route");
-            let decision = route::decide(&self.model, &query);
+            let decision = route::decide(&world.model, &query);
             if trace.is_enabled() {
                 let kind = match &decision {
                     Decision::Sample { .. } => "sample",
@@ -181,10 +417,10 @@ impl ThemisSession {
                 };
                 trace.note("decision", kind);
                 if matches!(decision, Decision::Hybrid { .. }) {
-                    // Observed *before* `self.replicates()` forces the
+                    // Observed *before* `world.replicates()` forces the
                     // cache below, so the note reflects whether this query
                     // pays the simulation or reuses it.
-                    let cache = if self.replicates.get().is_some() {
+                    let cache = if world.replicates.get().is_some() {
                         "hit"
                     } else {
                         "miss"
@@ -196,7 +432,7 @@ impl ThemisSession {
         };
         let (result, route) = match decision {
             Decision::Sample { .. } => (
-                route::run_on(self.model.sample_arc(), &query, engine)?,
+                route::run_on(world.model.sample_arc(), &query, engine)?,
                 Route::Sample,
             ),
             Decision::BnPoint {
@@ -207,15 +443,15 @@ impl ThemisSession {
             } => {
                 let _span = trace.span("bn_point");
                 (
-                    route::bn_point_result(&self.model, &attrs, &values, column)?,
+                    route::bn_point_result(&world.model, &attrs, &values, column)?,
                     Route::BayesNet { k_agreed: 0 },
                 )
             }
             Decision::Hybrid { .. } => route::hybrid_sql(
-                self.model.sample_arc(),
+                world.model.sample_arc(),
                 &query,
                 engine,
-                self.replicates(),
+                world.replicates(),
             )?,
         };
         Ok((query, result, route))
@@ -237,10 +473,11 @@ impl ThemisSession {
         let mut traced_engine = engine.clone();
         traced_engine.trace = sink.clone();
         let start = Instant::now();
-        let (query, result, route) = self.routed(sql, &traced_engine)?;
+        let world = self.pinned();
+        let (query, result, route) = self.routed(&world, sql, &traced_engine)?;
         let elapsed = start.elapsed();
         let trace = sink.finish();
-        let estimated_groups = self.estimated_groups(&query);
+        let estimated_groups = Self::estimated_groups(&world.model, &query);
         let actual_groups = result.rows.len() as u64;
         Ok(Analyzed {
             answer: Answer {
@@ -258,8 +495,8 @@ impl ThemisSession {
     /// schema: the product of the distinct grouping columns' domain sizes.
     /// Scalar queries estimate 1; unknown columns contribute nothing (the
     /// engine rejects them later anyway).
-    fn estimated_groups(&self, query: &Query) -> u64 {
-        let schema = self.model.reweighted_sample().schema();
+    fn estimated_groups(model: &Themis, query: &Query) -> u64 {
+        let schema = model.reweighted_sample().schema();
         let mut seen: Vec<String> = Vec::new();
         let mut estimate: u64 = 1;
         let bare_columns = query.select.iter().filter_map(|item| match item {
@@ -291,8 +528,17 @@ impl ThemisSession {
     /// degradation prediction depends on which limits are armed, so a shared
     /// session must explain against the *caller's* options).
     pub fn explain_with(&self, sql: &str, engine: &EngineOptions) -> Result<Explain, ThemisError> {
+        let world = self.pinned();
         let query = Self::parse(sql)?;
-        Ok(route::decide(&self.model, &query).explain(engine))
+        let mut explain = route::decide(&world.model, &query).explain(engine);
+        // The cache verdict comes from the same probe function execution
+        // uses (`cache_fingerprint`), so explain cannot promise a hit that
+        // `sql` would miss or vice versa. `contains` deliberately skips the
+        // LRU epoch bump: explaining a query must not keep it resident.
+        explain.cached = self
+            .cache_fingerprint(&world, &query, engine)
+            .and_then(|fp| self.cache.as_ref().map(|c| c.contains(&fp)));
+        Ok(explain)
     }
 
     /// SQL over the reweighted sample only (no routing, no BN) — the
@@ -309,8 +555,9 @@ impl ThemisSession {
         engine: &EngineOptions,
     ) -> Result<Answer, ThemisError> {
         let start = Instant::now();
+        let world = self.pinned();
         let query = Self::parse(sql)?;
-        let result = route::run_on(self.model.sample_arc(), &query, engine)?;
+        let result = route::run_on(world.model.sample_arc(), &query, engine)?;
         Ok(Answer {
             result,
             route: Route::Sample,
@@ -332,12 +579,13 @@ impl ThemisSession {
         engine: &EngineOptions,
     ) -> Result<Answer, ThemisError> {
         let start = Instant::now();
-        if self.model.bayesian_network().is_none() {
+        let world = self.pinned();
+        if world.model.bayesian_network().is_none() {
             return Err(ThemisError::NoBayesNet);
         }
         let query = Self::parse(sql)?;
-        let result = route::bn_only_sql(&query, engine, self.replicates())?;
-        let k_agreed = self.replicates().len();
+        let result = route::bn_only_sql(&query, engine, world.replicates())?;
+        let k_agreed = world.replicates().len();
         Ok(Answer {
             result,
             route: Route::BayesNet { k_agreed },
@@ -350,11 +598,15 @@ impl ThemisSession {
     /// (`n · Pr`), or 0 without a BN.
     pub fn point_query(&self, attrs: &[AttrId], values: &[u32]) -> Answer {
         let start = Instant::now();
-        let sample = self.model.reweighted_sample();
+        let world = self.pinned();
+        let sample = world.model.reweighted_sample();
         let (est, route) = if sample.contains_point(attrs, values) {
-            (self.model.point_query_sample(attrs, values), Route::Sample)
+            (
+                world.model.point_query_sample(attrs, values),
+                Route::Sample,
+            )
         } else {
-            match self.model.point_query_bn(attrs, values) {
+            match world.model.point_query_bn(attrs, values) {
                 Ok(est) => (est, Route::BayesNet { k_agreed: 0 }),
                 // No BN to fall back on: the closed-sample answer for an
                 // unseen point is zero.
@@ -375,7 +627,158 @@ impl ThemisSession {
     /// Hybrid `GROUP BY attrs, COUNT(*)` over the cached replicates,
     /// returning the group counts plus the route that produced them.
     pub fn group_by(&self, attrs: &[AttrId]) -> (HashMap<GroupKey, f64>, Route) {
-        route::hybrid_group_by(self.model.reweighted_sample(), attrs, self.replicates())
+        let world = self.pinned();
+        route::hybrid_group_by(world.model.reweighted_sample(), attrs, world.replicates())
+    }
+
+    /// Append labeled rows to the registered relation, rebuilding the model
+    /// incrementally and swapping in a new world generation. `&self`:
+    /// concurrent readers keep answering on their pinned generation and
+    /// never block.
+    ///
+    /// Semantics, in order:
+    ///
+    /// 1. the whole batch is validated first — a bad row rejects the batch
+    ///    and the world is untouched;
+    /// 2. weights are recomputed exactly as [`Themis::build`] would on the
+    ///    grown sample (under IPF the incidence matrix is *extended* by the
+    ///    appended rows, which is provably identical to rebuilding it, so
+    ///    the weights are bit-identical to a cold build);
+    /// 3. the BN is relearned on the reweighted grown sample; replicates
+    ///    are re-simulated (lazily, on next use) **only** when the BN
+    ///    parameters or the effective replicate size moved — otherwise the
+    ///    old replicates are carried over and `live.ingest.replicates_kept`
+    ///    records it;
+    /// 4. the new world swaps in with `generation + 1`, and only answer
+    ///    cache entries whose fingerprint touches `table` are dropped
+    ///    (every other old entry is already unreachable — fingerprints
+    ///    carry the generation — and ages out by LRU).
+    ///
+    /// `table` is an invalidation tag, not a catalog lookup: the session
+    /// serves its single relation under any `FROM` name.
+    pub fn ingest(&self, table: &str, rows: &[Vec<String>]) -> Result<IngestReport, ThemisError> {
+        // One writer at a time; readers never take this lock.
+        let _writer = self
+            .ingest_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let old = self.pinned();
+        let config = old.model.config().clone();
+        let population_size = old.model.population_size();
+        let aggregates = old.model.aggregates().clone();
+        let mut grown = themis_live::grow_relation(old.model.reweighted_sample(), rows)?;
+
+        let mut ipf_report = None;
+        let mut incidence = None;
+        let weights = match &config.reweighting {
+            ReweightMethod::Uniform => uniform_weights(&grown, population_size),
+            ReweightMethod::LinReg(opts) => {
+                linreg_weights(&grown, &aggregates, population_size, opts).0
+            }
+            ReweightMethod::Ipf(opts) => {
+                // Incremental marginals: extend the previous incidence
+                // matrix by the appended rows (appended indices are
+                // strictly larger, so the extension reproduces a cold
+                // `IncidenceMatrix::build` exactly) and sweep IPF over it —
+                // the weights come out bit-identical to a cold build on the
+                // grown sample.
+                let mut matrix = match &old.incidence {
+                    Some(m) => m.clone(),
+                    None => IncidenceMatrix::build(old.model.reweighted_sample(), &aggregates),
+                };
+                matrix.extend(&grown, &aggregates);
+                let (w, report) = ipf_on_incidence(&matrix, grown.len(), opts);
+                ipf_report = Some(report);
+                incidence = Some(matrix);
+                w
+            }
+        };
+        grown.set_weights(weights);
+
+        // Relearn the BN with the same step order as `Themis::build`:
+        // weights first, then learn on the reweighted sample.
+        let bn = config.bn_mode.map(|mode| {
+            themis_bn::learn(&grown, &aggregates, population_size, mode, &config.bn_options)
+        });
+
+        // Replicates depend on exactly three inputs: the BN parameters, the
+        // effective replicate size, and the fixed seed. Re-simulate iff one
+        // of the first two moved.
+        let old_len = old.model.reweighted_sample().len();
+        let size_moved = config.bn_sample_size.is_none() && grown.len() != old_len;
+        let bn_moved = size_moved
+            || themis_live::bn_parameters_moved(old.model.bayesian_network(), bn.as_ref());
+
+        let replicates = OnceLock::new();
+        let mut resim_counter = None;
+        let mut replicates_kept = 0usize;
+        if bn_moved {
+            // Invalidated. If replicates had been simulated (or were
+            // already pending re-simulation), the next lazy simulation is a
+            // *re*-simulation and must be counted.
+            if old.replicates.get().is_some() || old.resim_counter.is_some() {
+                resim_counter = Some(Arc::clone(&self.live.replicates_resimulated));
+            }
+        } else {
+            match old.replicates.get() {
+                Some(reps) => {
+                    replicates_kept = reps.len();
+                    let _ = replicates.set(reps.clone());
+                    self.live.replicates_kept.add(replicates_kept as u64);
+                }
+                // Never simulated: carry forward any pending
+                // re-simulation debt from an earlier invalidating ingest.
+                None => resim_counter = old.resim_counter.clone(),
+            }
+        }
+
+        let sample_rows = grown.len();
+        let model = Themis::from_parts(
+            grown,
+            aggregates,
+            population_size,
+            bn,
+            config,
+            ipf_report,
+        );
+        let generation = old.generation + 1;
+        let world = Arc::new(World {
+            model: Arc::new(model),
+            generation,
+            replicates,
+            resim_counter,
+            incidence,
+        });
+        *self
+            .world
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = world;
+
+        // Selective invalidation: drop only entries whose plan touches the
+        // mutated table. Other old-generation entries can never be served
+        // (the fingerprint carries the generation) and age out by LRU.
+        let cache_entries_dropped = match &self.cache {
+            Some(cache) => {
+                let dropped = cache.invalidate_table(table);
+                self.live.cache_invalidations.add(dropped as u64);
+                self.live.cache_entries.set(cache.len() as u64);
+                dropped
+            }
+            None => 0,
+        };
+        self.live.ingest_batches.inc();
+        self.live.ingest_rows.add(rows.len() as u64);
+        self.live.generation.set(generation);
+
+        Ok(IngestReport {
+            table: table.to_string(),
+            rows_added: rows.len(),
+            sample_rows,
+            generation,
+            bn_moved,
+            replicates_kept,
+            cache_entries_dropped,
+        })
     }
 }
 
@@ -794,5 +1197,218 @@ mod tests {
         assert_eq!(s.engine().threads, 2);
         let a = s.sql("SELECT o_st, COUNT(*) FROM flights GROUP BY o_st").unwrap();
         assert!(!a.result.rows.is_empty());
+    }
+
+    fn live_session() -> ThemisSession {
+        open_world_session().with_answer_cache(32)
+    }
+
+    fn rows(labels: &[[&str; 3]]) -> Vec<Vec<String>> {
+        labels
+            .iter()
+            .map(|row| row.iter().map(|s| s.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn cache_hits_serve_bit_identical_answers_and_are_counted() {
+        let s = live_session();
+        let sql = "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st";
+        let cold = s.sql(sql).unwrap();
+        let snap = s.live_snapshot();
+        assert_eq!((snap.cache_hits, snap.cache_misses), (0, 1));
+        assert_eq!(snap.cache_entries, 1);
+        let hit = s.sql(sql).unwrap();
+        assert_eq!(hit.result, cold.result);
+        assert_eq!(hit.route, cold.route);
+        let snap = s.live_snapshot();
+        assert_eq!((snap.cache_hits, snap.cache_misses), (1, 1));
+        // A different plan is its own entry, not a collision.
+        s.sql("SELECT o_st, COUNT(*) FROM flights GROUP BY o_st").unwrap();
+        assert_eq!(s.live_snapshot().cache_entries, 2);
+    }
+
+    #[test]
+    fn explain_reports_cache_state_from_the_same_probe() {
+        let s = live_session();
+        let sql = "SELECT COUNT(*) FROM flights WHERE o_st = 'NC'";
+        assert_eq!(s.explain(sql).unwrap().cached, Some(false));
+        s.sql(sql).unwrap();
+        let explain = s.explain(sql).unwrap();
+        assert_eq!(explain.cached, Some(true));
+        assert!(explain.to_string().ends_with("[cached]"));
+        // The probe itself never perturbs the hit/miss counters.
+        let snap = s.live_snapshot();
+        assert_eq!((snap.cache_hits, snap.cache_misses), (0, 1));
+        // With the cache off, explain reports no cache opinion at all.
+        let off = open_world_session();
+        assert_eq!(off.explain(sql).unwrap().cached, None);
+    }
+
+    #[test]
+    fn traced_and_fault_injected_queries_bypass_the_cache() {
+        use themis_query::{FaultPlan, TraceSink};
+        let mut s = live_session();
+        let sql = "SELECT COUNT(*) FROM flights";
+        s.set_engine(EngineOptions {
+            trace: TraceSink::enabled(),
+            ..EngineOptions::default()
+        });
+        s.sql(sql).unwrap();
+        s.sql(sql).unwrap();
+        assert_eq!(s.explain(sql).unwrap().cached, None);
+        let snap = s.live_snapshot();
+        assert_eq!(snap.cache_bypasses, 2);
+        assert_eq!((snap.cache_hits, snap.cache_misses, snap.cache_entries), (0, 0, 0));
+        // Fault-injected runs are equally invisible to the cache.
+        s.set_engine(EngineOptions {
+            fault_plan: FaultPlan::PanicAtMorsel { morsel: 1_000_000 },
+            ..EngineOptions::default()
+        });
+        s.sql(sql).unwrap();
+        let snap = s.live_snapshot();
+        assert_eq!(snap.cache_bypasses, 3);
+        assert_eq!(snap.cache_entries, 0);
+    }
+
+    #[test]
+    fn degraded_answers_are_never_cached() {
+        use themis_query::Limits;
+        let mut s = live_session();
+        s.set_engine(EngineOptions {
+            limits: Limits {
+                max_rows: Some(100),
+                ..Limits::default()
+            },
+            ..EngineOptions::default()
+        });
+        let sql = "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st";
+        for _ in 0..2 {
+            let answer = s.sql(sql).unwrap();
+            assert!(answer.route.degraded().is_some());
+        }
+        let snap = s.live_snapshot();
+        // Both runs consulted the cache (limits are not a bypass — they are
+        // part of the fingerprint), but the degraded answer never populated.
+        assert_eq!((snap.cache_hits, snap.cache_misses), (0, 2));
+        assert_eq!(snap.cache_entries, 0);
+    }
+
+    #[test]
+    fn ingest_matches_a_cold_build_bit_identically() {
+        let appended = [["01", "NY", "FL"], ["02", "FL", "NY"]];
+        let queries = [
+            "SELECT COUNT(*) FROM flights WHERE o_st = 'FL' AND d_st = 'NY'",
+            "SELECT o_st, d_st, COUNT(*) FROM flights GROUP BY o_st, d_st",
+            "SELECT COUNT(*) FROM flights WHERE date <= 1",
+        ];
+        let s = live_session();
+        // Warm the cache pre-ingest so a stale hit would be caught below.
+        for sql in &queries {
+            s.sql(sql).unwrap();
+        }
+        let report = s.ingest("flights", &rows(&appended)).unwrap();
+        assert_eq!(report.rows_added, 2);
+        assert_eq!(report.sample_rows, 6);
+        assert_eq!(report.generation, 1);
+        assert_eq!(s.generation(), 1);
+        // A cold session built from scratch on the grown sample.
+        let mut grown = example_sample();
+        for row in &appended {
+            grown.push_row_labels(row);
+        }
+        let p = example_population();
+        let aggregates = AggregateSet::from_results(vec![
+            AggregateResult::compute(&p, &[AttrId(0)]),
+            AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]),
+        ]);
+        let cold = ThemisSession::new(Themis::build(
+            grown,
+            aggregates,
+            10.0,
+            ThemisConfig {
+                bn_sample_size: Some(4_000),
+                ..ThemisConfig::default()
+            },
+        ));
+        assert_eq!(
+            s.model().reweighted_sample().weights(),
+            cold.model().reweighted_sample().weights(),
+            "incremental IPF must equal a cold rebuild bit-for-bit"
+        );
+        for sql in &queries {
+            let live = s.sql(sql).unwrap();
+            let fresh = cold.sql(sql).unwrap();
+            assert_eq!(live.result, fresh.result, "{sql}");
+            assert_eq!(live.route, fresh.route, "{sql}");
+        }
+    }
+
+    #[test]
+    fn unmoved_ingest_keeps_replicates_and_resimulates_zero() {
+        let s = live_session();
+        let sql = "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st";
+        s.sql(sql).unwrap(); // forces the first (uncounted) simulation
+        let before: Vec<*const Relation> =
+            s.replicates().iter().map(Arc::as_ptr).collect();
+        // An empty batch runs the full pipeline — extend, IPF, BN relearn —
+        // and must conclude that nothing moved.
+        let report = s.ingest("flights", &[]).unwrap();
+        assert!(!report.bn_moved);
+        assert_eq!(report.replicates_kept, 10);
+        s.sql(sql).unwrap();
+        let after: Vec<*const Relation> =
+            s.replicates().iter().map(Arc::as_ptr).collect();
+        assert_eq!(before, after, "replicates must be carried over by Arc");
+        let snap = s.live_snapshot();
+        assert_eq!(snap.replicates_resimulated, 0);
+        assert_eq!(snap.replicates_kept, 10);
+        assert_eq!(snap.generation, 1);
+    }
+
+    #[test]
+    fn moving_ingest_resimulates_replicates_once() {
+        let s = live_session();
+        let sql = "SELECT o_st, COUNT(*) FROM flights GROUP BY o_st";
+        s.sql(sql).unwrap();
+        let report = s.ingest("flights", &rows(&[["02", "FL", "NY"]])).unwrap();
+        assert!(report.bn_moved);
+        assert_eq!(report.replicates_kept, 0);
+        assert_eq!(s.live_snapshot().replicates_resimulated, 0, "lazy until used");
+        s.sql(sql).unwrap();
+        s.sql(sql).unwrap();
+        let snap = s.live_snapshot();
+        assert_eq!(snap.replicates_resimulated, 10, "one re-simulation of K=10");
+    }
+
+    #[test]
+    fn invalidation_drops_only_entries_touching_the_ingested_table() {
+        let s = live_session();
+        // The session binds its one relation under any FROM name, so two
+        // spellings give two fingerprints over two distinct tables.
+        s.sql("SELECT COUNT(*) FROM flights").unwrap();
+        s.sql("SELECT COUNT(*) FROM voyages").unwrap();
+        assert_eq!(s.live_snapshot().cache_entries, 2);
+        let report = s.ingest("flights", &[]).unwrap();
+        assert_eq!(report.cache_entries_dropped, 1);
+        let snap = s.live_snapshot();
+        assert_eq!(snap.cache_entries, 1);
+        assert_eq!(snap.cache_invalidations, 1);
+        // The surviving entry is generation-0: the new world never serves
+        // it (fingerprints carry the generation), so this is still a miss.
+        s.sql("SELECT COUNT(*) FROM voyages").unwrap();
+        assert_eq!(s.live_snapshot().cache_hits, 0);
+    }
+
+    #[test]
+    fn bad_ingest_batches_are_rejected_atomically() {
+        let s = live_session();
+        let err = s.ingest("flights", &rows(&[["01", "ZZ", "NY"]]));
+        assert!(matches!(err, Err(ThemisError::Ingest(_))), "{err:?}");
+        let err = s.ingest("flights", &[vec!["01".to_string()]]);
+        assert!(matches!(err, Err(ThemisError::Ingest(_))), "{err:?}");
+        assert_eq!(s.generation(), 0);
+        assert_eq!(s.model().reweighted_sample().len(), 4);
+        assert_eq!(s.live_snapshot().ingest_batches, 0);
     }
 }

@@ -69,6 +69,60 @@ impl IncidenceMatrix {
         }
     }
 
+    /// Extend the matrix in place for a sample grown by appended rows.
+    ///
+    /// `sample` must be the original sample with new tuples appended at the
+    /// end (indices `self.n_sample()..sample.len()`), and `aggregates` must
+    /// be the same set the matrix was built from — the targets `y` are
+    /// population-side knowledge and do not move when the sample grows.
+    ///
+    /// Appended indices are strictly larger than every existing index, so
+    /// pushing them onto each group's `sample_rows` preserves sorted order
+    /// and the result is **identical** to rebuilding from scratch on the
+    /// grown sample — the property the incremental-reweighting path (ingest)
+    /// depends on for bit-identical IPF weights.
+    ///
+    /// # Panics
+    /// Panics if `sample` is shorter than the matrix's column count or the
+    /// aggregate set's group count doesn't match the matrix rows.
+    pub fn extend(&mut self, sample: &Relation, aggregates: &AggregateSet) {
+        assert!(
+            sample.len() >= self.n_sample,
+            "extend requires the grown sample to contain the original rows"
+        );
+        assert_eq!(
+            self.rows.len(),
+            aggregates.total_groups(),
+            "aggregate set does not match the matrix"
+        );
+        // (aggregate, key) -> row index. Built by scanning rows in order;
+        // nothing iterates this map, so no iteration order can leak.
+        let mut index: HashMap<(usize, &GroupKey), usize> = HashMap::new();
+        for (r, row) in self.rows.iter().enumerate() {
+            index.insert((row.aggregate, &row.key), r);
+        }
+        let mut touched: Vec<(usize, u32)> = Vec::new();
+        for (agg_idx, agg) in aggregates.iter().enumerate() {
+            let attrs = agg.attrs();
+            let mut key = vec![0u32; attrs.len()];
+            for r in self.n_sample..sample.len() {
+                for (i, a) in attrs.iter().enumerate() {
+                    key[i] = sample.value(r, *a);
+                }
+                // A key absent from the aggregate's groups is a combination
+                // the population never reported; a cold build discards such
+                // rows the same way.
+                if let Some(&row_idx) = index.get(&(agg_idx, &key)) {
+                    touched.push((row_idx, r as u32));
+                }
+            }
+        }
+        for (row_idx, sample_row) in touched {
+            self.rows[row_idx].sample_rows.push(sample_row);
+        }
+        self.n_sample = sample.len();
+    }
+
     /// All rows in aggregate-major order.
     pub fn rows(&self) -> &[IncidenceRow] {
         &self.rows
@@ -174,6 +228,26 @@ mod tests {
         let w = vec![1.0; s.len()];
         assert_eq!(g.row_dot(0, &w), 3.0); // date=01 has 3 sample rows
         assert_eq!(g.row_dot(1, &w), 1.0);
+    }
+
+    #[test]
+    fn extend_matches_cold_build_exactly() {
+        let p = example_population();
+        let s = example_sample();
+        let mut set = AggregateSet::new();
+        set.push(AggregateResult::compute(&p, &[AttrId(0)]));
+        set.push(AggregateResult::compute(&p, &[AttrId(1), AttrId(2)]));
+        // Build on the first two rows, then extend to the full sample.
+        let prefix = s.select_rows(&[0, 1]);
+        let mut incremental = IncidenceMatrix::build(&prefix, &set);
+        incremental.extend(&s, &set);
+        let cold = IncidenceMatrix::build(&s, &set);
+        assert_eq!(incremental.n_sample(), cold.n_sample());
+        assert_eq!(incremental.rows(), cold.rows());
+        // A no-op extend changes nothing.
+        let before = incremental.rows().to_vec();
+        incremental.extend(&s, &set);
+        assert_eq!(incremental.rows(), &before[..]);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 use themis_bench::report::{self, Jv};
-use themis_core::{Route, Themis, ThemisConfig, ThemisSession};
+use themis_core::{Route, Themis, ThemisConfig, ThemisSession, TraceSpan};
 use themis_data::{AttrId, Attribute, Domain, Relation, Schema};
 use themis_query::EngineOptions;
 
@@ -64,6 +64,42 @@ fn world() -> ThemisSession {
     ThemisSession::new(Themis::build(sample, aggregates, n, config))
 }
 
+/// Flatten a span tree into `(path, elapsed_us)` rows, depth-first, summing
+/// repeated paths (per-replicate spans) into the first occurrence so the
+/// attribution stays one row per distinct phase.
+fn flatten_spans(spans: &[TraceSpan], prefix: &str, out: &mut Vec<(String, u64)>) {
+    for span in spans {
+        let path = if prefix.is_empty() {
+            span.name.clone()
+        } else {
+            format!("{prefix}/{}", span.name)
+        };
+        match out.iter_mut().find(|(p, _)| *p == path) {
+            Some(slot) => slot.1 += span.elapsed_us,
+            None => out.push((path.clone(), span.elapsed_us)),
+        }
+        flatten_spans(&span.children, &path, out);
+    }
+}
+
+/// Best-of-`REPS` traced run of one query: the span attribution of the
+/// fastest repetition (fastest, so the attribution matches `best_ms` rather
+/// than averaging scheduler noise in).
+fn best_attribution(session: &ThemisSession, sql: &str) -> Vec<(String, u64)> {
+    let mut best_total = u64::MAX;
+    let mut best = Vec::new();
+    for _ in 0..REPS {
+        let analyzed = session.analyze(sql).expect(sql);
+        let total: u64 = analyzed.trace.spans.iter().map(|s| s.elapsed_us).sum();
+        if total < best_total {
+            best_total = total;
+            best.clear();
+            flatten_spans(&analyzed.trace.spans, "", &mut best);
+        }
+    }
+    best
+}
+
 fn route_kind(route: &Route) -> &'static str {
     match route {
         Route::Sample => "sample",
@@ -102,6 +138,7 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
+    let mut span_rows = Vec::new();
     let mut json_workloads = Vec::new();
     for (name, sql, expected_route) in workloads {
         // Warm the replicate cache and pin the route before timing.
@@ -119,14 +156,36 @@ fn main() {
             expected_route.to_string(),
             report::f(best * 1e3),
         ]);
+        // Per-span attribution: where the route's wall time actually goes,
+        // so a shift in `best_ms` is explainable from this record alone.
+        let attribution = best_attribution(&session, sql);
         json_workloads.push(Jv::Obj(vec![
             ("name".into(), Jv::Str(name.into())),
             ("sql".into(), Jv::Str(sql.into())),
             ("route".into(), Jv::Str(expected_route.into())),
             ("best_ms".into(), Jv::Num(best * 1e3)),
+            (
+                "spans".into(),
+                Jv::Arr(
+                    attribution
+                        .iter()
+                        .map(|(path, us)| {
+                            Jv::Obj(vec![
+                                ("path".into(), Jv::Str(path.clone())),
+                                ("best_us".into(), Jv::Int(*us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ]));
+        for (path, us) in &attribution {
+            span_rows.push(vec![name.to_string(), path.clone(), format!("{us}")]);
+        }
     }
     report::table(&["workload", "route", "best ms"], &rows);
+    println!();
+    report::table(&["workload", "span", "best us"], &span_rows);
 
     // Mixed traffic: rotate through the workloads and tally what the
     // decision function actually picked, as the server's per-route

@@ -47,7 +47,14 @@ pub struct Session {
     /// `\trace on`: every SQL answer also prints its span tree (locally via
     /// `session.analyze`, remotely via the `"trace":true` request flag).
     trace_on: bool,
+    /// `\cache on`: answer caching for the local model. Applied to the
+    /// running session immediately and re-applied on every `\build`.
+    cache_on: bool,
 }
+
+/// Answer-cache capacity for `\cache on` — plenty for an interactive
+/// shell, bounded so a long exploration cannot grow without limit.
+const CACHE_ENTRIES: usize = 256;
 
 impl Session {
     /// Fresh session with default engine options.
@@ -68,6 +75,7 @@ impl Session {
             last_route: None,
             remote: None,
             trace_on: false,
+            cache_on: false,
         }
     }
 
@@ -99,6 +107,8 @@ impl Session {
             Some("stats") => Outcome::Continue(self.cmd_stats()),
             Some("metrics") => Outcome::Continue(self.cmd_metrics()),
             Some("trace") => Outcome::Continue(self.cmd_trace(&parts[1..])),
+            Some("cache") => Outcome::Continue(self.cmd_cache(&parts[1..])),
+            Some("ingest") => Outcome::Continue(self.cmd_ingest(&parts[1..])),
             Some("explain") => {
                 // Re-split from the raw command so the SQL keeps its
                 // original spacing.
@@ -262,7 +272,11 @@ impl Session {
                 )
             })
             .unwrap_or_default();
-        self.model = Some(ThemisSession::with_engine(model, self.engine.clone()));
+        let mut session = ThemisSession::with_engine(model, self.engine.clone());
+        if self.cache_on {
+            session.set_answer_cache(CACHE_ENTRIES);
+        }
+        self.model = Some(session);
         self.last_route = None;
         format!("model built. {report}")
     }
@@ -462,6 +476,108 @@ impl Session {
         }
     }
 
+    /// `\cache [on|off|stats]` — toggle the local model's answer cache or
+    /// show cache/ingest counters. Cached answers are bit-identical to
+    /// fresh execution; the cache only changes latency. In client mode
+    /// `stats` shows the server's counters (the server owns its cache).
+    fn cmd_cache(&mut self, args: &[&str]) -> String {
+        match args {
+            [] => format!("cache: {}", if self.cache_on { "on" } else { "off" }),
+            ["on"] => {
+                self.cache_on = true;
+                if let Some(session) = &mut self.model {
+                    session.set_answer_cache(CACHE_ENTRIES);
+                }
+                if self.remote.is_some() {
+                    return "cache: on for the local model; the server owns its own cache".into();
+                }
+                format!("cache: on ({CACHE_ENTRIES} entries)")
+            }
+            ["off"] => {
+                self.cache_on = false;
+                if let Some(session) = &mut self.model {
+                    session.disable_answer_cache();
+                }
+                "cache: off (contents dropped)".into()
+            }
+            ["stats"] => self.cmd_cache_stats(),
+            _ => "usage: \\cache [on|off|stats]".into(),
+        }
+    }
+
+    /// The `\cache stats` body: server counters when connected, the local
+    /// session's live snapshot otherwise.
+    fn cmd_cache_stats(&mut self) -> String {
+        if let Some((addr, client)) = self.remote.as_mut() {
+            let addr = addr.clone();
+            return match client.stats() {
+                Ok(Ok(stats)) => {
+                    let cache = stats.get("cache").map(|j| j.to_string());
+                    let ingest = stats.get("ingest").map(|j| j.to_string());
+                    match (cache, ingest) {
+                        (Some(c), Some(i)) => {
+                            format!("server {addr}:\n  cache: {c}\n  ingest: {i}")
+                        }
+                        _ => format!("server {addr} reports no cache section: {stats}"),
+                    }
+                }
+                Ok(Err(e)) => format!("error: {e}"),
+                Err(e) => self.drop_remote(&format!("connection to {addr} lost: {e}")),
+            };
+        }
+        let Some(session) = &self.model else {
+            return "build the model first (\\build)".into();
+        };
+        let s = session.live_snapshot();
+        format!(
+            "cache: {} hits, {} misses, {} bypasses, {} evictions, {} invalidations, {} entries\n\
+             ingest: {} batches, {} rows, generation {}, {} replicates resimulated, {} kept",
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_bypasses,
+            s.cache_evictions,
+            s.cache_invalidations,
+            s.cache_entries,
+            s.ingest_batches,
+            s.ingest_rows,
+            s.generation,
+            s.replicates_resimulated,
+            s.replicates_kept,
+        )
+    }
+
+    /// `\ingest <table> <v,v,...> [<v,v,...> ...]` — append labeled rows to
+    /// the model (a new world generation; cached answers for the table are
+    /// invalidated). In client mode the rows travel to the server and every
+    /// connection sees the new generation.
+    fn cmd_ingest(&mut self, args: &[&str]) -> String {
+        let [table, row_specs @ ..] = args else {
+            return "usage: \\ingest <table> <v,v,...> [<v,v,...> ...]".into();
+        };
+        if row_specs.is_empty() {
+            return "usage: \\ingest <table> <v,v,...> [<v,v,...> ...]".into();
+        }
+        let rows: Vec<Vec<String>> = row_specs
+            .iter()
+            .map(|spec| spec.split(',').map(|v| v.trim().to_string()).collect())
+            .collect();
+        if let Some((addr, client)) = self.remote.as_mut() {
+            let addr = addr.clone();
+            return match client.ingest(table, &rows) {
+                Ok(Ok(report)) => describe_ingest(&report),
+                Ok(Err(e)) => format!("error: {e}"),
+                Err(e) => self.drop_remote(&format!("connection to {addr} lost: {e}")),
+            };
+        }
+        let Some(session) = &self.model else {
+            return "build the model first (\\build)".into();
+        };
+        match session.ingest(table, &rows) {
+            Ok(report) => describe_ingest(&report),
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
     /// Tear down a dead connection and return the message to show.
     fn drop_remote(&mut self, message: &str) -> String {
         self.remote = None;
@@ -518,6 +634,9 @@ impl Session {
         out.push_str(&format!("query engine: {}\n", self.engine.describe()));
         if self.trace_on {
             out.push_str("trace: on\n");
+        }
+        if self.cache_on {
+            out.push_str(&format!("cache: on ({CACHE_ENTRIES} entries)\n"));
         }
         if let Some((addr, _)) = &self.remote {
             out.push_str(&format!("connected to: {addr} (client mode)\n"));
@@ -612,6 +731,21 @@ impl Default for Session {
     }
 }
 
+/// One line summarizing an applied ingest, shared by local and client mode.
+fn describe_ingest(report: &themis_core::IngestReport) -> String {
+    format!(
+        "ingested {} rows into {} (sample now {} rows, generation {}, BN {}, \
+         {} replicates kept, {} cached answers dropped)",
+        report.rows_added,
+        report.table,
+        report.sample_rows,
+        report.generation,
+        if report.bn_moved { "moved" } else { "unchanged" },
+        report.replicates_kept,
+        report.cache_entries_dropped,
+    )
+}
+
 const HELP: &str = "\
 commands:
   \\load <table> <file.csv> <cat|num:K>[,...]   load a biased sample
@@ -627,6 +761,10 @@ commands:
   \\route                                       provenance of the last answer
   \\trace [on|off]                              print each answer's span tree
                                                (EXPLAIN ANALYZE; answers unchanged)
+  \\cache [on|off|stats]                        answer cache by plan fingerprint
+                                               (bit-identical; latency only)
+  \\ingest <table> <v,v,...> [...]              append labeled rows: new generation,
+                                               incremental reweighting, cache invalidation
   \\status                                      show session state
   \\connect <host:port>                         client mode: run SQL on a themis-served
   \\disconnect                                  leave client mode
@@ -942,6 +1080,112 @@ mod tests {
     }
 
     #[test]
+    fn cache_commands_toggle_and_report() {
+        let mut s = full_session();
+        assert!(matches!(
+            s.handle("\\cache"),
+            Outcome::Continue(ref m) if m.contains("cache: off")
+        ));
+        let Outcome::Continue(out) = s.handle("\\cache on") else {
+            panic!()
+        };
+        assert!(out.contains("cache: on"), "{out}");
+        // A repeated query is served from the cache, bit-identically
+        // (same answer table), and the counters say so.
+        let sql = "SELECT state, COUNT(*) FROM flights GROUP BY state";
+        let Outcome::Continue(cold) = s.handle(sql) else {
+            panic!()
+        };
+        let Outcome::Continue(warm) = s.handle(sql) else {
+            panic!()
+        };
+        assert_eq!(
+            cold.split("\n-- ").next(),
+            warm.split("\n-- ").next(),
+            "cached answer diverged"
+        );
+        let Outcome::Continue(stats) = s.handle("\\cache stats") else {
+            panic!()
+        };
+        assert!(stats.contains("1 hits"), "{stats}");
+        assert!(stats.contains("1 misses"), "{stats}");
+        assert!(stats.contains("1 entries"), "{stats}");
+        // Status shows the toggle; `off` drops the contents.
+        let Outcome::Continue(status) = s.handle("\\status") else {
+            panic!()
+        };
+        assert!(status.contains("cache: on"), "{status}");
+        let Outcome::Continue(out) = s.handle("\\cache off") else {
+            panic!()
+        };
+        assert!(out.contains("cache: off"), "{out}");
+        assert!(matches!(
+            s.handle("\\cache sideways"),
+            Outcome::Continue(ref m) if m.contains("usage")
+        ));
+        // `\cache stats` without a model is a hint, not a crash.
+        let mut fresh = Session::new();
+        fresh.handle("\\cache on");
+        assert!(matches!(
+            fresh.handle("\\cache stats"),
+            Outcome::Continue(ref m) if m.contains("\\build")
+        ));
+    }
+
+    #[test]
+    fn ingest_command_grows_the_model_and_reports() {
+        let mut s = full_session();
+        s.handle("\\cache on");
+        // `state` totals are pinned by the registered aggregate (IPF holds
+        // them fixed whatever the sample), so observe the unconstrained
+        // `month` dimension instead.
+        let sql = "SELECT month, COUNT(*) FROM flights GROUP BY month";
+        let Outcome::Continue(before) = s.handle(sql) else {
+            panic!()
+        };
+        let Outcome::Continue(out) = s.handle("\\ingest flights NY,02 NY,01") else {
+            panic!()
+        };
+        assert!(out.contains("ingested 2 rows into flights"), "{out}");
+        assert!(out.contains("sample now 6 rows"), "{out}");
+        assert!(out.contains("generation 1"), "{out}");
+        assert!(out.contains("1 cached answers dropped"), "{out}");
+        // The grown sample answers differently: NY gained weight.
+        let Outcome::Continue(after) = s.handle(sql) else {
+            panic!()
+        };
+        assert_ne!(
+            before.split("\n-- ").next(),
+            after.split("\n-- ").next(),
+            "ingest left the answer unchanged: {after}"
+        );
+        // Bad rows are typed errors and leave the model untouched.
+        let Outcome::Continue(out) = s.handle("\\ingest flights TX") else {
+            panic!()
+        };
+        assert!(out.contains("error:"), "{out}");
+        assert!(out.contains("expected 2 values"), "{out}");
+        let Outcome::Continue(out) = s.handle("\\ingest flights ZZ,01") else {
+            panic!()
+        };
+        assert!(out.contains("unknown label 'ZZ'"), "{out}");
+        let Outcome::Continue(stats) = s.handle("\\cache stats") else {
+            panic!()
+        };
+        assert!(stats.contains("1 batches"), "{stats}");
+        assert!(stats.contains("generation 1"), "{stats}");
+        // Usage and missing-model paths.
+        assert!(matches!(
+            s.handle("\\ingest flights"),
+            Outcome::Continue(ref m) if m.contains("usage")
+        ));
+        assert!(matches!(
+            Session::new().handle("\\ingest flights NY,01"),
+            Outcome::Continue(ref m) if m.contains("\\build")
+        ));
+    }
+
+    #[test]
     fn connect_mode_runs_sql_on_the_server() {
         use std::panic::{catch_unwind, AssertUnwindSafe};
         use std::sync::Arc;
@@ -1030,6 +1274,22 @@ mod tests {
                         assert!(out.contains("\"server.queries\""), "{out}");
                         assert!(out.contains("\"server.query_latency_us\""), "{out}");
                         assert!(out.contains("\"p99_us\""), "{out}");
+                        // `\ingest` travels the wire: the server's world
+                        // moves to a new generation for every connection.
+                        let Outcome::Continue(out) = s.handle("\\ingest t 1,2") else {
+                            panic!("ingest")
+                        };
+                        assert!(out.contains("ingested 1 rows into t"), "{out}");
+                        assert!(out.contains("generation 1"), "{out}");
+                        let Outcome::Continue(out) = s.handle("\\ingest t 9,9") else {
+                            panic!("bad ingest")
+                        };
+                        assert!(out.contains("unknown label '9'"), "{out}");
+                        // `\cache stats` shows the server's live counters.
+                        let Outcome::Continue(out) = s.handle("\\cache stats") else {
+                            panic!("cache stats")
+                        };
+                        assert!(out.contains("\"batches\":1"), "{out}");
                         // `\trace on` travels as the `"trace":true` flag.
                         s.handle("\\trace on");
                         let Outcome::Continue(out) =

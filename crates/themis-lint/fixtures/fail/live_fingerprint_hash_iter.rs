@@ -1,0 +1,6 @@
+//! fixture-path: crates/themis-live/src/fingerprint_demo.rs
+//! expect: deterministic-iteration @ crates/themis-live/src/fingerprint_demo.rs:5
+use std::collections::HashMap;
+fn touched_tables(touched: HashMap<String, u64>) -> Vec<String> {
+    touched.into_iter().map(|(table, _)| table).collect()
+}

@@ -1,0 +1,6 @@
+//! fixture-path: crates/themis-live/src/grow_demo.rs
+//! expect: no-deep-clone @ crates/themis-live/src/grow_demo.rs:4
+fn append_batch(sample: &Relation) -> Relation {
+    let grown = sample.clone();
+    grown
+}

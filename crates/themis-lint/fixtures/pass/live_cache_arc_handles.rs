@@ -1,0 +1,10 @@
+//! fixture-path: crates/themis-live/src/grow_demo.rs
+use std::sync::Arc;
+
+fn pin_sample(sample: &Arc<Relation>) -> Arc<Relation> {
+    Arc::clone(sample)
+}
+
+fn from_old_sample(sample: &Relation) -> Relation {
+    sample.clone()
+}

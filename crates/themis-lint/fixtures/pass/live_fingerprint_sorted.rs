@@ -1,0 +1,7 @@
+//! fixture-path: crates/themis-live/src/fingerprint_demo.rs
+use std::collections::HashMap;
+fn touched_tables(touched: HashMap<String, u64>) -> Vec<String> {
+    let mut tables: Vec<String> = touched.into_iter().map(|(table, _)| table).collect();
+    tables.sort();
+    tables
+}

@@ -1,0 +1,43 @@
+//! # themis-live
+//!
+//! The live-data subsystem: everything Themis needs to serve queries while
+//! the underlying sample *moves*. Two cooperating halves:
+//!
+//! * [`cache`] — a bounded, sharded [`AnswerCache`] keyed on a canonical
+//!   **plan fingerprint** ([`fingerprint`]). The fingerprint covers the
+//!   normalized SQL plan, the [`themis_query::Limits`] that can change an
+//!   answer, and the world *generation* — and deliberately excludes
+//!   `threads` / `morsel_rows`, which the differential suites prove
+//!   answer-invariant. Eviction is LRU-ish by access epoch with a
+//!   deterministic `(epoch, key)` tie-break, so a fixed request sequence
+//!   always produces the same hit/miss/evict counts (the wire goldens pin
+//!   them).
+//!
+//! * [`ingest`] — the data-plane helpers behind
+//!   `ThemisSession::ingest`: growing a relation by appended rows
+//!   (label-validated against the schema), and deciding whether an ingest
+//!   actually *moved* the learned BN parameters (replicates are
+//!   re-simulated only when it did). The incremental-marginal half lives in
+//!   `themis_aggregates::IncidenceMatrix::extend`, which this crate's
+//!   ingest path drives.
+//!
+//! [`stats`] holds the [`LiveStats`] metrics bundle (hit/miss/evict/
+//! invalidate counters, ingest counters, generation gauge) registered in a
+//! `themis_obs::MetricsRegistry` so servers can export them next to their
+//! own counters.
+//!
+//! Nothing in this crate reads the environment, panics, or deep-clones a
+//! `Relation` outside a constructor; cached values are shared as
+//! `Arc<T>` and handed back bit-identical to the run that populated them.
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod fingerprint;
+pub mod ingest;
+pub mod stats;
+
+pub use cache::AnswerCache;
+pub use fingerprint::{plan_fingerprint, Fingerprint};
+pub use ingest::{bn_parameters_moved, grow_relation, IngestError};
+pub use stats::{LiveSnapshot, LiveStats};

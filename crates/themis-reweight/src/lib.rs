@@ -25,6 +25,6 @@ pub mod linreg;
 pub mod onehot;
 pub mod uniform;
 
-pub use ipf::{ipf_weights, IpfOptions, IpfReport};
+pub use ipf::{ipf_on_incidence, ipf_weights, IpfOptions, IpfReport};
 pub use linreg::{linreg_weights, LinRegOptions, LinRegReport};
 pub use uniform::uniform_weights;

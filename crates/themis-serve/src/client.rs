@@ -10,14 +10,13 @@
 
 use crate::json::Json;
 use crate::protocol::{
-    decode_answer, decode_error, decode_explain, request_line, set_to_json, trace_from_json,
-    SetRequest, WireAnswer, WireError,
+    decode_answer, decode_error, decode_explain, decode_ingest, ingest_to_json, request_line,
+    set_to_json, trace_from_json, SetRequest, WireAnswer, WireError,
 };
-use themis_core::QueryTrace;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use themis_core::Explain;
+use themis_core::{Explain, IngestReport, QueryTrace};
 
 /// A transport or protocol failure (not a server-reported error).
 #[derive(Debug)]
@@ -137,6 +136,12 @@ impl Client {
     /// Ask for the routing decision without executing.
     pub fn explain(&mut self, sql: &str) -> Outcome<Explain> {
         self.request(request_line("explain", sql), decode_explain)
+    }
+
+    /// Append labeled rows to the server's shared world (a new generation
+    /// visible to every connection); returns the server's ingest report.
+    pub fn ingest(&mut self, table: &str, rows: &[Vec<String>]) -> Outcome<IngestReport> {
+        self.request(ingest_to_json(table, rows).to_string(), decode_ingest)
     }
 
     /// Adjust this connection's engine options; returns the server's echo

@@ -8,6 +8,7 @@
 //! | query   | `{"op":"query","sql":"SELECT …"}` — add `"trace":true` for a span tree |
 //! | explain | `{"op":"explain","sql":"SELECT …"}` |
 //! | set     | `{"op":"set","deadline_ms":50,"max_rows":null,…}` |
+//! | ingest  | `{"op":"ingest","table":"flights","rows":[["01","FL","NY"],…]}` |
 //! | stats   | `{"op":"stats"}` |
 //! | metrics | `{"op":"metrics"}` |
 //!
@@ -30,8 +31,8 @@
 use crate::json::Json;
 use std::time::Duration;
 use themis_core::{
-    Answer, DegradeReason, EngineOptions, Explain, FaultPlan, QueryTrace, Route, RouteKind,
-    ThemisError, TraceSpan,
+    Answer, DegradeReason, EngineOptions, Explain, FaultPlan, IngestReport, QueryTrace, Route,
+    RouteKind, ThemisError, TraceSpan,
 };
 use themis_obs::saturating_micros;
 use themis_query::{ExecError, QueryResult, Trip, Value};
@@ -62,6 +63,15 @@ pub enum Request {
     },
     /// Adjust this connection's engine options.
     Set(SetRequest),
+    /// Append labeled rows to the shared world (a new generation; see
+    /// [`themis_core::ThemisSession::ingest`]).
+    Ingest {
+        /// Invalidation tag: cache entries whose plan touches this table
+        /// are dropped.
+        table: String,
+        /// Rows as domain labels, one `Vec<String>` per row.
+        rows: Vec<Vec<String>>,
+    },
     /// Return the server's counters.
     Stats,
     /// Return the server's metrics registry (counters, gauges, latency
@@ -144,6 +154,31 @@ pub fn parse_request(j: &Json) -> Result<Request, String> {
             })
         }
         "set" => Ok(Request::Set(parse_set(j)?)),
+        "ingest" => {
+            let table = j
+                .get("table")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "\"ingest\" request needs a string \"table\"".to_string())?
+                .to_string();
+            let rows = j
+                .get("rows")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| "\"ingest\" request needs an array \"rows\"".to_string())?
+                .iter()
+                .map(|row| {
+                    row.as_arr()
+                        .ok_or_else(|| "each ingest row must be an array".to_string())?
+                        .iter()
+                        .map(|cell| {
+                            cell.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| "ingest cells must be strings".to_string())
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Ingest { table, rows })
+        }
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         other => Err(format!("unknown op \"{other}\"")),
@@ -586,7 +621,9 @@ pub fn decode_answer(j: &Json) -> Result<WireAnswer, String> {
     })
 }
 
-/// Encode a successful `explain` response.
+/// Encode a successful `explain` response. `"cached"` mirrors
+/// [`Explain::cached`]: `null` when no cache opinion applies (cache off or
+/// bypass), else whether the answer would be served from cache right now.
 pub fn explain_body(explain: &Explain) -> Json {
     Json::Obj(vec![
         ("ok".to_string(), Json::Bool(true)),
@@ -603,10 +640,18 @@ pub fn explain_body(explain: &Explain) -> Json {
                 None => Json::Null,
             },
         ),
+        (
+            "cached".to_string(),
+            match explain.cached {
+                Some(hit) => Json::Bool(hit),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
-/// Decode an `explain` response (inverse of [`explain_body`]).
+/// Decode an `explain` response (inverse of [`explain_body`]). A missing
+/// `"cached"` member decodes as `None`, so pre-cache responses still parse.
 pub fn decode_explain(j: &Json) -> Result<Explain, String> {
     Ok(Explain {
         route: route_kind_from_str(
@@ -625,7 +670,86 @@ pub fn decode_explain(j: &Json) -> Result<Explain, String> {
                 "\"degrades_to\" must be null or a route kind".to_string()
             })?)?),
         },
+        cached: match j.get("cached") {
+            None | Some(Json::Null) => None,
+            Some(Json::Bool(b)) => Some(*b),
+            Some(_) => return Err("\"cached\" must be null or a boolean".to_string()),
+        },
     })
+}
+
+/// Encode a successful `ingest` response: the [`IngestReport`] verbatim.
+pub fn ingest_body(report: &IngestReport) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("op".to_string(), Json::Str("ingest".to_string())),
+        ("table".to_string(), Json::Str(report.table.clone())),
+        (
+            "rows_added".to_string(),
+            Json::Num(report.rows_added as f64),
+        ),
+        (
+            "sample_rows".to_string(),
+            Json::Num(report.sample_rows as f64),
+        ),
+        (
+            "generation".to_string(),
+            Json::Num(report.generation as f64),
+        ),
+        ("bn_moved".to_string(), Json::Bool(report.bn_moved)),
+        (
+            "replicates_kept".to_string(),
+            Json::Num(report.replicates_kept as f64),
+        ),
+        (
+            "cache_entries_dropped".to_string(),
+            Json::Num(report.cache_entries_dropped as f64),
+        ),
+    ])
+}
+
+/// Decode an `ingest` response (inverse of [`ingest_body`]).
+pub fn decode_ingest(j: &Json) -> Result<IngestReport, String> {
+    let num = |key: &str| {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("ingest report needs an integer \"{key}\""))
+    };
+    Ok(IngestReport {
+        table: j
+            .get("table")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "ingest report needs a string \"table\"".to_string())?
+            .to_string(),
+        rows_added: num("rows_added")? as usize,
+        sample_rows: num("sample_rows")? as usize,
+        generation: num("generation")?,
+        bn_moved: match j.get("bn_moved") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("ingest report needs a boolean \"bn_moved\"".to_string()),
+        },
+        replicates_kept: num("replicates_kept")? as usize,
+        cache_entries_dropped: num("cache_entries_dropped")? as usize,
+    })
+}
+
+/// Encode an `ingest` request line (inverse of the parsing in
+/// [`parse_request`]).
+pub fn ingest_to_json(table: &str, rows: &[Vec<String>]) -> Json {
+    Json::Obj(vec![
+        ("op".to_string(), Json::Str("ingest".to_string())),
+        ("table".to_string(), Json::Str(table.to_string())),
+        (
+            "rows".to_string(),
+            Json::Arr(
+                rows.iter()
+                    .map(|row| {
+                        Json::Arr(row.iter().map(|cell| Json::Str(cell.clone())).collect())
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Encode a successful `set` response: echo the connection's effective
@@ -749,6 +873,7 @@ pub fn themis_error_body(err: &ThemisError) -> Json {
             error_body(kind, &message, trip)
         }
         ThemisError::NoBayesNet => error_body("no_bayes_net", &message, None),
+        ThemisError::Ingest(_) => error_body("ingest", &message, None),
         // Model-construction errors cannot occur at query time; encode them
         // as internal so the protocol stays total over the error type.
         ThemisError::NoSamples | ThemisError::SchemaMismatch { .. } => {
@@ -1162,16 +1287,88 @@ mod tests {
                 route: RouteKind::Hybrid,
                 reason: "grouped query".to_string(),
                 degrades_to: Some(RouteKind::Sample),
+                cached: None,
             },
             Explain {
                 route: RouteKind::Sample,
                 reason: "scalar aggregate".to_string(),
                 degrades_to: None,
+                cached: Some(true),
+            },
+            Explain {
+                route: RouteKind::Sample,
+                reason: "scalar aggregate".to_string(),
+                degrades_to: None,
+                cached: Some(false),
             },
         ] {
             let j = Json::parse(&explain_body(&explain).to_string()).unwrap();
             assert_eq!(decode_explain(&j).unwrap(), explain);
         }
+        // A pre-cache response with no "cached" member still decodes.
+        let legacy = Json::parse(
+            r#"{"ok":true,"op":"explain","route":"sample","reason":"r","degrades_to":null}"#,
+        )
+        .unwrap();
+        assert_eq!(decode_explain(&legacy).unwrap().cached, None);
+        let bad = Json::parse(
+            r#"{"ok":true,"op":"explain","route":"sample","reason":"r","degrades_to":null,"cached":1}"#,
+        )
+        .unwrap();
+        assert!(decode_explain(&bad).is_err());
+    }
+
+    #[test]
+    fn ingest_requests_parse_and_reject() {
+        let j = Json::parse(r#"{"op":"ingest","table":"flights","rows":[["01","FL","NY"],["02","NC","FL"]]}"#)
+            .unwrap();
+        let Request::Ingest { table, rows } = parse_request(&j).unwrap() else {
+            panic!("not an ingest request");
+        };
+        assert_eq!(table, "flights");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec!["01", "FL", "NY"]);
+        // The encoder round-trips through the parser.
+        let encoded = ingest_to_json(&table, &rows);
+        let back = parse_request(&Json::parse(&encoded.to_string()).unwrap()).unwrap();
+        assert_eq!(back, Request::Ingest { table, rows });
+        for bad in [
+            r#"{"op":"ingest"}"#,
+            r#"{"op":"ingest","table":"t"}"#,
+            r#"{"op":"ingest","table":7,"rows":[]}"#,
+            r#"{"op":"ingest","table":"t","rows":[7]}"#,
+            r#"{"op":"ingest","table":"t","rows":[[7]]}"#,
+        ] {
+            assert!(parse_request(&Json::parse(bad).unwrap()).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn ingest_reports_roundtrip() {
+        let report = IngestReport {
+            table: "flights".to_string(),
+            rows_added: 3,
+            sample_rows: 7,
+            generation: 2,
+            bn_moved: true,
+            replicates_kept: 0,
+            cache_entries_dropped: 4,
+        };
+        let j = Json::parse(&ingest_body(&report).to_string()).unwrap();
+        assert_eq!(decode_ingest(&j).unwrap(), report);
+        assert!(decode_ingest(&Json::parse(r#"{"ok":true}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn ingest_errors_carry_their_own_kind() {
+        let err = ThemisError::Ingest(themis_core::IngestError::Arity {
+            row: 0,
+            expected: 3,
+            got: 1,
+        });
+        let wire = decode_error(&themis_error_body(&err)).unwrap();
+        assert_eq!(wire.kind, "ingest");
+        assert!(wire.message.contains("row 0"), "{}", wire.message);
     }
 
     #[test]

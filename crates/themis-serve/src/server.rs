@@ -6,8 +6,9 @@
 //! and the cached K forward-sample replicates behind the session's
 //! `OnceLock`. The first query that needs the replicates pays the
 //! simulation once; every connection after that shares the same `Arc`s.
-//! The world is immutable, so sessions never contend: queries take `&self`
-//! all the way down.
+//! Queries take `&self` all the way down and never contend: the `ingest`
+//! op grows the world by swapping in a new generation behind the session's
+//! `RwLock`, while in-flight queries finish on the generation they pinned.
 //!
 //! ## Threading
 //!
@@ -48,8 +49,8 @@
 
 use crate::json::Json;
 use crate::protocol::{
-    answer_body_with_trace, error_body, explain_body, parse_request, set_body, themis_error_body,
-    Request,
+    answer_body_with_trace, error_body, explain_body, ingest_body, parse_request, set_body,
+    themis_error_body, Request,
 };
 use crate::stats::ServerStats;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -360,8 +361,14 @@ impl ThemisServer {
                 set.apply(engine, self.config.allow_fault_injection);
                 set_body(engine)
             }
-            Request::Stats => self.stats.body(),
-            Request::Metrics => self.stats.metrics_body(),
+            Request::Ingest { table, rows } => match self.world.ingest(&table, &rows) {
+                Ok(report) => ingest_body(&report),
+                // Ingest errors are not query errors: they carry their own
+                // kind and stay out of the query counters.
+                Err(err) => themis_error_body(&err),
+            },
+            Request::Stats => self.stats.body(&self.world.live_snapshot()),
+            Request::Metrics => self.stats.metrics_body(self.world.live_stats()),
         }
     }
 }

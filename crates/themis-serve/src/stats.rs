@@ -12,7 +12,7 @@
 
 use crate::json::Json;
 use std::sync::Arc;
-use themis_core::{DegradeReason, Route, ThemisError};
+use themis_core::{DegradeReason, LiveSnapshot, LiveStats, Route, ThemisError};
 use themis_obs::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry};
 use themis_query::{ExecError, Trip};
 
@@ -153,9 +153,13 @@ impl ServerStats {
     }
 
     /// The `stats` response body. Field order is part of the wire protocol
-    /// (the golden tests pin it).
-    pub fn body(&self) -> Json {
+    /// (the golden tests pin it). `live` is the shared world's live-data
+    /// snapshot; the `cache`/`ingest` sections are always present — all
+    /// zeros on a world without an answer cache — so clients never branch
+    /// on shape.
+    pub fn body(&self, live: &LiveSnapshot) -> Json {
         let n = |c: &Counter| Json::Num(c.get() as f64);
+        let l = |v: u64| Json::Num(v as f64);
         Json::Obj(vec![
             ("ok".to_string(), Json::Bool(true)),
             ("op".to_string(), Json::Str("stats".to_string())),
@@ -206,20 +210,46 @@ impl ServerStats {
                             ("group_budget".to_string(), n(&self.trip_group_budget)),
                         ]),
                     ),
+                    (
+                        "cache".to_string(),
+                        Json::Obj(vec![
+                            ("hits".to_string(), l(live.cache_hits)),
+                            ("misses".to_string(), l(live.cache_misses)),
+                            ("bypasses".to_string(), l(live.cache_bypasses)),
+                            ("evictions".to_string(), l(live.cache_evictions)),
+                            ("invalidations".to_string(), l(live.cache_invalidations)),
+                            ("entries".to_string(), l(live.cache_entries)),
+                        ]),
+                    ),
+                    (
+                        "ingest".to_string(),
+                        Json::Obj(vec![
+                            ("batches".to_string(), l(live.ingest_batches)),
+                            ("rows".to_string(), l(live.ingest_rows)),
+                            ("generation".to_string(), l(live.generation)),
+                            (
+                                "replicates_resimulated".to_string(),
+                                l(live.replicates_resimulated),
+                            ),
+                            ("replicates_kept".to_string(), l(live.replicates_kept)),
+                        ]),
+                    ),
                 ]),
             ),
         ])
     }
 
-    /// The `metrics` response body: every registered metric, sorted by
-    /// name. Counters and gauges serialize as numbers; histograms as
+    /// The `metrics` response body: every registered metric — the server's
+    /// own plus the shared world's `live.*` family — sorted by name.
+    /// Counters and gauges serialize as numbers; histograms as
     /// `{count, p50_us, p90_us, p99_us, sum_us}` objects — the `_us` keys
     /// are wall-clock-dependent, so golden normalization zeroes them while
     /// `count` stays exact.
-    pub fn metrics_body(&self) -> Json {
-        let metrics = self
-            .registry
-            .export()
+    pub fn metrics_body(&self, live: &LiveStats) -> Json {
+        let mut exported = live.export();
+        exported.extend(self.registry.export());
+        exported.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        let metrics = exported
             .into_iter()
             .map(|(name, value)| {
                 let json = match value {
@@ -266,7 +296,10 @@ mod tests {
             limit: 10,
         })));
         stats.record_error(&ThemisError::NoBayesNet);
-        let j = stats.body();
+        let live = LiveStats::new();
+        live.cache_hits.add(5);
+        live.generation.set(2);
+        let j = stats.body(&live.snapshot());
         let stats_obj = j.get("stats").unwrap();
         let routes = stats_obj.get("routes").unwrap();
         assert_eq!(routes.get("sample").and_then(Json::as_u64), Some(2));
@@ -288,6 +321,13 @@ mod tests {
             Some(1)
         );
         assert_eq!(stats_obj.get("errors").and_then(Json::as_u64), Some(2));
+        // Live-data sections ride along, mirroring the world's snapshot.
+        let cache = stats_obj.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(5));
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(0));
+        let ingest = stats_obj.get("ingest").unwrap();
+        assert_eq!(ingest.get("generation").and_then(Json::as_u64), Some(2));
+        assert_eq!(ingest.get("batches").and_then(Json::as_u64), Some(0));
     }
 
     #[test]
@@ -297,7 +337,9 @@ mod tests {
         stats.record_route(&Route::Sample);
         stats.query_latency_us.record(100);
         stats.query_latency_us.record(1_000);
-        let body = stats.metrics_body();
+        let live = LiveStats::new();
+        live.cache_misses.add(2);
+        let body = stats.metrics_body(&live);
         assert_eq!(body.get("ok"), Some(&Json::Bool(true)));
         assert_eq!(body.get("op"), Some(&Json::Str("metrics".to_string())));
         let Some(Json::Obj(metrics)) = body.get("metrics") else {
@@ -308,9 +350,12 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
-        assert_eq!(names.len(), 18);
+        // 18 server metrics + 11 live.* metrics from the shared world.
+        assert_eq!(names.len(), 29);
         let get = |k: &str| metrics.iter().find(|(n, _)| n == k).map(|(_, v)| v);
         assert_eq!(get("server.queries").and_then(Json::as_u64), Some(3));
+        assert_eq!(get("live.cache.misses").and_then(Json::as_u64), Some(2));
+        assert_eq!(get("live.world.generation").and_then(Json::as_u64), Some(0));
         assert_eq!(get("server.routes.sample").and_then(Json::as_u64), Some(1));
         let hist = get("server.query_latency_us").unwrap();
         assert_eq!(hist.get("count").and_then(Json::as_u64), Some(2));

@@ -24,39 +24,41 @@ use themis_core::{Themis, ThemisConfig, ThemisSession};
 use themis_data::{AttrId, Attribute, Domain, Relation, Schema};
 use themis_serve::{Client, ServerConfig, ThemisServer};
 
+fn build_world() -> ThemisSession {
+    let sizes = [5usize, 4, 3];
+    let schema = Schema::new(vec![
+        Attribute::new("a", Domain::indexed("a", sizes[0])),
+        Attribute::new("b", Domain::indexed("b", sizes[1])),
+        Attribute::new("c", Domain::indexed("c", sizes[2])),
+    ]);
+    let mut pop = Relation::new(schema);
+    for i in 0..2_000usize {
+        pop.push_row(&[
+            ((i * 7 + i / 13) % sizes[0]) as u32,
+            ((i * 5 + 1) % sizes[1]) as u32,
+            ((i * 11 + i / 7) % sizes[2]) as u32,
+        ]);
+    }
+    let aggregates = AggregateSet::from_results(vec![
+        AggregateResult::compute(&pop, &[AttrId(0)]),
+        AggregateResult::compute(&pop, &[AttrId(1), AttrId(2)]),
+    ]);
+    let n = pop.len() as f64;
+    let rows: Vec<usize> = (0..pop.len())
+        .filter(|&r| pop.value(r, AttrId(0)) < 3)
+        .take(300)
+        .collect();
+    let sample = pop.select_rows(&rows);
+    let config = ThemisConfig {
+        bn_sample_size: Some(500),
+        ..ThemisConfig::default()
+    };
+    ThemisSession::new(Themis::build(sample, aggregates, n, config))
+}
+
 fn world() -> Arc<ThemisSession> {
     static WORLD: OnceLock<Arc<ThemisSession>> = OnceLock::new();
-    Arc::clone(WORLD.get_or_init(|| {
-        let sizes = [5usize, 4, 3];
-        let schema = Schema::new(vec![
-            Attribute::new("a", Domain::indexed("a", sizes[0])),
-            Attribute::new("b", Domain::indexed("b", sizes[1])),
-            Attribute::new("c", Domain::indexed("c", sizes[2])),
-        ]);
-        let mut pop = Relation::new(schema);
-        for i in 0..2_000usize {
-            pop.push_row(&[
-                ((i * 7 + i / 13) % sizes[0]) as u32,
-                ((i * 5 + 1) % sizes[1]) as u32,
-                ((i * 11 + i / 7) % sizes[2]) as u32,
-            ]);
-        }
-        let aggregates = AggregateSet::from_results(vec![
-            AggregateResult::compute(&pop, &[AttrId(0)]),
-            AggregateResult::compute(&pop, &[AttrId(1), AttrId(2)]),
-        ]);
-        let n = pop.len() as f64;
-        let rows: Vec<usize> = (0..pop.len())
-            .filter(|&r| pop.value(r, AttrId(0)) < 3)
-            .take(300)
-            .collect();
-        let sample = pop.select_rows(&rows);
-        let config = ThemisConfig {
-            bn_sample_size: Some(500),
-            ..ThemisConfig::default()
-        };
-        Arc::new(ThemisSession::new(Themis::build(sample, aggregates, n, config)))
-    }))
+    Arc::clone(WORLD.get_or_init(|| Arc::new(build_world())))
 }
 
 /// Replace every wall-clock field with a fixed value. All nondeterministic
@@ -116,8 +118,14 @@ fn parse_fixture(text: &str) -> Vec<(String, String)> {
 /// asserting each normalized response equals the fixture's. On mismatch the
 /// panic carries the full actual transcript, ready to paste.
 fn run_golden(fixture: &str, config: ServerConfig) {
+    run_golden_on(fixture, config, world());
+}
+
+/// Like [`run_golden`] but on a caller-provided world — the live-data
+/// corpus ingests into its world, which must not be the shared static one.
+fn run_golden_on(fixture: &str, config: ServerConfig, world: Arc<ThemisSession>) {
     let pairs = parse_fixture(fixture);
-    let server = ThemisServer::bind("127.0.0.1:0", world(), config).expect("bind");
+    let server = ThemisServer::bind("127.0.0.1:0", world, config).expect("bind");
     let handle = server.handle();
     let addr = server.local_addr();
     let results = rayon::Pool::new(2)
@@ -201,6 +209,27 @@ fn observability_ops_match_golden_fixture() {
             allow_fault_injection: false,
             ..ServerConfig::default()
         },
+    );
+}
+
+/// Live-data corpus: cache population, a predicted and served cache hit,
+/// the `ingest` op (applied and rejected), and cache-visible stats. Runs on
+/// its own cache-enabled world so the ingest cannot disturb the byte-pinned
+/// answers of the corpora sharing the static world.
+#[test]
+fn live_data_ops_match_golden_fixture() {
+    run_golden_on(
+        include_str!("fixtures/wire_live.txt"),
+        ServerConfig {
+            workers: 1,
+            max_concurrent_queries: 4,
+            threads: 1,
+            morsel_rows: 7,
+            max_line_bytes: 2048,
+            allow_fault_injection: false,
+            ..ServerConfig::default()
+        },
+        Arc::new(build_world().with_answer_cache(16)),
     );
 }
 

@@ -222,6 +222,96 @@ fn run_level(clients: usize) {
     }
 }
 
+/// One client against a **cache-enabled** server: every corpus query is
+/// issued twice — the second ask is served from the answer cache — and both
+/// responses must still be bit-identical to the cache-less session oracle.
+/// After the pair, `explain` must report the plan as cached.
+fn drive_cached_client(addr: SocketAddr, slot: usize, clients: usize) {
+    let corpus = corpus();
+    let oracle = oracle();
+    let mut client = Client::connect(addr).expect("connect");
+    for (idx, sql) in corpus.iter().enumerate() {
+        if idx % clients != slot {
+            continue;
+        }
+        let mut populated = false;
+        for ask in ["cold", "cached"] {
+            let wire = client.query(sql).expect("transport");
+            populated = wire.is_ok();
+            match (&wire, &oracle[idx].answer) {
+                (Ok(w), Ok(o)) => {
+                    assert_eq!(w.result, o.result, "{ask} rows diverged from session: {sql}");
+                    assert_eq!(w.route, o.route, "{ask} route diverged from session: {sql}");
+                }
+                (Err(w), Err(o)) => assert_eq!(w, o, "{ask} error diverged from session: {sql}"),
+                (w, o) => panic!(
+                    "{sql}: {ask} wire and session disagree on success: {w:?} vs oracle {:?}",
+                    o.as_ref().map(|a| &a.route)
+                ),
+            }
+        }
+        let wire_explain = client.explain(sql).expect("transport");
+        match (&wire_explain, &oracle[idx].explain) {
+            (Ok(w), Ok(o)) => {
+                assert_eq!(w.route, o.route, "explain route diverged: {sql}");
+                assert_eq!(w.reason, o.reason, "explain reason diverged: {sql}");
+                assert_eq!(w.degrades_to, o.degrades_to, "explain degradation diverged: {sql}");
+                // The oracle has no cache (`cached: None`); the server must
+                // report the plan as present after a successful query pair,
+                // and as absent when the query erred (errors never populate).
+                assert_eq!(w.cached, Some(populated), "explain cache probe diverged: {sql}");
+            }
+            (Err(w), Err(o)) => assert_eq!(w, o, "explain error diverged: {sql}"),
+            (w, o) => panic!("{sql}: wire and session disagree on explain: {w:?} vs {o:?}"),
+        }
+    }
+}
+
+/// The cached level: a fresh cache-enabled world (large enough that nothing
+/// is evicted mid-run) built on the same data as the shared oracle world.
+fn run_cached_level(clients: usize) {
+    let base = world();
+    let cached_world = Arc::new(
+        ThemisSession::new(base.model().as_ref().clone()).with_answer_cache(4096),
+    );
+    let config = ServerConfig {
+        workers: clients,
+        max_concurrent_queries: clients,
+        threads: 1,
+        morsel_rows: 7,
+        ..ServerConfig::default()
+    };
+    let server = ThemisServer::bind("127.0.0.1:0", cached_world, config).expect("bind");
+    let handle = server.handle();
+    let addr = server.local_addr();
+    let results = rayon::Pool::new(2)
+        .try_par_indexed(2, |task| {
+            if task == 0 {
+                server.serve().map_err(|e| format!("serve failed: {e}"))
+            } else {
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    rayon::Pool::new(clients)
+                        .try_par_indexed(clients, |slot| drive_cached_client(addr, slot, clients))
+                        .expect("client pool");
+                }));
+                handle.shutdown();
+                caught.map_err(|payload| {
+                    payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "driver panicked".to_string())
+                })
+            }
+        })
+        .expect("orchestration pool");
+    for r in results {
+        if let Err(message) = r {
+            panic!("{message}");
+        }
+    }
+}
+
 #[test]
 fn one_client_matches_the_session_bit_for_bit() {
     run_level(1);
@@ -235,4 +325,9 @@ fn two_concurrent_clients_match_the_session_bit_for_bit() {
 #[test]
 fn eight_concurrent_clients_match_the_session_bit_for_bit() {
     run_level(8);
+}
+
+#[test]
+fn cached_answers_match_the_session_bit_for_bit() {
+    run_cached_level(2);
 }

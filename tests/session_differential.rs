@@ -10,6 +10,13 @@
 //! the morsel engine with the same `morsel_rows`: the morsel decomposition,
 //! and therefore every floating-point merge, is the same regardless of how
 //! many workers execute it. Routing is engine-independent by construction.
+//!
+//! A third suite holds the live-data layer to the same bar: any
+//! interleaving of random queries and random ingest batches, on
+//! cache-enabled sessions at widths 1, 2, and 8, must answer bit-identically
+//! to a cold session built from scratch on the final data — the answer
+//! cache and the incremental reweighting/replicate-carry-over pipeline are
+//! not allowed to be observable in results.
 
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -143,6 +150,127 @@ proptest! {
             prop_assert_eq!(&pair[0], &pair[1], "trace structure diverged across widths: {}", &sql);
         }
     }
+}
+
+/// A random ingest batch: up to two rows of in-domain labels (empty
+/// batches included on purpose — they must move nothing).
+fn batch_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    prop::collection::vec(
+        (0u32..SIZES[0], 0u32..SIZES[1], 0u32..SIZES[2])
+            .prop_map(|(a, b, c)| vec![a.to_string(), b.to_string(), c.to_string()]),
+        0..3,
+    )
+}
+
+/// An interleaving: at each step one random query (asked twice, so the
+/// second ask exercises the cache) followed by one random ingest batch.
+fn interleaving_strategy() -> impl Strategy<Value = Vec<(String, Vec<Vec<String>>)>> {
+    prop::collection::vec((query_strategy(), batch_strategy()), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tentpole acceptance: queries interleaved with ingest on
+    /// cache-enabled sessions at widths 1, 2, and 8 stay bit-identical to
+    /// each other at every step, cache hits are bit-identical to their
+    /// misses, and after the full interleaving every query answers
+    /// bit-identically to a cold session built on the final data.
+    #[test]
+    fn interleaved_ingest_matches_a_cold_session(steps in interleaving_strategy()) {
+        let sessions: Vec<ThemisSession> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                ThemisSession::with_engine(model().clone(), engine(threads))
+                    .with_answer_cache(16)
+            })
+            .collect();
+        for (sql, batch) in &steps {
+            let mut answers = Vec::new();
+            for s in &sessions {
+                let miss = s.sql(sql);
+                let hit = s.sql(sql);
+                match (&miss, &hit) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(&a.route, &b.route, "hit route diverged: {}", sql);
+                        prop_assert_eq!(&a.result, &b.result, "hit rows diverged: {}", sql);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b, "errors diverged: {}", sql),
+                    (a, b) => panic!("{sql}: miss and hit disagree on success: {a:?} vs {b:?}"),
+                }
+                answers.push(miss);
+            }
+            for pair in answers.windows(2) {
+                match (&pair[0], &pair[1]) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(&a.route, &b.route, "route diverged across widths: {}", sql);
+                        prop_assert_eq!(&a.result, &b.result, "rows diverged across widths: {}", sql);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b, "errors diverged across widths: {}", sql),
+                    (a, b) => panic!("{sql}: widths disagree on success: {a:?} vs {b:?}"),
+                }
+            }
+            for s in &sessions {
+                s.ingest("t", batch).expect("in-domain batch must apply");
+            }
+        }
+        // A cold session built from scratch on the final data: the base
+        // biased sample plus every ingested row, in arrival order.
+        let pop = population();
+        let aggregates = AggregateSet::from_results(vec![
+            AggregateResult::compute(&pop, &[AttrId(0)]),
+            AggregateResult::compute(&pop, &[AttrId(1), AttrId(2)]),
+        ]);
+        let mut grown = biased_sample(&pop);
+        for (_, batch) in &steps {
+            for row in batch {
+                let labels: Vec<&str> = row.iter().map(String::as_str).collect();
+                grown.push_row_labels(&labels);
+            }
+        }
+        let config = ThemisConfig {
+            bn_sample_size: Some(500),
+            ..ThemisConfig::default()
+        };
+        let cold = ThemisSession::with_engine(
+            Themis::build(grown, aggregates, pop.len() as f64, config),
+            engine(1),
+        );
+        for (sql, _) in &steps {
+            let fresh = cold.sql(sql);
+            for s in &sessions {
+                match (s.sql(sql), &fresh) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(&a.route, &b.route, "route diverged from cold session: {}", sql);
+                        prop_assert_eq!(&a.result, &b.result, "rows diverged from cold session: {}", sql);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(&a, b, "errors diverged from cold session: {}", sql),
+                    (a, b) => panic!("{sql}: live and cold disagree on success: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Satellite acceptance (asserted via the obs counters): an ingest that
+/// moves no BN parameter re-simulates zero replicates — the full pipeline
+/// runs, concludes nothing moved, and carries the old replicates over.
+#[test]
+fn ingest_moving_nothing_resimulates_zero_replicates() {
+    let s = ThemisSession::with_engine(model().clone(), engine(2)).with_answer_cache(8);
+    s.sql("SELECT a, COUNT(*) AS n FROM t GROUP BY a").unwrap();
+    let report = s.ingest("t", &[]).unwrap();
+    assert!(!report.bn_moved, "empty batch must move nothing");
+    assert_eq!(report.replicates_kept, 10);
+    s.sql("SELECT b, COUNT(*) AS n FROM t GROUP BY b").unwrap();
+    let snap = s.live_snapshot();
+    assert_eq!(snap.replicates_resimulated, 0);
+    assert_eq!(snap.replicates_kept, 10);
+    // And a batch that does move the BN re-simulates exactly once.
+    s.ingest("t", &[vec!["4".to_string(), "0".to_string(), "2".to_string()]])
+        .unwrap();
+    s.sql("SELECT a, COUNT(*) AS n FROM t GROUP BY a").unwrap();
+    assert_eq!(s.live_snapshot().replicates_resimulated, 10);
 }
 
 /// The fixed shapes the random generator cannot produce (self-joins) are
